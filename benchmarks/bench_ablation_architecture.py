@@ -1,0 +1,52 @@
+"""Ablation benchmark: 1D-CNN vs LSTM error classifiers (paper §VI).
+
+The paper finds 1D-CNNs better than LSTMs for the erroneous-gesture
+step; this ablation reproduces the comparison with matched budgets.
+"""
+
+from conftest import run_once
+
+from repro.eval.reports import format_table
+from repro.experiments.common import get_scale
+from repro.experiments.table5 import _evaluate_setup
+from repro.config import WindowConfig
+from repro.jigsaws.synthesis import make_suturing_dataset
+
+
+def test_ablation_architecture(benchmark, scale):
+    preset = get_scale(scale)
+    dataset = make_suturing_dataset(n_demos=preset.suturing_demos, rng=0)
+
+    def compare():
+        train, test = dataset.split_by_trials(2)
+        out = {}
+        for architecture in ("conv", "lstm"):
+            out[architecture] = _evaluate_setup(
+                train,
+                test,
+                preset,
+                architecture=architecture,
+                features="CRG",
+                gesture_specific=True,
+                seed=0,
+                window=WindowConfig(5, 1),
+            )
+        return out
+
+    results = run_once(benchmark, compare)
+    print()
+    rows = [
+        [name, f"{m.tpr:.2f}", f"{m.tnr:.2f}", f"{m.f1:.2f}"]
+        for name, m in results.items()
+    ]
+    print(
+        format_table(
+            ["architecture", "TPR", "TNR", "F1"],
+            rows,
+            title="Ablation: 1D-CNN vs LSTM gesture-specific error classifiers",
+        )
+    )
+    # Both families learn; the paper's winner (conv) must be competitive.
+    conv, lstm = results["conv"], results["lstm"]
+    assert conv.f1 > 0.3
+    assert conv.f1 > lstm.f1 - 0.15

@@ -1,0 +1,56 @@
+"""Ablation benchmark: error-detection window size (design choice).
+
+The paper uses window 5 for Suturing and 10 for Block Transfer; this
+ablation sweeps the window length for the Suturing error-classification
+step with perfect boundaries, quantifying the design choice DESIGN.md
+calls out.
+"""
+
+from conftest import run_once
+
+from repro.eval.reports import format_table
+from repro.experiments import table5
+from repro.experiments.common import get_scale
+from repro.jigsaws.synthesis import make_suturing_dataset
+
+
+def test_ablation_error_window(benchmark, scale):
+    preset = get_scale(scale)
+    dataset = make_suturing_dataset(n_demos=preset.suturing_demos, rng=0)
+
+    def sweep():
+        from repro.config import WindowConfig
+        from repro.experiments.table5 import _evaluate_setup
+
+        train, test = dataset.split_by_trials(2)
+        out = []
+        for window in (3, 5, 10):
+            metrics = _evaluate_setup(
+                train,
+                test,
+                preset,
+                architecture="conv",
+                features="CRG",
+                gesture_specific=True,
+                seed=0,
+                window=WindowConfig(window, 1),
+            )
+            out.append((window, metrics))
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    rows = [
+        [w, f"{m.tpr:.2f}", f"{m.tnr:.2f}", f"{m.ppv:.2f}", f"{m.npv:.2f}", f"{m.f1:.2f}"]
+        for w, m in results
+    ]
+    print(
+        format_table(
+            ["window", "TPR", "TNR", "PPV", "NPV", "F1"],
+            rows,
+            title="Ablation: error-classifier window size (Suturing, CRG, conv)",
+        )
+    )
+    # Every window length must produce a functioning detector.
+    for __, metrics in results:
+        assert max(metrics.tpr, metrics.tnr) > 0.5

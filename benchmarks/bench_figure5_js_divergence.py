@@ -1,0 +1,29 @@
+"""Benchmark: regenerate paper Figure 5 (erroneous-gesture JS divergence).
+
+KDE + pairwise Jensen-Shannon divergence between erroneous-gesture
+distributions of the frequent Suturing gesture classes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_js_divergence(benchmark, scale):
+    result = run_once(benchmark, lambda: figure5.run(scale=scale, seed=0))
+    print()
+    print(figure5.render(result))
+
+    matrix = result.matrix
+    # Valid divergence matrix: symmetric, zero diagonal, within [0, ln 2].
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 0.0)
+    assert matrix.max() <= np.log(2) + 1e-9
+    # The frequent classes yield enough samples to be compared at all
+    # (the paper could not for the rare ones).
+    assert len(result.gestures) >= 3
+    # There is non-trivial structure (some pairs diverge much more than
+    # others), which is the figure's point.
+    off = matrix[np.triu_indices_from(matrix, 1)]
+    assert off.max() > 2.0 * max(off.min(), 1e-6)

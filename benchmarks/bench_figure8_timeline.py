@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Figure 8 (example detection timeline).
+
+Runs one held-out demonstration through the trained monitor and prints
+the gesture/unsafe timelines with jitter and reaction-time annotations.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8_timeline(benchmark, scale):
+    result = run_once(benchmark, lambda: figure8.run(scale=scale, seed=0))
+    print()
+    print(figure8.render(result))
+
+    trajectory, output = result.trajectory, result.output
+    assert output.gestures.shape == (trajectory.n_frames,)
+    assert output.unsafe_flags.shape == (trajectory.n_frames,)
+    # The demo was chosen to contain at least one erroneous gesture.
+    assert trajectory.unsafe is not None and trajectory.unsafe.any()
+    # The reaction-time metric is defined (the monitor reacted at all)
+    # in the common case; allow nan at smoke scale.
+    assert np.isnan(result.mean_reaction_ms) or abs(result.mean_reaction_ms) < 1e5

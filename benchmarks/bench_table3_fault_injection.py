@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Table III (fault-injection campaign).
+
+Sweeps grasper-angle / Cartesian-deviation / duration cells on simulated
+Block Transfer demonstrations and prints per-cell block-drop / drop-off
+counts.  The dose-response shape must match the paper: no failures for
+low angles with short injections, ~100% drop-off failures for low angles
+with long injections, block drops rising with the injected angle.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_fault_injection(benchmark, scale):
+    rows, campaign = run_once(benchmark, lambda: table3.run(scale=scale, seed=0))
+    print()
+    print(table3.render(rows))
+
+    # Shape assertions (who wins, where the crossover falls).
+    low_short = [
+        r for r in rows if r.grasper_rad[1] <= 0.8 and r.grasper_window[1] <= 0.7
+    ]
+    assert sum(r.block_drops + r.dropoff_failures for r in low_short) == 0
+    low_long = [
+        r for r in rows if r.grasper_rad[1] <= 0.8 and r.grasper_window[1] > 0.7
+    ]
+    n_low_long = sum(r.n_injections for r in low_long)
+    dropoffs = sum(r.dropoff_failures for r in low_long)
+    assert dropoffs / n_low_long >= 0.5
+    high = [r for r in rows if r.grasper_rad[0] >= 1.1]
+    assert sum(r.block_drops for r in high) / sum(r.n_injections for r in high) > 0.7

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Table V (erroneous-gesture step, Suturing).
+
+Ablates gesture-specific vs non-specific, LSTM vs 1D-CNN and feature
+subsets with perfect gesture boundaries, printing TPR/TNR/PPV/NPV rows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5_suturing_detection(benchmark, scale):
+    rows = run_once(benchmark, lambda: table5.run(scale=scale, seed=0))
+    print()
+    print(table5.render(rows))
+
+    # All setups must be meaningfully better than coin flips on at least
+    # one side of the confusion matrix (paper band: TPR/TNR ~0.7).
+    for row in rows:
+        assert max(row.metrics.tpr, row.metrics.tnr) > 0.5
+    # The CRG feature subset performs comparably to all features
+    # (paper: "similar or better performance").
+    conv_rows = {r.features: r for r in rows if r.model == "conv" and "non" not in r.setup}
+    if "CRG" in conv_rows and "All" in conv_rows:
+        assert conv_rows["CRG"].metrics.tpr > conv_rows["All"].metrics.tpr - 0.15

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate paper Table VI (erroneous-gesture step, Block
+Transfer).
+
+Same ablation machinery as Table V on the Raven II simulator dataset
+(window 10, Cartesian + Grasper features).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table6
+
+
+def test_table6_blocktransfer_detection(benchmark, scale):
+    rows = run_once(benchmark, lambda: table6.run(scale=scale, seed=0))
+    print()
+    print(table6.render(rows))
+
+    for row in rows:
+        assert max(row.metrics.tpr, row.metrics.tnr) > 0.5
+    # The gesture-specific conv setup should at least match the
+    # non-specific one on TNR (the paper reports 0.87 vs 0.85).
+    specific = next(r for r in rows if r.setup == "gesture-specific" and r.model == "conv")
+    baseline = next(r for r in rows if r.setup == "non-gesture-specific")
+    assert specific.metrics.tnr > baseline.metrics.tnr - 0.1

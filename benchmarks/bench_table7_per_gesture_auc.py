@@ -1,0 +1,33 @@
+"""Benchmark: regenerate paper Table VII (per-gesture classifier AUCs).
+
+Prints train/test sizes, error prevalence and AUC per gesture class for
+both tasks.  The paper's detectability ordering must hold: G4 and G6 are
+the best-detected Suturing gestures, G2 the worst.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import table7
+from repro.gestures.vocabulary import Gesture
+
+
+def test_table7_per_gesture_auc(benchmark, scale):
+    rows = run_once(benchmark, lambda: table7.run(scale=scale, seed=0))
+    print()
+    print(table7.render(rows))
+
+    suturing = {
+        r.gesture: r.auc
+        for r in rows
+        if r.task == "suturing" and not np.isnan(r.auc)
+    }
+    # Paper ordering: G4/G6 ~0.93 dominate; G2 ~0.50 is worst.
+    if Gesture.G4 in suturing and Gesture.G2 in suturing:
+        assert suturing[Gesture.G4] > suturing[Gesture.G2]
+    if Gesture.G6 in suturing and Gesture.G2 in suturing:
+        assert suturing[Gesture.G6] > suturing[Gesture.G2]
+    # Error prevalences must follow Table VII's profile.
+    prevalence = {r.gesture: r.train_error_pct for r in rows if r.task == "suturing"}
+    if Gesture.G4 in prevalence and Gesture.G5 in prevalence:
+        assert prevalence[Gesture.G4] > prevalence[Gesture.G5]

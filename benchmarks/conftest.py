@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure and prints its rows.
+The data/model scale is selected with the ``REPRO_BENCH_SCALE``
+environment variable (``smoke`` | ``fast`` | ``full``); the default
+``smoke`` keeps the whole suite in CPU-minutes.  Training-based
+benchmarks run a single round (they are experiments, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """Scale preset for this benchmark session."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The selected scale preset name."""
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Real-Time Context-aware Detection of Unsafe
+Events in Robot-Assisted Surgery" (Yasar & Alemzadeh, DSN 2020).
+
+The package provides, from the bottom up:
+
+- :mod:`repro.nn` — a numpy deep-learning framework (LSTM, 1D-CNN, Adam,
+  batch-norm, dropout, early stopping) standing in for Keras/TensorFlow;
+- :mod:`repro.kinematics` — the JIGSAWS 19-variable-per-arm kinematics
+  schema, sliding windows and trajectory containers;
+- :mod:`repro.gestures` — the surgical gesture vocabulary, the Table II
+  error rubric and Markov-chain task grammars (paper Figure 3);
+- :mod:`repro.simulation` — a pure-Python Raven II / Block Transfer
+  simulator with a virtual camera (the paper's ROS Gazebo environment);
+- :mod:`repro.jigsaws` — a synthetic JIGSAWS-style dataset generator
+  (the paper's dVRK data);
+- :mod:`repro.faults` — the software fault-injection tool and the
+  Table III campaign;
+- :mod:`repro.vision` — SSIM / thresholding / contour tracking / DTW for
+  automated error labeling;
+- :mod:`repro.baselines` — SC-CRF-like and SDSDL-like gesture-recognition
+  comparators;
+- :mod:`repro.core` — the paper's contribution: the context-aware safety
+  monitoring pipeline;
+- :mod:`repro.eval` — metrics (accuracy, TPR/TNR/PPV/NPV, F1, ROC/AUC,
+  jitter, reaction time) and report formatting;
+- :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+from .config import (
+    JIGSAWS_FRAME_RATE_HZ,
+    MonitorConfig,
+    RAVEN_DEFAULT_SAMPLE_RATE_HZ,
+    TrainingConfig,
+    WindowConfig,
+    as_generator,
+    frames_to_ms,
+    ms_to_frames,
+)
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    FaultInjectionError,
+    GestureError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DatasetError",
+    "FaultInjectionError",
+    "GestureError",
+    "JIGSAWS_FRAME_RATE_HZ",
+    "MonitorConfig",
+    "NotFittedError",
+    "RAVEN_DEFAULT_SAMPLE_RATE_HZ",
+    "ReproError",
+    "ShapeError",
+    "SimulationError",
+    "TrainingConfig",
+    "WindowConfig",
+    "__version__",
+    "as_generator",
+    "frames_to_ms",
+    "ms_to_frames",
+]

@@ -1,0 +1,32 @@
+"""Gesture-recognition comparators for paper Table IV.
+
+The paper compares its stacked-LSTM gesture classifier against two
+kinematics-only methods from the literature:
+
+- **SC-CRF** (Lea et al., 2015): a skip-chain conditional random field
+  capturing transitions over longer frame horizons.  Reimplemented here
+  as a :class:`~repro.baselines.sccrf.SkipChainCRF` — a structured
+  perceptron with frame unaries, chain transitions and skip transitions,
+  decoded with Viterbi + skip refinement.
+- **SDSDL** (Sefati et al., 2015): shared discriminative sparse
+  dictionary learning.  Reimplemented as
+  :class:`~repro.baselines.sdsdl.SDSDL` — dictionary learning (MOD
+  updates + orthogonal matching pursuit) with a one-vs-rest linear SVM
+  on the sparse codes.
+
+Both are simplified relative to the original systems but exercise the
+same model families, so the Table IV comparison retains its meaning.
+"""
+
+from .dictionary import DictionaryLearner, omp_encode
+from .sccrf import SkipChainCRF
+from .sdsdl import SDSDL
+from .svm import LinearSVM
+
+__all__ = [
+    "DictionaryLearner",
+    "LinearSVM",
+    "SDSDL",
+    "SkipChainCRF",
+    "omp_encode",
+]

@@ -1,0 +1,152 @@
+"""Sparse dictionary learning: OMP coding + MOD dictionary updates.
+
+The coding/learning core of the SDSDL comparator.  Signals are encoded
+with Orthogonal Matching Pursuit at a fixed sparsity level; the
+dictionary is refit in closed form between coding passes (Method of
+Optimal Directions) with renormalised, dead-atom-replaced columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError, NotFittedError, ShapeError
+
+
+def omp_encode(
+    signals: np.ndarray, dictionary: np.ndarray, sparsity: int
+) -> np.ndarray:
+    """Orthogonal Matching Pursuit codes for a batch of signals.
+
+    Parameters
+    ----------
+    signals:
+        Array of shape ``(n, d)``.
+    dictionary:
+        Atom matrix of shape ``(k, d)`` with unit-norm rows.
+    sparsity:
+        Number of atoms selected per signal.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sparse codes of shape ``(n, k)``.
+    """
+    signals = np.asarray(signals, dtype=float)
+    dictionary = np.asarray(dictionary, dtype=float)
+    if signals.ndim != 2 or dictionary.ndim != 2:
+        raise ShapeError("signals and dictionary must be 2-D")
+    if signals.shape[1] != dictionary.shape[1]:
+        raise ShapeError(
+            f"signal dim {signals.shape[1]} != atom dim {dictionary.shape[1]}"
+        )
+    k = dictionary.shape[0]
+    if not 1 <= sparsity <= k:
+        raise ConfigurationError("sparsity must be in [1, n_atoms]")
+    codes = np.zeros((signals.shape[0], k))
+    atoms_t = dictionary.T  # (d, k)
+    for i in range(signals.shape[0]):
+        residual = signals[i].copy()
+        selected: list[int] = []
+        for _ in range(sparsity):
+            correlations = residual @ atoms_t
+            correlations[selected] = 0.0
+            best = int(np.argmax(np.abs(correlations)))
+            if abs(correlations[best]) < 1e-12:
+                break
+            selected.append(best)
+            sub = dictionary[selected]  # (s, d)
+            gram = sub @ sub.T
+            coef, *_ = np.linalg.lstsq(gram, sub @ signals[i], rcond=None)
+            residual = signals[i] - coef @ sub
+        if selected:
+            codes[i, selected] = coef
+    return codes
+
+
+class DictionaryLearner:
+    """MOD dictionary learning with OMP sparse coding.
+
+    Parameters
+    ----------
+    n_atoms:
+        Dictionary size ``k``.
+    sparsity:
+        OMP sparsity level per signal.
+    n_iterations:
+        Alternations of (code, update).
+    """
+
+    def __init__(
+        self,
+        n_atoms: int = 64,
+        sparsity: int = 4,
+        n_iterations: int = 8,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_atoms < 2:
+            raise ConfigurationError("n_atoms must be >= 2")
+        if n_iterations < 1:
+            raise ConfigurationError("n_iterations must be >= 1")
+        self.n_atoms = int(n_atoms)
+        self.sparsity = int(sparsity)
+        self.n_iterations = int(n_iterations)
+        self._rng = as_generator(seed)
+        self.dictionary: np.ndarray | None = None  # (k, d)
+
+    def fit(self, signals: np.ndarray) -> "DictionaryLearner":
+        """Learn the dictionary from ``(n, d)`` training signals."""
+        signals = np.asarray(signals, dtype=float)
+        if signals.ndim != 2 or signals.shape[0] < self.n_atoms:
+            raise ShapeError(
+                "signals must be (n >= n_atoms, d); got "
+                f"{signals.shape} with n_atoms={self.n_atoms}"
+            )
+        # Init from random training signals (standard K-SVD practice).
+        pick = self._rng.permutation(signals.shape[0])[: self.n_atoms]
+        dictionary = signals[pick].copy()
+        dictionary = _normalise_rows(dictionary, self._rng)
+
+        for _ in range(self.n_iterations):
+            codes = omp_encode(signals, dictionary, self.sparsity)
+            # MOD: D = argmin ||X - C D||^2 = (C^T C + eps I)^-1 C^T X.
+            gram = codes.T @ codes + 1e-8 * np.eye(self.n_atoms)
+            dictionary = np.linalg.solve(gram, codes.T @ signals)
+            dictionary = _replace_dead_atoms(dictionary, signals, codes, self._rng)
+            dictionary = _normalise_rows(dictionary, self._rng)
+        self.dictionary = dictionary
+        return self
+
+    def encode(self, signals: np.ndarray) -> np.ndarray:
+        """Sparse codes for new signals."""
+        if self.dictionary is None:
+            raise NotFittedError("DictionaryLearner must be fitted first")
+        return omp_encode(signals, self.dictionary, self.sparsity)
+
+
+def _normalise_rows(matrix: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    zero = norms[:, 0] < 1e-12
+    if zero.any():
+        matrix[zero] = rng.standard_normal((int(zero.sum()), matrix.shape[1]))
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / norms
+
+
+def _replace_dead_atoms(
+    dictionary: np.ndarray,
+    signals: np.ndarray,
+    codes: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Re-seed atoms that no signal uses with poorly-represented signals."""
+    usage = np.abs(codes).sum(axis=0)
+    dead = np.flatnonzero(usage < 1e-12)
+    if dead.size == 0:
+        return dictionary
+    reconstruction = codes @ dictionary
+    errors = ((signals - reconstruction) ** 2).sum(axis=1)
+    worst = np.argsort(-errors)[: dead.size]
+    dictionary[dead] = signals[worst]
+    return dictionary

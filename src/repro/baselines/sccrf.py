@@ -1,0 +1,150 @@
+"""Skip-chain CRF-style structured sequence labeler.
+
+A structured-perceptron reimplementation of the SC-CRF comparator of
+paper Table IV: per-frame unary potentials plus two pairwise potential
+families — adjacent-frame transitions and *skip* transitions between
+frames ``d`` apart (capturing gesture-transition statistics over longer
+horizons, the core idea of the skip-chain model).
+
+Exact inference in a skip-chain is intractable, so decoding follows the
+standard two-pass approximation: a chain-only Viterbi pass, then a second
+Viterbi pass whose unaries are augmented with skip potentials evaluated
+against the first-pass labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError, NotFittedError, ShapeError
+
+
+class SkipChainCRF:
+    """Averaged structured perceptron with chain + skip transitions.
+
+    Parameters
+    ----------
+    n_classes:
+        Size of the label set (labels are 0-based class indices).
+    skip:
+        Skip-edge distance in frames.
+    epochs:
+        Training passes over the sequence set.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        skip: int = 15,
+        epochs: int = 3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_classes < 2:
+            raise ConfigurationError("n_classes must be >= 2")
+        if skip < 1:
+            raise ConfigurationError("skip must be >= 1")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        self.n_classes = int(n_classes)
+        self.skip = int(skip)
+        self.epochs = int(epochs)
+        self._rng = as_generator(seed)
+        self.unary: np.ndarray | None = None  # (n_classes, n_features + 1)
+        self.trans: np.ndarray | None = None  # (n_classes, n_classes)
+        self.skip_trans: np.ndarray | None = None  # (n_classes, n_classes)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, sequences: list[np.ndarray], labels: list[np.ndarray]
+    ) -> "SkipChainCRF":
+        """Train on ``(features, labels)`` sequence pairs.
+
+        ``sequences[i]`` has shape ``(n_i, d)``; ``labels[i]`` shape
+        ``(n_i,)`` with 0-based class indices.
+        """
+        if not sequences or len(sequences) != len(labels):
+            raise ShapeError("sequences and labels must be equal-length, non-empty")
+        d = sequences[0].shape[1]
+        self.unary = np.zeros((self.n_classes, d + 1))
+        self.trans = np.zeros((self.n_classes, self.n_classes))
+        self.skip_trans = np.zeros((self.n_classes, self.n_classes))
+        # Averaged-perceptron accumulators.
+        acc_u = np.zeros_like(self.unary)
+        acc_t = np.zeros_like(self.trans)
+        acc_s = np.zeros_like(self.skip_trans)
+        updates = 0
+
+        for _ in range(self.epochs):
+            order = self._rng.permutation(len(sequences))
+            for idx in order:
+                x = _augment(sequences[idx])
+                y_true = np.asarray(labels[idx]).astype(int)
+                y_pred = self._decode(x)
+                if np.array_equal(y_pred, y_true):
+                    continue
+                self._perceptron_update(x, y_true, +1.0)
+                self._perceptron_update(x, y_pred, -1.0)
+                acc_u += self.unary
+                acc_t += self.trans
+                acc_s += self.skip_trans
+                updates += 1
+        if updates:
+            self.unary = acc_u / updates
+            self.trans = acc_t / updates
+            self.skip_trans = acc_s / updates
+        self._fitted = True
+        return self
+
+    def _perceptron_update(self, x_aug: np.ndarray, y: np.ndarray, sign: float) -> None:
+        assert self.unary is not None and self.trans is not None
+        assert self.skip_trans is not None
+        n = x_aug.shape[0]
+        np.add.at(self.unary, y, sign * x_aug)
+        if n > 1:
+            np.add.at(self.trans, (y[:-1], y[1:]), sign)
+        if n > self.skip:
+            np.add.at(self.skip_trans, (y[: -self.skip], y[self.skip :]), sign)
+
+    # ------------------------------------------------------------------
+    def predict(self, sequence: np.ndarray) -> np.ndarray:
+        """Label a feature sequence of shape ``(n, d)``."""
+        if not self._fitted:
+            raise NotFittedError("SkipChainCRF must be fitted first")
+        return self._decode(_augment(np.asarray(sequence, dtype=float)))
+
+    def _decode(self, x_aug: np.ndarray) -> np.ndarray:
+        assert self.unary is not None and self.trans is not None
+        assert self.skip_trans is not None
+        scores = x_aug @ self.unary.T  # (n, n_classes)
+        first_pass = _viterbi(scores, self.trans)
+        if x_aug.shape[0] <= self.skip:
+            return first_pass
+        # Second pass: skip potentials against first-pass labels.
+        augmented = scores.copy()
+        n = x_aug.shape[0]
+        augmented[self.skip :] += self.skip_trans[first_pass[: n - self.skip]]
+        return _viterbi(augmented, self.trans)
+
+
+def _augment(x: np.ndarray) -> np.ndarray:
+    if x.ndim != 2:
+        raise ShapeError(f"sequence must be (n, d), got {x.shape}")
+    return np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+
+
+def _viterbi(unary_scores: np.ndarray, transition: np.ndarray) -> np.ndarray:
+    """Max-sum decoding of a linear chain."""
+    n, k = unary_scores.shape
+    delta = unary_scores[0].copy()
+    backpointers = np.empty((n, k), dtype=int)
+    for t in range(1, n):
+        candidate = delta[:, None] + transition  # (from, to)
+        backpointers[t] = np.argmax(candidate, axis=0)
+        delta = candidate[backpointers[t], np.arange(k)] + unary_scores[t]
+    path = np.empty(n, dtype=int)
+    path[-1] = int(np.argmax(delta))
+    for t in range(n - 1, 0, -1):
+        path[t - 1] = backpointers[t, path[t]]
+    return path

@@ -1,0 +1,94 @@
+"""SDSDL-style gesture classifier: sparse dictionary + linear SVM.
+
+A simplified reimplementation of the "Shared Discriminative Sparse
+Dictionary Learning" comparator of paper Table IV: a shared dictionary is
+learned over windowed kinematics; each window's sparse code feeds a
+one-vs-rest linear SVM.  (The original learns the dictionary and the SVM
+jointly; this version alternates — learn dictionary, then SVM — which
+keeps the model family while simplifying the optimisation.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import NotFittedError, ShapeError
+from ..nn.preprocessing import StandardScaler
+from .dictionary import DictionaryLearner
+from .svm import LinearSVM
+
+
+class SDSDL:
+    """Dictionary-learning + linear-SVM gesture classifier.
+
+    Parameters
+    ----------
+    n_atoms / sparsity / dict_iterations:
+        Dictionary-learning hyper-parameters.
+    svm_lambda / svm_epochs:
+        SVM hyper-parameters.
+    max_dict_signals:
+        Training signals used for dictionary learning (OMP over the full
+        set is expensive; a random subset is standard practice).
+    """
+
+    def __init__(
+        self,
+        n_atoms: int = 48,
+        sparsity: int = 4,
+        dict_iterations: int = 6,
+        svm_lambda: float = 1e-4,
+        svm_epochs: int = 4,
+        max_dict_signals: int = 3000,
+        seed: int = 0,
+    ) -> None:
+        self.scaler = StandardScaler()
+        self.dictionary = DictionaryLearner(
+            n_atoms=n_atoms,
+            sparsity=sparsity,
+            n_iterations=dict_iterations,
+            seed=seed,
+        )
+        self.svm = LinearSVM(reg_lambda=svm_lambda, epochs=svm_epochs, seed=seed + 1)
+        self.max_dict_signals = int(max_dict_signals)
+        self._rng = as_generator(seed + 2)
+        self._fitted = False
+
+    @staticmethod
+    def _flatten(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 3:
+            return x.reshape(x.shape[0], -1)
+        if x.ndim == 2:
+            return x
+        raise ShapeError(f"windows must be 2-D or 3-D, got shape {x.shape}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SDSDL":
+        """Train on windows ``x`` with 0-based gesture class labels ``y``."""
+        flat = self.scaler.fit_transform(self._flatten(x))
+        y = np.asarray(y).astype(int).reshape(-1)
+        if flat.shape[0] != y.shape[0]:
+            raise ShapeError("x and y must have equal rows")
+        subset = flat
+        if flat.shape[0] > self.max_dict_signals:
+            pick = self._rng.permutation(flat.shape[0])[: self.max_dict_signals]
+            subset = flat[pick]
+        self.dictionary.fit(subset)
+        codes = self.dictionary.encode(flat)
+        self.svm.fit(codes, y)
+        self._fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted 0-based gesture class labels."""
+        if not self._fitted:
+            raise NotFittedError("SDSDL must be fitted first")
+        flat = self.scaler.transform(self._flatten(x))
+        codes = self.dictionary.encode(flat)
+        return self.svm.predict(codes)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on labelled windows."""
+        y = np.asarray(y).astype(int).reshape(-1)
+        return float((self.predict(x) == y).mean())

@@ -1,0 +1,80 @@
+"""Linear multi-class SVM trained with Pegasos-style SGD.
+
+Used by the SDSDL baseline (the original couples dictionary learning
+with a multi-class linear SVM) and available standalone for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError, NotFittedError, ShapeError
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with L2 regularisation (hinge loss).
+
+    Parameters
+    ----------
+    reg_lambda:
+        L2 regularisation strength (Pegasos ``lambda``).
+    epochs:
+        Passes over the training set.
+    """
+
+    def __init__(
+        self,
+        reg_lambda: float = 1e-4,
+        epochs: int = 5,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if reg_lambda <= 0:
+            raise ConfigurationError("reg_lambda must be positive")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        self.reg_lambda = float(reg_lambda)
+        self.epochs = int(epochs)
+        self._rng = as_generator(seed)
+        self.weights: np.ndarray | None = None  # (n_classes, n_features + 1)
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Train one binary SVM per class (one-vs-rest)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).astype(int).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ShapeError("x must be (n, d) with labels of matching length")
+        self.classes_ = np.unique(y)
+        n, d = x.shape
+        x_aug = np.concatenate([x, np.ones((n, 1))], axis=1)
+        self.weights = np.zeros((self.classes_.size, d + 1))
+        for c_idx, cls in enumerate(self.classes_):
+            targets = np.where(y == cls, 1.0, -1.0)
+            w = self.weights[c_idx]
+            t = 0
+            for epoch in range(self.epochs):
+                order = self._rng.permutation(n)
+                for i in order:
+                    t += 1
+                    eta = 1.0 / (self.reg_lambda * t)
+                    margin = targets[i] * float(x_aug[i] @ w)
+                    w *= 1.0 - eta * self.reg_lambda
+                    if margin < 1.0:
+                        w += eta * targets[i] * x_aug[i]
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Per-class scores, shape ``(n, n_classes)``."""
+        if self.weights is None or self.classes_ is None:
+            raise NotFittedError("LinearSVM must be fitted first")
+        x = np.asarray(x, dtype=float)
+        x_aug = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+        return x_aug @ self.weights.T
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        assert self.classes_ is not None or self.decision_function(x) is not None
+        scores = self.decision_function(x)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(scores, axis=1)]

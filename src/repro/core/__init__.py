@@ -1,0 +1,34 @@
+"""The context-aware safety monitoring pipeline (paper Section III).
+
+- :mod:`~repro.core.gesture_classifier` — stacked-LSTM surgical gesture
+  segmentation and classification (operational-context inference);
+- :mod:`~repro.core.error_classifiers` — the library of gesture-specific
+  erroneous-gesture classifiers (1D-CNN / LSTM);
+- :mod:`~repro.core.baseline_monitor` — the non-context-specific single
+  classifier baseline;
+- :mod:`~repro.core.pipeline` — the end-to-end online
+  :class:`SafetyMonitor` combining both stages;
+- :mod:`~repro.core.reaction` — per-demonstration timing evaluation
+  (Figure 8 semantics);
+- :mod:`~repro.core.divergence` — erroneous-gesture distribution analysis
+  with Gaussian KDE + Jensen-Shannon divergence (Figure 5).
+"""
+
+from .baseline_monitor import BaselineMonitor
+from .divergence import js_divergence_matrix, pairwise_divergence_report
+from .error_classifiers import ErrorClassifier, ErrorClassifierLibrary
+from .gesture_classifier import GestureClassifier
+from .pipeline import MonitorOutput, SafetyMonitor
+from .reaction import evaluate_timing
+
+__all__ = [
+    "BaselineMonitor",
+    "ErrorClassifier",
+    "ErrorClassifierLibrary",
+    "GestureClassifier",
+    "MonitorOutput",
+    "SafetyMonitor",
+    "evaluate_timing",
+    "js_divergence_matrix",
+    "pairwise_divergence_report",
+]

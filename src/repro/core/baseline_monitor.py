@@ -1,0 +1,52 @@
+"""The non-context-specific baseline monitor.
+
+The paper's baseline (Section III / V-B): a single binary classifier
+trained on all kinematics windows with safe/unsafe labels and *no* notion
+of the current gesture.  It reuses :class:`ErrorClassifier` with
+``gesture=None`` so the architecture families match the context-specific
+library exactly — the comparison isolates the value of context.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import NotFittedError
+from ..jigsaws.dataset import WindowedData
+from .error_classifiers import ErrorClassifier, ErrorClassifierConfig
+
+
+class BaselineMonitor:
+    """Single safe/unsafe classifier with no operational context."""
+
+    def __init__(
+        self,
+        config: ErrorClassifierConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.classifier = ErrorClassifier(gesture=None, config=config, seed=seed)
+        self._fitted = False
+
+    def fit(self, data: WindowedData, verbose: bool = False) -> None:
+        """Train on every window of the dataset, ignoring gesture labels."""
+        self.classifier.fit(data.x, data.unsafe, verbose=verbose)
+        self._fitted = True
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Unsafe probability per window."""
+        self._check_fitted()
+        return self.classifier.predict_proba(x)
+
+    def timed_predict_proba(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        """(probabilities, mean milliseconds per window)."""
+        self._check_fitted()
+        start = time.perf_counter()
+        probs = self.classifier.predict_proba(x)
+        elapsed = 1000.0 * (time.perf_counter() - start) / max(np.asarray(x).shape[0], 1)
+        return probs, elapsed
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("BaselineMonitor must be fitted first")

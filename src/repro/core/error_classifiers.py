@@ -1,0 +1,220 @@
+"""The library of gesture-specific erroneous-gesture classifiers.
+
+The second stage of the monitoring pipeline (paper Section III,
+"Erroneous Gesture Detection"): one binary classifier per gesture class,
+trained on that gesture's kinematics windows to output
+``p(erroneous | gesture, window)``.  The paper's best architectures are
+1D-CNNs and LSTMs over windows of 5 (Suturing) or 10 (Block Transfer)
+frames; both families are available here via ``architecture``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..config import TrainingConfig, WindowConfig
+from ..errors import DatasetError, NotFittedError
+from ..gestures.vocabulary import Gesture
+from ..jigsaws.dataset import WindowedData
+
+
+@dataclass
+class ErrorClassifierConfig:
+    """Architecture/training parameters of one binary error classifier.
+
+    ``architecture`` selects the model family: ``"conv"`` (1D-CNN, the
+    paper's best) or ``"lstm"``.  ``hidden`` are the conv filter counts /
+    LSTM widths by layer; ``dense_units`` the fully-connected head width.
+    """
+
+    architecture: str = "conv"
+    hidden: tuple[int, ...] = (32, 16)
+    dense_units: int = 16
+    dropout: float = 0.2
+    use_batch_norm: bool = True
+    training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(learning_rate=1e-3, max_epochs=15)
+    )
+    #: Cap on training windows (stratified); None = use everything.
+    max_train_windows: int | None = 8000
+
+
+class ErrorClassifier:
+    """Binary safe/unsafe classifier for a single gesture's windows."""
+
+    def __init__(
+        self,
+        gesture: Gesture | None,
+        config: ErrorClassifierConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.gesture = gesture
+        self.config = config or ErrorClassifierConfig()
+        self.seed = seed
+        self.model: nn.Sequential | None = None
+        self.scaler = nn.StandardScaler()
+        self._fitted = False
+        self.threshold = 0.5
+
+    # ------------------------------------------------------------------
+    def _build_model(self, positive_weight: float) -> nn.Sequential:
+        cfg = self.config
+        layers: list[nn.Layer] = []
+        if cfg.architecture == "conv":
+            for filters in cfg.hidden:
+                layers.append(nn.Conv1D(filters, kernel_size=3, padding="same"))
+                layers.append(nn.ReLU())
+            if cfg.use_batch_norm:
+                layers.append(nn.BatchNorm())
+            layers.append(nn.GlobalAveragePool1D())
+        elif cfg.architecture == "lstm":
+            for i, units in enumerate(cfg.hidden):
+                last = i == len(cfg.hidden) - 1
+                layers.append(nn.LSTM(units, return_sequences=not last))
+            if cfg.use_batch_norm:
+                layers.append(nn.BatchNorm())
+        else:
+            raise DatasetError(f"unknown architecture {cfg.architecture!r}")
+        layers.append(nn.Dense(cfg.dense_units))
+        layers.append(nn.ReLU())
+        if cfg.dropout > 0:
+            layers.append(nn.Dropout(cfg.dropout))
+        layers.append(nn.Dense(1))
+        model = nn.Sequential(layers, seed=self.seed)
+        model.compile(
+            loss=nn.SigmoidBinaryCrossEntropy(positive_weight=positive_weight),
+            optimizer=nn.Adam(cfg.training.learning_rate),
+        )
+        return model
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray, verbose: bool = False) -> nn.History:
+        """Train on windows ``x`` with binary unsafe labels ``y``.
+
+        The positive class is weighted inversely to its prevalence,
+        compensating the strong imbalance of several gesture classes
+        (paper Table VII: error rates from 4% to 79%).
+        """
+        cfg = self.config
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).astype(int).reshape(-1)
+        if x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise DatasetError("x and y must be non-empty with equal rows")
+        if len(np.unique(y)) < 2:
+            raise DatasetError(
+                "training data needs both safe and unsafe examples"
+            )
+        if cfg.max_train_windows is not None and x.shape[0] > cfg.max_train_windows:
+            rng = np.random.default_rng(self.seed)
+            pick = rng.permutation(x.shape[0])[: cfg.max_train_windows]
+            x, y = x[pick], y[pick]
+            if len(np.unique(y)) < 2:  # pathological subsample; rebalance
+                x, y = np.asarray(x), np.asarray(y)
+                raise DatasetError("subsample lost one class; lower the cap")
+        x = self.scaler.fit_transform(x)
+        positive_rate = float(y.mean())
+        positive_weight = float(np.clip((1 - positive_rate) / max(positive_rate, 1e-3), 0.2, 10.0))
+        x_tr, y_tr, x_val, y_val = nn.train_val_split(
+            x, y, cfg.training.validation_fraction, rng=self.seed, stratify=True
+        )
+        self.model = self._build_model(positive_weight)
+        callbacks = [
+            nn.LearningRateScheduler(
+                nn.StepDecay(
+                    cfg.training.learning_rate,
+                    factor=cfg.training.lr_decay_factor,
+                    every=cfg.training.lr_decay_every,
+                )
+            ),
+            nn.EarlyStopping(patience=cfg.training.early_stopping_patience),
+        ]
+        history = self.model.fit(
+            x_tr,
+            y_tr,
+            epochs=cfg.training.max_epochs,
+            batch_size=cfg.training.batch_size,
+            validation_data=(x_val, y_val),
+            callbacks=callbacks,
+            verbose=verbose,
+        )
+        self._fitted = True
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Unsafe probability per window."""
+        self._check_fitted()
+        assert self.model is not None
+        x = self.scaler.transform(np.asarray(x, dtype=float))
+        return self.model.predict_proba(x).reshape(-1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Binary unsafe decision per window (threshold 0.5 by default)."""
+        return (self.predict_proba(x) >= self.threshold).astype(int)
+
+    def timed_predict_proba(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        """(probabilities, mean milliseconds per window)."""
+        start = time.perf_counter()
+        probs = self.predict_proba(x)
+        elapsed = 1000.0 * (time.perf_counter() - start) / max(x.shape[0], 1)
+        return probs, elapsed
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("ErrorClassifier must be fitted first")
+
+
+class ErrorClassifierLibrary:
+    """One :class:`ErrorClassifier` per gesture (the paper's "library").
+
+    Gestures whose training data has a single class (e.g. gestures with
+    no rubric errors) are recorded as *constant* classifiers that always
+    answer safe — matching the paper, where G10/G11 have "no common
+    errors and hence no reaction times".
+    """
+
+    def __init__(
+        self,
+        config: ErrorClassifierConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ErrorClassifierConfig()
+        self.seed = seed
+        self.classifiers: dict[Gesture, ErrorClassifier] = {}
+        self.constant_gestures: set[Gesture] = set()
+
+    # ------------------------------------------------------------------
+    def fit(self, data: WindowedData, verbose: bool = False) -> None:
+        """Train a classifier per gesture present in ``data``."""
+        present = np.unique(data.gesture)
+        for class_idx in present:
+            gesture = Gesture.from_class_index(int(class_idx))
+            subset = data.for_gesture(gesture)
+            if subset.n_windows < 20 or len(np.unique(subset.unsafe)) < 2:
+                self.constant_gestures.add(gesture)
+                continue
+            clf = ErrorClassifier(gesture, self.config, seed=self.seed + int(class_idx))
+            clf.fit(subset.x, subset.unsafe, verbose=verbose)
+            self.classifiers[gesture] = clf
+
+    def has_classifier(self, gesture: Gesture) -> bool:
+        """True when a trained (non-constant) classifier exists."""
+        return gesture in self.classifiers
+
+    def predict_proba(self, gesture: Gesture, x: np.ndarray) -> np.ndarray:
+        """Unsafe probabilities from the gesture's classifier.
+
+        Constant/unknown gestures yield all-zero probabilities (safe).
+        """
+        clf = self.classifiers.get(gesture)
+        if clf is None:
+            return np.zeros(np.asarray(x).shape[0])
+        return clf.predict_proba(x)
+
+    def gestures(self) -> list[Gesture]:
+        """Gestures with trained classifiers, ascending."""
+        return sorted(self.classifiers, key=int)

@@ -1,0 +1,119 @@
+"""Per-demonstration timing evaluation (paper Figure 8 semantics).
+
+Ties the monitor's frame-level outputs to the jitter / reaction-time /
+early-detection metrics of :mod:`repro.eval.timing`, producing the
+quantities reported in paper Tables VIII and IX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import frames_to_ms
+from ..errors import DatasetError
+from ..eval.timing import early_detection_percentage, gesture_jitter, reaction_times
+from ..kinematics.trajectory import Trajectory
+from .pipeline import MonitorOutput
+
+
+@dataclass
+class TimingReport:
+    """Aggregated timing metrics over a set of demonstrations.
+
+    All frame-denominated aggregates are also exposed in milliseconds at
+    the trajectories' frame rate.
+    """
+
+    frame_rate_hz: float
+    #: (gesture, reaction_frames) per detected erroneous occurrence.
+    reactions: list[tuple[int | None, float]] = field(default_factory=list)
+    #: gesture -> jitter samples (frames), over all occurrences.
+    jitter: dict[int, list[float]] = field(default_factory=dict)
+    #: gesture -> jitter samples (frames), erroneous occurrences only.
+    jitter_erroneous: dict[int, list[float]] = field(default_factory=dict)
+    #: total / correctly-labeled frame counts per gesture (detection acc).
+    gesture_frames: dict[int, int] = field(default_factory=dict)
+    gesture_correct: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def mean_reaction_frames(self, gesture: int | None = None) -> float:
+        """Mean reaction time in frames (positive = early)."""
+        values = [
+            r for g, r in self.reactions if gesture is None or g == gesture
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    def mean_reaction_ms(self, gesture: int | None = None) -> float:
+        """Mean reaction time in milliseconds."""
+        return frames_to_ms(self.mean_reaction_frames(gesture), self.frame_rate_hz)
+
+    def std_reaction_ms(self) -> float:
+        """Standard deviation of reaction times in milliseconds."""
+        values = [r for _, r in self.reactions]
+        if not values:
+            return float("nan")
+        return frames_to_ms(float(np.std(values)), self.frame_rate_hz)
+
+    def early_detection_pct(self) -> float:
+        """Percentage of erroneous occurrences detected early."""
+        return early_detection_percentage(self.reactions)
+
+    def mean_jitter_ms(self, gesture: int, erroneous_only: bool = False) -> float:
+        """Mean gesture-detection jitter in milliseconds."""
+        source = self.jitter_erroneous if erroneous_only else self.jitter
+        values = source.get(gesture, [])
+        if not values:
+            return float("nan")
+        return frames_to_ms(float(np.mean(values)), self.frame_rate_hz)
+
+    def gesture_accuracy(self, gesture: int) -> float:
+        """Frame-level detection accuracy of one gesture class."""
+        total = self.gesture_frames.get(gesture, 0)
+        if not total:
+            return float("nan")
+        return self.gesture_correct.get(gesture, 0) / total
+
+
+def evaluate_timing(
+    pairs: list[tuple[Trajectory, MonitorOutput]],
+) -> TimingReport:
+    """Compute the paper's timing metrics over monitored demonstrations.
+
+    Parameters
+    ----------
+    pairs:
+        ``(annotated_trajectory, monitor_output)`` pairs; trajectories
+        need gesture and unsafe labels.
+    """
+    if not pairs:
+        raise DatasetError("at least one (trajectory, output) pair is required")
+    report = TimingReport(frame_rate_hz=pairs[0][0].frame_rate_hz)
+    for trajectory, output in pairs:
+        if trajectory.gestures is None or trajectory.unsafe is None:
+            raise DatasetError("timing evaluation needs gesture + unsafe labels")
+        report.reactions.extend(
+            reaction_times(
+                trajectory.unsafe, output.unsafe_flags, trajectory.gestures
+            )
+        )
+        for gesture, samples in gesture_jitter(
+            trajectory.gestures, output.gestures
+        ).items():
+            report.jitter.setdefault(gesture, []).extend(samples)
+        for gesture, samples in gesture_jitter(
+            trajectory.gestures,
+            output.gestures,
+            restrict_to=trajectory.unsafe.astype(bool),
+        ).items():
+            report.jitter_erroneous.setdefault(gesture, []).extend(samples)
+        for gesture in np.unique(trajectory.gestures):
+            mask = trajectory.gestures == gesture
+            report.gesture_frames[int(gesture)] = report.gesture_frames.get(
+                int(gesture), 0
+            ) + int(mask.sum())
+            report.gesture_correct[int(gesture)] = report.gesture_correct.get(
+                int(gesture), 0
+            ) + int((output.gestures[mask] == gesture).sum())
+    return report

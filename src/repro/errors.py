@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything originating from this package with a single ``except``
+clause while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument had an incompatible shape or dimensionality."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before training."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed, empty, or inconsistent with its metadata."""
+
+
+class SimulationError(ReproError):
+    """The surgical-robot simulator entered an invalid state."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification cannot be applied to the given trajectory."""
+
+
+class GestureError(ReproError, ValueError):
+    """An unknown or out-of-vocabulary surgical gesture was referenced."""

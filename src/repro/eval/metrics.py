@@ -1,0 +1,141 @@
+"""Confusion-matrix metrics.
+
+The paper evaluates the erroneous-gesture classifiers with TPR, TNR, PPV
+and NPV (Tables V-VI) and the overall pipeline with micro-averaged F1
+(Table VIII).  The positive class throughout is "unsafe/erroneous".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check_binary(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(int).reshape(-1)
+    y_pred = np.asarray(y_pred).astype(int).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} disagree"
+        )
+    if y_true.size == 0:
+        raise ShapeError("empty label arrays")
+    for arr, name in ((y_true, "y_true"), (y_pred, "y_pred")):
+        if not np.isin(arr, (0, 1)).all():
+            raise ShapeError(f"{name} must be binary (0/1)")
+    return y_true, y_pred
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class i predicted j."""
+    y_true = np.asarray(y_true).astype(int).reshape(-1)
+    y_pred = np.asarray(y_pred).astype(int).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError("y_true and y_pred must have equal length")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError("y_true and y_pred must have equal length")
+    if y_true.size == 0:
+        raise ShapeError("empty label arrays")
+    return float((y_true == y_pred).mean())
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """TPR/TNR/PPV/NPV/F1 of a binary classifier (positive = unsafe).
+
+    Undefined ratios (zero denominators) are reported as ``nan``.
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall / sensitivity)."""
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else float("nan")
+
+    @property
+    def tnr(self) -> float:
+        """True negative rate (specificity)."""
+        return self.tn / (self.tn + self.fp) if (self.tn + self.fp) else float("nan")
+
+    @property
+    def ppv(self) -> float:
+        """Positive predictive value (precision)."""
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else float("nan")
+
+    @property
+    def npv(self) -> float:
+        """Negative predictive value."""
+        return self.tn / (self.tn + self.fn) if (self.tn + self.fn) else float("nan")
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate (1 - TNR)."""
+        return 1.0 - self.tnr
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.ppv, self.tpr
+        if np.isnan(p) or np.isnan(r) or (p + r) == 0.0:
+            return float("nan")
+        return 2.0 * p * r / (p + r)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction correct."""
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else float("nan")
+
+
+def binary_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryMetrics:
+    """Compute :class:`BinaryMetrics` from binary label arrays."""
+    y_true, y_pred = _check_binary(y_true, y_pred)
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    tn = int(((y_true == 0) & (y_pred == 0)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    return BinaryMetrics(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "binary") -> float:
+    """F1 score.
+
+    ``average="binary"`` scores the positive class of a binary problem;
+    ``"micro"`` pools all classes of a multi-class problem (equivalent to
+    accuracy for single-label tasks); ``"macro"`` averages per-class F1s.
+    """
+    if average == "binary":
+        return binary_metrics(y_true, y_pred).f1
+    y_true = np.asarray(y_true).astype(int).reshape(-1)
+    y_pred = np.asarray(y_pred).astype(int).reshape(-1)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    if average == "micro":
+        # Single-label multi-class micro-F1 reduces to accuracy.
+        return accuracy(y_true, y_pred)
+    if average == "macro":
+        scores = []
+        for cls in classes:
+            scores.append(binary_metrics(y_true == cls, y_pred == cls).f1)
+        finite = [s for s in scores if not np.isnan(s)]
+        return float(np.mean(finite)) if finite else float("nan")
+    raise ShapeError(f"unknown average mode {average!r}")

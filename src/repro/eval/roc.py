@@ -1,0 +1,65 @@
+"""ROC curves and AUC.
+
+The paper reports the AUC of the anomaly (unsafe) class per gesture
+(Table VII) and of the negative class for the overall pipeline, plus
+best/median/worst ROC curves per demonstration (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve of a binary classifier.
+
+    Parameters
+    ----------
+    y_true:
+        Binary labels (1 = positive class).
+    scores:
+        Classifier scores; higher means more positive.
+
+    Returns
+    -------
+    fpr, tpr, thresholds
+        Arrays of equal length; thresholds are in decreasing order with a
+        leading ``+inf`` sentinel (so the first point is (0, 0)).
+    """
+    y_true = np.asarray(y_true).astype(int).reshape(-1)
+    scores = np.asarray(scores, dtype=float).reshape(-1)
+    if y_true.shape != scores.shape:
+        raise ShapeError(f"y_true {y_true.shape} and scores {scores.shape} disagree")
+    if y_true.size == 0:
+        raise ShapeError("empty inputs")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ShapeError("y_true must be binary (0/1)")
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ShapeError("ROC needs at least one positive and one negative")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+
+    # Cumulative counts at each distinct threshold.
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if scores.size > 1 else np.array([], dtype=int)
+    cut_indices = np.concatenate([distinct, [y_true.size - 1]])
+    tp_cum = np.cumsum(sorted_true)[cut_indices]
+    fp_cum = (cut_indices + 1) - tp_cum
+
+    tpr = np.concatenate([[0.0], tp_cum / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_indices]])
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal rule)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,14 @@
+"""One entry point per paper table/figure.
+
+Each module exposes a ``run(scale=...)`` function returning structured
+rows plus a ``render(...)`` helper producing the ASCII table printed by
+the corresponding benchmark under ``benchmarks/``.  The
+:class:`~repro.experiments.common.ExperimentScale` presets trade run time
+for fidelity: ``"smoke"`` for CI-speed sanity, ``"fast"`` (default) for
+minutes-scale benchmark runs, ``"full"`` for the closest match to the
+paper's data sizes.
+"""
+
+from .common import ExperimentScale, SCALES, get_scale
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]

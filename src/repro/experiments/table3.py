@@ -1,0 +1,109 @@
+"""Paper Table III: fault-injection experiments on the Raven II.
+
+Runs the (scaled) grasper-angle x Cartesian-deviation x duration campaign
+on simulated Block Transfer demonstrations and reports block-drop and
+drop-off failure counts per cell — the same rows as the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.reports import format_table
+from ..faults.campaign import CampaignResult, TABLE_III_GRID, run_campaign
+from .common import ExperimentScale, get_scale
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One reported cell of Table III."""
+
+    grasper_rad: tuple[float, float]
+    grasper_window: tuple[float, float]
+    cartesian_dev: tuple[float, float]
+    cartesian_window: tuple[float, float]
+    n_injections: int
+    block_drops: int
+    dropoff_failures: int
+    wrong_positions: int
+
+    @property
+    def block_drop_pct(self) -> float:
+        """Block drops as a percentage of the cell's injections."""
+        return 100.0 * self.block_drops / self.n_injections if self.n_injections else 0.0
+
+    @property
+    def dropoff_pct(self) -> float:
+        """Drop-off failures as a percentage of the cell's injections."""
+        return (
+            100.0 * self.dropoff_failures / self.n_injections
+            if self.n_injections
+            else 0.0
+        )
+
+
+def run(
+    scale: "str | ExperimentScale" = "fast", seed: int = 0
+) -> tuple[list[Table3Row], CampaignResult]:
+    """Execute the campaign and aggregate per-cell rows."""
+    preset = get_scale(scale)
+    campaign = run_campaign(
+        grid=TABLE_III_GRID,
+        scale=preset.campaign_scale,
+        sample_rate_hz=preset.raven_rate_hz,
+        rng=seed,
+    )
+    rows = [
+        Table3Row(
+            grasper_rad=cell.cell.grasper_rad,
+            grasper_window=cell.cell.grasper_window,
+            cartesian_dev=cell.cell.cartesian_dev,
+            cartesian_window=cell.cell.cartesian_window,
+            n_injections=cell.n_injections,
+            block_drops=cell.block_drops,
+            dropoff_failures=cell.dropoff_failures,
+            wrong_positions=cell.wrong_positions,
+        )
+        for cell in campaign.cells
+    ]
+    return rows, campaign
+
+
+def render(rows: list[Table3Row]) -> str:
+    """ASCII rendering in the paper's row order."""
+    headers = [
+        "Grasper (rad)",
+        "Duration",
+        "Cartesian dev",
+        "Duration ",
+        "#Inj",
+        "Block-drop",
+        "Dropoff",
+        "WrongPos",
+    ]
+    body = []
+    for r in rows:
+        body.append(
+            [
+                f"{r.grasper_rad[0]:.2f}-{r.grasper_rad[1]:.2f}",
+                f"{r.grasper_window[0]:.2f}-{r.grasper_window[1]:.2f}",
+                f"{r.cartesian_dev[0]:.0f}-{r.cartesian_dev[1]:.0f}",
+                f"{r.cartesian_window[0]:.2f}-{r.cartesian_window[1]:.2f}",
+                r.n_injections,
+                f"{r.block_drops} ({r.block_drop_pct:.0f}%)",
+                f"{r.dropoff_failures} ({r.dropoff_pct:.0f}%)",
+                r.wrong_positions,
+            ]
+        )
+    totals = [
+        "Total",
+        "",
+        "",
+        "",
+        sum(r.n_injections for r in rows),
+        sum(r.block_drops for r in rows),
+        sum(r.dropoff_failures for r in rows),
+        sum(r.wrong_positions for r in rows),
+    ]
+    body.append(totals)
+    return format_table(headers, body, title="Table III: fault injections on the Raven II")

@@ -1,0 +1,64 @@
+"""Paper Table VI: erroneous-gesture classification for Block Transfer.
+
+Same ablation machinery as Table V, applied to the Raven II simulator
+dataset with the paper's Block Transfer settings: input window of 10,
+Cartesian + Grasper features.
+"""
+
+from __future__ import annotations
+
+from ..config import WindowConfig
+from ..jigsaws.dataset import SurgicalDataset
+from .common import ExperimentScale, get_scale, make_blocktransfer_dataset
+from .table5 import Table5Row, _evaluate_setup, render as _render
+
+#: The paper's Table VI grid: (setup, architecture, features).
+TABLE_VI_GRID: tuple[tuple[str, str, str | None], ...] = (
+    ("gesture-specific", "conv", "CG"),
+    ("gesture-specific", "lstm", "CG"),
+    ("non-gesture-specific", "conv", "CG"),
+)
+
+
+def run(
+    scale: "str | ExperimentScale" = "fast",
+    seed: int = 0,
+    held_out_trial: int = 2,
+    dataset: SurgicalDataset | None = None,
+    grid: tuple[tuple[str, str, str | None], ...] = TABLE_VI_GRID,
+) -> list[Table5Row]:
+    """Evaluate the Block Transfer ablation grid on one fold."""
+    preset = get_scale(scale)
+    if dataset is None:
+        dataset = make_blocktransfer_dataset(preset, seed=seed)
+    train, test = dataset.split_by_trials(held_out_trial)
+    window = WindowConfig(10, 1)  # paper: time-window 10, stride 1
+    rows = []
+    for setup, architecture, features in grid:
+        metrics = _evaluate_setup(
+            train,
+            test,
+            preset,
+            architecture,
+            features,
+            gesture_specific=setup == "gesture-specific",
+            seed=seed,
+            window=window,
+        )
+        rows.append(
+            Table5Row(
+                setup=setup,
+                model=architecture,
+                features=features or "All",
+                metrics=metrics,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table5Row]) -> str:
+    """ASCII rendering of the Block Transfer grid results."""
+    return _render(
+        rows,
+        title="Table VI: erroneous gesture classification (Block Transfer, window=10)",
+    )

@@ -1,0 +1,39 @@
+"""Software fault injection for the Raven II simulator (paper Section IV-B).
+
+The paper's fault-injection tool perturbs kinematic state variables of the
+robot control software — the Grasper Angle and the Cartesian Position of
+the instrument end-effectors — to mimic the manifestation of accidental or
+malicious faults and human errors.  Each fault is characterised by the
+targeted variable, the injected value and the injection duration.
+
+- :mod:`~repro.faults.types` — fault specifications;
+- :mod:`~repro.faults.injector` — applies a specification to a commanded
+  trajectory (the faulty packets sent to the robot control software);
+- :mod:`~repro.faults.outcomes` — maps physical outcomes to the error
+  categories of Table III and derives erroneous-gesture labels;
+- :mod:`~repro.faults.campaign` — the full Table III injection campaign.
+"""
+
+from .campaign import (
+    CampaignCell,
+    CampaignResult,
+    TABLE_III_GRID,
+    run_campaign,
+)
+from .injector import FaultInjector
+from .outcomes import gesture_error_labels, outcome_error_category
+from .types import CartesianFault, FaultSpec, FaultWindow, GrasperAngleFault
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CartesianFault",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultWindow",
+    "GrasperAngleFault",
+    "TABLE_III_GRID",
+    "gesture_error_labels",
+    "outcome_error_category",
+    "run_campaign",
+]

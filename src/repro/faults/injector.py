@@ -1,0 +1,73 @@
+"""Applies fault specifications to commanded trajectories.
+
+The injector perturbs the *commanded* packet stream before it reaches the
+robot control software — exactly how the paper's tool "sent the faulty
+trajectory packets to the robot control software", letting the same
+fault-free demonstration be replayed with different perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from ..simulation.robot import CommandedTrajectory
+from .types import CartesianFault, FaultSpec, GrasperAngleFault
+
+
+class FaultInjector:
+    """Stateless trajectory perturbation engine."""
+
+    def inject(
+        self, commands: CommandedTrajectory, spec: FaultSpec
+    ) -> CommandedTrajectory:
+        """Return a perturbed copy of ``commands``.
+
+        The perturbation targets the transfer arm.  A per-step boolean
+        fault mask is stored in ``metadata["fault_mask"]`` (picked up by
+        the simulator's ``fault_active`` state channel) and the spec
+        itself in ``metadata["fault_spec"]``.
+        """
+        out = commands.copy()
+        n = out.n_steps
+        mask = np.zeros(n, dtype=bool)
+        arm = out.transfer_arm
+        if spec.grasper is not None:
+            self._apply_grasper(out.jaw_angles[arm], spec.grasper, mask)
+        if spec.cartesian is not None:
+            self._apply_cartesian(out.positions[arm], spec.cartesian, mask)
+        out.metadata["fault_mask"] = mask
+        out.metadata["fault_spec"] = spec
+        out.metadata["faulty"] = True
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_grasper(
+        jaw: np.ndarray, fault: GrasperAngleFault, mask: np.ndarray
+    ) -> None:
+        n = jaw.shape[0]
+        start, end = fault.window.to_frames(n)
+        if end - start < 2:
+            raise FaultInjectionError("grasper fault window too short")
+        ramp_len = max(1, int(round(fault.ramp_frac * (end - start))))
+        initial = jaw[start]
+        ramp = np.linspace(initial, fault.target_rad, ramp_len)
+        jaw[start : start + ramp_len] = ramp
+        jaw[start + ramp_len : end] = fault.target_rad
+        mask[start:end] = True
+
+    @staticmethod
+    def _apply_cartesian(
+        positions: np.ndarray, fault: CartesianFault, mask: np.ndarray
+    ) -> None:
+        n = positions.shape[0]
+        start, end = fault.window.to_frames(n)
+        if end - start < 2:
+            raise FaultInjectionError("cartesian fault window too short")
+        ramp_len = max(1, int(round(fault.ramp_frac * (end - start))))
+        per_axis = fault.per_axis_mm
+        profile = np.ones(end - start) * per_axis
+        profile[:ramp_len] = np.linspace(0.0, per_axis, ramp_len)
+        positions[start:end] += profile[:, None]
+        mask[start:end] = True

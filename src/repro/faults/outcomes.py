@@ -1,0 +1,88 @@
+"""Mapping physical outcomes to error labels.
+
+Two views of the same trial:
+
+- :func:`outcome_error_category` — the Table III accounting (block-drop
+  vs drop-off failure counts);
+- :func:`gesture_error_labels` — the per-gesture erroneous/non-erroneous
+  labels used to train the safety monitor.  Following the paper
+  (Section IV-B), the gestures overlapping the interval from fault
+  injection to error manifestation are labeled erroneous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.physics import PhysicsOutcome
+from ..simulation.robot import SimulationResult
+
+
+def outcome_error_category(outcome: PhysicsOutcome) -> str | None:
+    """Table III column for an outcome (``None`` = not an error)."""
+    if outcome == PhysicsOutcome.BLOCK_DROP:
+        return "block_drop"
+    if outcome == PhysicsOutcome.DROPOFF_FAILURE:
+        return "dropoff_failure"
+    if outcome == PhysicsOutcome.WRONG_POSITION:
+        return "wrong_position"
+    if outcome == PhysicsOutcome.NEVER_GRASPED:
+        return "never_grasped"
+    return None
+
+
+def error_manifestation_frame(result: SimulationResult) -> int | None:
+    """Frame at which the physical error became observable.
+
+    Block drops and wrong-position drops manifest at the release frame;
+    a drop-off failure manifests at the end of the trajectory (the drop
+    that should have happened never did).
+    """
+    if result.outcome in (PhysicsOutcome.BLOCK_DROP, PhysicsOutcome.WRONG_POSITION):
+        return result.release_frame
+    if result.outcome == PhysicsOutcome.DROPOFF_FAILURE:
+        return result.states.shape[0] - 1
+    if result.outcome == PhysicsOutcome.NEVER_GRASPED:
+        return result.grasp_frame if result.grasp_frame is not None else 0
+    return None
+
+
+def gesture_error_labels(
+    result: SimulationResult,
+    fault_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-frame unsafe labels for one simulated trial.
+
+    Frames between the start of the fault injection and the error
+    manifestation (inclusive) are unsafe; whole gestures overlapping that
+    interval inherit the unsafe label, mirroring the paper's labeling of
+    "any gesture that had an occurrence of an anomaly as erroneous".
+    Fault-free or harmless trials yield all-zero labels.
+    """
+    n = result.states.shape[0]
+    labels = np.zeros(n, dtype=int)
+    if outcome_error_category(result.outcome) is None:
+        return labels
+    if fault_mask is None:
+        fault_mask = result.metadata.get("fault_mask")
+    if fault_mask is None or not np.any(fault_mask):
+        # No injection record: fall back to marking from the error frame.
+        start = error_manifestation_frame(result) or 0
+    else:
+        start = int(np.flatnonzero(fault_mask)[0])
+    end = error_manifestation_frame(result)
+    if end is None:
+        end = n - 1
+    end = max(end, start)
+    labels[start : end + 1] = 1
+
+    # Expand to whole gestures: any gesture occurrence overlapping the
+    # unsafe interval becomes unsafe end to end.
+    gestures = result.gestures
+    boundaries = np.flatnonzero(np.diff(gestures)) + 1
+    segment_starts = np.concatenate([[0], boundaries])
+    segment_ends = np.concatenate([boundaries, [n]])
+    for seg_start, seg_end in zip(segment_starts, segment_ends):
+        if labels[seg_start:seg_end].any():
+            labels[seg_start:seg_end] = 1
+    return labels

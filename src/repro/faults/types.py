@@ -1,0 +1,130 @@
+"""Fault specifications.
+
+A fault is defined (paper Section IV-B) by the targeted state variable
+``V``, the injected value ``S'`` and the injection duration ``D`` given as
+a fraction of the trajectory.  Table III reports durations as trajectory
+intervals (e.g. grasper faults active over 0.55-0.70 of the trajectory),
+which is how :class:`FaultWindow` represents them.
+
+Units note: the paper's simulator reports Cartesian deviations in its own
+milli-units (3,000-65,000); this reproduction's workspace is a +/-100 mm
+table, so deviations are scaled by :data:`CARTESIAN_UNIT_SCALE` (1/1000) —
+the same relative magnitudes against the receptacle radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+
+#: Scale between the paper's Cartesian deviation units and our millimetres.
+CARTESIAN_UNIT_SCALE = 1.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Active interval of a fault, as fractions of the trajectory length."""
+
+    start_frac: float
+    end_frac: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_frac < self.end_frac <= 1.0:
+            raise FaultInjectionError(
+                f"invalid fault window [{self.start_frac}, {self.end_frac}]"
+            )
+
+    def to_frames(self, n_frames: int) -> tuple[int, int]:
+        """Frame interval ``[start, end)`` over ``n_frames`` samples."""
+        start = int(np.floor(self.start_frac * n_frames))
+        end = int(np.ceil(self.end_frac * n_frames))
+        return max(0, start), min(n_frames, max(end, start + 1))
+
+    @property
+    def duration_frac(self) -> float:
+        """Fraction of the trajectory the fault is active."""
+        return self.end_frac - self.start_frac
+
+
+@dataclass(frozen=True)
+class GrasperAngleFault:
+    """Perturbation of the commanded jaw angle.
+
+    During the window the command ramps by a constant per-step increment
+    toward ``target_rad`` (the paper's "constant value of theta ... until
+    the target value S' was reached") and holds there until the window
+    closes; afterwards the nominal command resumes.
+    """
+
+    target_rad: float
+    window: FaultWindow
+    #: Fraction of the window spent ramping before the target is held.
+    ramp_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_rad < np.pi:
+            raise FaultInjectionError(
+                f"grasper target must be in (0, pi) rad, got {self.target_rad}"
+            )
+        if not 0.0 < self.ramp_frac <= 1.0:
+            raise FaultInjectionError("ramp_frac must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CartesianFault:
+    """Uniform positive deviation of the commanded tip position.
+
+    The target deviation ``deviation_mm`` is the Euclidean distance
+    between nominal and faulty positions; it is realised by adding
+    ``deviation_mm / sqrt(3)`` to each of x, y and z (paper Figure 6c),
+    ramped in over ``ramp_frac`` of the window.
+    """
+
+    deviation_mm: float
+    window: FaultWindow
+    ramp_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.deviation_mm <= 0.0:
+            raise FaultInjectionError("deviation must be positive")
+        if not 0.0 < self.ramp_frac <= 1.0:
+            raise FaultInjectionError("ramp_frac must be in (0, 1]")
+
+    @property
+    def per_axis_mm(self) -> float:
+        """Deviation added to each axis."""
+        return self.deviation_mm / np.sqrt(3.0)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete injection: optional grasper and Cartesian components.
+
+    Table III cells inject both variables simultaneously; single-variable
+    faults leave the other component ``None``.
+    """
+
+    grasper: GrasperAngleFault | None = None
+    cartesian: CartesianFault | None = None
+
+    def __post_init__(self) -> None:
+        if self.grasper is None and self.cartesian is None:
+            raise FaultInjectionError("a FaultSpec needs at least one component")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        if self.grasper is not None:
+            parts.append(
+                f"grasper->{self.grasper.target_rad:.2f}rad@"
+                f"[{self.grasper.window.start_frac:.2f},{self.grasper.window.end_frac:.2f}]"
+            )
+        if self.cartesian is not None:
+            parts.append(
+                f"cartesian+{self.cartesian.deviation_mm:.1f}mm@"
+                f"[{self.cartesian.window.start_frac:.2f},{self.cartesian.window.end_frac:.2f}]"
+            )
+        return " & ".join(parts)

@@ -1,0 +1,55 @@
+"""Surgical gesture vocabulary, error rubric and task grammars.
+
+This package encodes the operational-context model of the paper:
+
+- :mod:`~repro.gestures.vocabulary` — the JIGSAWS gesture vocabulary
+  (G1..G15) with descriptions (paper Table II).
+- :mod:`~repro.gestures.rubric` — the gesture-specific common errors and
+  their potential kinematic fault causes (paper Table II).
+- :mod:`~repro.gestures.markov` — finite-state Markov-chain task models
+  (fit/sample/query), the formalism the paper uses for surgical tasks.
+- :mod:`~repro.gestures.models` — the concrete Suturing and Block Transfer
+  chains of paper Figure 3.
+"""
+
+from .markov import MarkovChain
+from .models import (
+    BLOCK_TRANSFER_GESTURES,
+    SUTURING_GESTURES,
+    block_transfer_chain,
+    suturing_chain,
+)
+from .rubric import (
+    ERROR_RUBRIC,
+    ErrorMode,
+    FaultCause,
+    GestureErrorSpec,
+    error_modes_for,
+    gestures_with_errors,
+)
+from .vocabulary import (
+    END_TOKEN,
+    GESTURE_DESCRIPTIONS,
+    START_TOKEN,
+    Gesture,
+    N_GESTURE_CLASSES,
+)
+
+__all__ = [
+    "BLOCK_TRANSFER_GESTURES",
+    "END_TOKEN",
+    "ERROR_RUBRIC",
+    "ErrorMode",
+    "FaultCause",
+    "GESTURE_DESCRIPTIONS",
+    "Gesture",
+    "GestureErrorSpec",
+    "MarkovChain",
+    "N_GESTURE_CLASSES",
+    "START_TOKEN",
+    "SUTURING_GESTURES",
+    "block_transfer_chain",
+    "error_modes_for",
+    "gestures_with_errors",
+    "suturing_chain",
+]

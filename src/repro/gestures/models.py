@@ -1,0 +1,128 @@
+"""The concrete task grammars of paper Figure 3.
+
+``suturing_chain`` encodes the Suturing Markov chain the paper derived
+from the JIGSAWS dry-lab demonstrations (Figure 3a) and
+``block_transfer_chain`` the deterministic Block Transfer chain
+(Figure 3b: G2 -> G12 -> G6 -> G5 -> G11 with probability 1).
+
+Transition probabilities are transcribed from Figure 3a.  Where a row in
+the figure does not sum exactly to one (rounded published values), the
+residual mass is assigned to the row's dominant transition so each row is
+a valid distribution — the adjustment is always below 0.03.
+"""
+
+from __future__ import annotations
+
+from .markov import MarkovChain
+from .vocabulary import END_TOKEN, START_TOKEN, Gesture
+
+#: Gestures observed in the Suturing task (G7 never occurs).
+SUTURING_GESTURES: tuple[Gesture, ...] = (
+    Gesture.G1,
+    Gesture.G2,
+    Gesture.G3,
+    Gesture.G4,
+    Gesture.G5,
+    Gesture.G6,
+    Gesture.G8,
+    Gesture.G9,
+    Gesture.G10,
+    Gesture.G11,
+)
+
+#: Gestures of the Block Transfer task in execution order (Figure 3b).
+BLOCK_TRANSFER_GESTURES: tuple[Gesture, ...] = (
+    Gesture.G2,
+    Gesture.G12,
+    Gesture.G6,
+    Gesture.G5,
+    Gesture.G11,
+)
+
+
+def suturing_chain() -> MarkovChain:
+    """Suturing task grammar (paper Figure 3a).
+
+    The chain captures the canonical flow Start -> G1 -> G2 -> G3 -> G6 ->
+    G4 -> G2 ... -> G11 -> End along with the lower-probability variations
+    (restarts via G5, orientation fixes via G8, tightening via G9, ...).
+    """
+    transitions: dict[int, dict[int, float]] = {
+        START_TOKEN: {
+            Gesture.G1: 0.74,
+            Gesture.G5: 0.21,
+            Gesture.G8: 0.05,
+        },
+        Gesture.G1: {
+            Gesture.G2: 0.97,
+            Gesture.G4: 0.03,
+        },
+        Gesture.G2: {
+            Gesture.G3: 0.96,
+            Gesture.G6: 0.02,
+            Gesture.G8: 0.01,
+            Gesture.G5: 0.01,
+        },
+        Gesture.G3: {
+            Gesture.G6: 0.93,
+            Gesture.G2: 0.01,
+            Gesture.G8: 0.05,
+            Gesture.G4: 0.01,
+        },
+        Gesture.G4: {
+            Gesture.G2: 0.62,
+            Gesture.G8: 0.21,
+            Gesture.G10: 0.13,
+            Gesture.G3: 0.01,
+            Gesture.G6: 0.01,
+            Gesture.G11: 0.02,
+        },
+        Gesture.G5: {
+            Gesture.G2: 0.76,
+            Gesture.G8: 0.22,
+            Gesture.G3: 0.02,
+        },
+        Gesture.G6: {
+            Gesture.G4: 0.89,
+            Gesture.G9: 0.02,
+            Gesture.G10: 0.03,
+            Gesture.G11: 0.04,
+            Gesture.G2: 0.01,
+            Gesture.G8: 0.01,
+        },
+        Gesture.G8: {
+            Gesture.G2: 0.92,
+            Gesture.G3: 0.08,
+        },
+        Gesture.G9: {
+            Gesture.G10: 0.08,
+            Gesture.G11: 0.67,
+            Gesture.G2: 0.08,
+            Gesture.G4: 0.17,
+        },
+        Gesture.G10: {
+            Gesture.G11: 0.50,
+            Gesture.G4: 0.50,
+        },
+        Gesture.G11: {
+            END_TOKEN: 1.00,
+        },
+    }
+    return MarkovChain(transitions)
+
+
+def block_transfer_chain() -> MarkovChain:
+    """Block Transfer task grammar (paper Figure 3b).
+
+    Every demonstration follows the same five-gesture sequence, so all
+    transition probabilities are 1.
+    """
+    transitions: dict[int, dict[int, float]] = {
+        START_TOKEN: {Gesture.G2: 1.0},
+        Gesture.G2: {Gesture.G12: 1.0},
+        Gesture.G12: {Gesture.G6: 1.0},
+        Gesture.G6: {Gesture.G5: 1.0},
+        Gesture.G5: {Gesture.G11: 1.0},
+        Gesture.G11: {END_TOKEN: 1.0},
+    }
+    return MarkovChain(transitions)

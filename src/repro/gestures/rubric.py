@@ -1,0 +1,129 @@
+"""Gesture-specific error rubric (paper Table II).
+
+Each surgical gesture has a small set of *common errors* (failure modes)
+that human annotators look for in video, and each error has *potential
+kinematic causes* — the state variables whose perturbation can produce it.
+The rubric drives three things in this reproduction:
+
+1. the synthetic-data error injector (:mod:`repro.jigsaws.errors`), which
+   realises each error mode as a kinematic signature;
+2. the fault-injection campaign (:mod:`repro.faults`), which perturbs the
+   corresponding state variables; and
+3. documentation/reporting (which gestures can be erroneous at all —
+   gestures without rubric entries, e.g. G10, have no reaction-time rows
+   in paper Table IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .vocabulary import Gesture
+
+
+class FaultCause(str, Enum):
+    """Kinematic state variables whose faults can cause an error mode."""
+
+    WRONG_ROTATION = "wrong rotation angles"
+    WRONG_CARTESIAN = "wrong cartesian position"
+    SUDDEN_JUMP = "sudden cartesian jumps"
+    HIGH_GRASPER_ANGLE = "high grasper angle"
+    LOW_GRASPER_ANGLE = "low grasper angle"
+    LOW_PRESSURE = "low pressure applied"
+
+
+class ErrorMode(str, Enum):
+    """Common gesture-specific failure modes from paper Table II."""
+
+    MULTIPLE_ATTEMPTS = "more than one attempt"
+    MULTIPLE_MOVEMENTS = "driving with more than one movement"
+    NEEDLE_DROP = "unintentional needle drop"
+    OUT_OF_VIEW = "needle holder not in view at all times"
+    NOT_ALONG_CURVE = "not removing the needle along its curve"
+    USES_TISSUE_FOR_STABILITY = "uses tissue or instrument for stability"
+    KNOT_LEFT_LOOSE = "knot left loose"
+    FAILURE_TO_DROPOFF = "failure to dropoff"
+    BLOCK_DROP = "unintentional block drop"
+    WRONG_DROP_POSITION = "block dropped at wrong position"
+
+
+@dataclass(frozen=True)
+class GestureErrorSpec:
+    """One (gesture, error mode) rubric entry."""
+
+    gesture: Gesture
+    mode: ErrorMode
+    causes: tuple[FaultCause, ...]
+
+
+#: The rubric of paper Table II.  Order within a gesture reflects the
+#: table's listing.  Block Transfer reuses the Suturing vocabulary: its
+#: "needle" errors become block errors in that task's semantics.
+ERROR_RUBRIC: tuple[GestureErrorSpec, ...] = (
+    GestureErrorSpec(
+        Gesture.G1, ErrorMode.MULTIPLE_ATTEMPTS, (FaultCause.WRONG_ROTATION,)
+    ),
+    GestureErrorSpec(
+        Gesture.G2, ErrorMode.MULTIPLE_ATTEMPTS, (FaultCause.WRONG_ROTATION,)
+    ),
+    GestureErrorSpec(
+        Gesture.G3, ErrorMode.MULTIPLE_MOVEMENTS, (FaultCause.WRONG_CARTESIAN,)
+    ),
+    GestureErrorSpec(
+        Gesture.G3, ErrorMode.NOT_ALONG_CURVE, (FaultCause.WRONG_CARTESIAN,)
+    ),
+    GestureErrorSpec(
+        Gesture.G4,
+        ErrorMode.NEEDLE_DROP,
+        (FaultCause.WRONG_CARTESIAN, FaultCause.SUDDEN_JUMP),
+    ),
+    GestureErrorSpec(
+        Gesture.G4,
+        ErrorMode.OUT_OF_VIEW,
+        (FaultCause.WRONG_CARTESIAN, FaultCause.SUDDEN_JUMP),
+    ),
+    GestureErrorSpec(
+        Gesture.G5, ErrorMode.NEEDLE_DROP, (FaultCause.HIGH_GRASPER_ANGLE,)
+    ),
+    GestureErrorSpec(
+        Gesture.G6,
+        ErrorMode.OUT_OF_VIEW,
+        (FaultCause.WRONG_CARTESIAN, FaultCause.SUDDEN_JUMP),
+    ),
+    GestureErrorSpec(
+        Gesture.G6,
+        ErrorMode.NEEDLE_DROP,
+        (FaultCause.WRONG_CARTESIAN, FaultCause.SUDDEN_JUMP),
+    ),
+    GestureErrorSpec(
+        Gesture.G8, ErrorMode.USES_TISSUE_FOR_STABILITY, (FaultCause.WRONG_ROTATION,)
+    ),
+    GestureErrorSpec(
+        Gesture.G8, ErrorMode.MULTIPLE_ATTEMPTS, (FaultCause.WRONG_ROTATION,)
+    ),
+    GestureErrorSpec(
+        Gesture.G9, ErrorMode.KNOT_LEFT_LOOSE, (FaultCause.LOW_PRESSURE,)
+    ),
+    GestureErrorSpec(
+        Gesture.G11, ErrorMode.FAILURE_TO_DROPOFF, (FaultCause.LOW_GRASPER_ANGLE,)
+    ),
+    GestureErrorSpec(
+        Gesture.G12,
+        ErrorMode.MULTIPLE_ATTEMPTS,
+        (FaultCause.WRONG_CARTESIAN, FaultCause.SUDDEN_JUMP),
+    ),
+)
+
+
+def error_modes_for(gesture: Gesture) -> tuple[GestureErrorSpec, ...]:
+    """All rubric entries for ``gesture`` (empty for error-free gestures)."""
+    return tuple(spec for spec in ERROR_RUBRIC if spec.gesture == gesture)
+
+
+def gestures_with_errors() -> tuple[Gesture, ...]:
+    """Gestures that have at least one rubric entry, in index order."""
+    seen: dict[Gesture, None] = {}
+    for spec in ERROR_RUBRIC:
+        seen.setdefault(spec.gesture, None)
+    return tuple(sorted(seen, key=int))

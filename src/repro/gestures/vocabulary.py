@@ -1,0 +1,103 @@
+"""The JIGSAWS surgical gesture vocabulary (paper Table II).
+
+Gestures are the atomic units of the operational context.  The paper uses
+the standard JIGSAWS vocabulary G1..G11 for Suturing plus G12 (and the
+one-hot output of the gesture classifier spans indices 0..14, i.e. G1..G15,
+of which G13..G15 are unused by the two tasks studied).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from ..errors import GestureError
+
+#: Size of the one-hot gesture output ("a one-hot vector of all gestures
+#: from 0 to 14" — paper Equation 2).
+N_GESTURE_CLASSES = 15
+
+#: Sentinel used by Markov chains for the virtual start state.
+START_TOKEN = 0
+
+#: Sentinel used by Markov chains for the virtual end state.
+END_TOKEN = -1
+
+
+class Gesture(IntEnum):
+    """JIGSAWS gesture indices.
+
+    The integer value is the conventional gesture number (``Gesture.G3 ==
+    3``).  ``class_index`` converts to the zero-based classifier output
+    index.
+    """
+
+    G1 = 1
+    G2 = 2
+    G3 = 3
+    G4 = 4
+    G5 = 5
+    G6 = 6
+    G7 = 7
+    G8 = 8
+    G9 = 9
+    G10 = 10
+    G11 = 11
+    G12 = 12
+    G13 = 13
+    G14 = 14
+    G15 = 15
+
+    @property
+    def class_index(self) -> int:
+        """Zero-based index used in one-hot classifier outputs."""
+        return int(self) - 1
+
+    @classmethod
+    def from_class_index(cls, index: int) -> "Gesture":
+        """Inverse of :attr:`class_index`."""
+        try:
+            return cls(index + 1)
+        except ValueError as exc:
+            raise GestureError(f"invalid gesture class index {index}") from exc
+
+    @classmethod
+    def parse(cls, value: "int | str | Gesture") -> "Gesture":
+        """Parse ``3``, ``"G3"``, ``"g3"`` or a :class:`Gesture`."""
+        if isinstance(value, Gesture):
+            return value
+        if isinstance(value, str):
+            text = value.strip().upper()
+            if text.startswith("G"):
+                text = text[1:]
+            try:
+                value = int(text)
+            except ValueError as exc:
+                raise GestureError(f"cannot parse gesture {value!r}") from exc
+        try:
+            return cls(int(value))
+        except ValueError as exc:
+            raise GestureError(f"invalid gesture number {value}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"G{int(self)}"
+
+
+#: Descriptions from paper Table II (G7 is absent from the Suturing task;
+#: G13..G15 are part of the vocabulary but not used by the studied tasks).
+GESTURE_DESCRIPTIONS: dict[Gesture, str] = {
+    Gesture.G1: "Reaching for needle with right hand",
+    Gesture.G2: "Positioning needle",
+    Gesture.G3: "Pushing needle through the tissue",
+    Gesture.G4: "Transferring needle from left to right",
+    Gesture.G5: "Moving to center with needle in grip",
+    Gesture.G6: "Pulling suture with left hand",
+    Gesture.G7: "Pulling suture with right hand",
+    Gesture.G8: "Orienting needle",
+    Gesture.G9: "Using right hand to help tighten suture",
+    Gesture.G10: "Loosening more suture",
+    Gesture.G11: "Dropping suture and moving to end points",
+    Gesture.G12: "Reaching for needle with left hand",
+    Gesture.G13: "Making C loop around right instrument",
+    Gesture.G14: "Reaching for suture with right instrument",
+    Gesture.G15: "Pulling suture with both hands",
+}

@@ -1,0 +1,50 @@
+"""Synthetic JIGSAWS-style surgical dataset (the paper's dVRK data).
+
+The JIGSAWS dataset (Gao et al., 2014) is not redistributable here, so
+this package synthesises demonstrations with the same *shape*: the same
+19-variable-per-arm kinematics schema at 30 Hz, gesture sequences drawn
+from the task grammars of paper Figure 3, per-gesture motion primitives
+with subject-specific skill variation, and erroneous executions injected
+according to the error rubric of paper Table II at the per-gesture error
+rates of paper Table VII.
+
+- :mod:`~repro.jigsaws.schema` — dataset constants and scene anchors;
+- :mod:`~repro.jigsaws.primitives` — per-gesture kinematic motion
+  primitives;
+- :mod:`~repro.jigsaws.errors` — rubric-driven error signature injection;
+- :mod:`~repro.jigsaws.synthesis` — whole-demonstration synthesis for
+  Suturing, Knot-Tying and Needle-Passing;
+- :mod:`~repro.jigsaws.dataset` — demonstration containers, LOSO splits
+  and windowed tensor extraction.
+"""
+
+from .dataset import Demonstration, SurgicalDataset, loso_splits
+from .errors import ERROR_RATES, ErrorInjector
+from .primitives import GesturePrimitive, PRIMITIVES, SkillProfile
+from .schema import SUBJECTS, SuturingAnchors, TRIALS_PER_SUBJECT
+from .synthesis import (
+    KNOT_TYING_CHAIN,
+    NEEDLE_PASSING_CHAIN,
+    SurgicalTaskSynthesizer,
+    make_suturing_dataset,
+    make_task_dataset,
+)
+
+__all__ = [
+    "Demonstration",
+    "ERROR_RATES",
+    "ErrorInjector",
+    "GesturePrimitive",
+    "KNOT_TYING_CHAIN",
+    "NEEDLE_PASSING_CHAIN",
+    "PRIMITIVES",
+    "SUBJECTS",
+    "SkillProfile",
+    "SurgicalDataset",
+    "SurgicalTaskSynthesizer",
+    "SuturingAnchors",
+    "TRIALS_PER_SUBJECT",
+    "loso_splits",
+    "make_suturing_dataset",
+    "make_task_dataset",
+]

@@ -1,0 +1,449 @@
+"""Per-gesture kinematic motion primitives.
+
+Each surgical gesture is realised as a parameterised motion primitive:
+minimum-jerk travel between gesture-specific scene anchors, a
+characteristic wrist-rotation sweep, and a grasper-jaw profile.  The
+combination gives every gesture a distinct spatio-temporal signature in
+the 38-variable kinematics vector — the structure the paper's stacked
+LSTM learns to segment (Section III).
+
+Subject skill modulates the primitives: novices are slower, noisier and
+less precise (:class:`SkillProfile`), mirroring the JIGSAWS population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError, GestureError
+from ..gestures.vocabulary import Gesture
+from ..kinematics.rotations import rotation_from_euler
+from ..kinematics.state import N_VARIABLES_PER_ARM
+from ..simulation.motion import minimum_jerk_segment
+from .schema import FRAME_RATE_HZ, SuturingAnchors
+
+#: Jaw angle conventions (radians).
+JAW_OPEN = 0.9
+JAW_CLOSED = 0.15
+JAW_HALF = 0.5
+
+
+@dataclass(frozen=True)
+class SkillProfile:
+    """Subject skill parameters.
+
+    Attributes
+    ----------
+    label:
+        ``"novice"``, ``"intermediate"`` or ``"expert"``.
+    noise_scale:
+        Multiplier on positional/rotational noise.
+    duration_scale:
+        Multiplier on gesture durations (novices are slower).
+    error_rate_scale:
+        Multiplier on per-gesture error-injection probability.
+    """
+
+    label: str
+    noise_scale: float
+    duration_scale: float
+    error_rate_scale: float
+
+
+SKILL_PROFILES: dict[str, SkillProfile] = {
+    "expert": SkillProfile("expert", 0.8, 0.85, 0.6),
+    "intermediate": SkillProfile("intermediate", 1.1, 1.0, 1.0),
+    "novice": SkillProfile("novice", 1.7, 1.25, 1.4),
+}
+
+
+@dataclass(frozen=True)
+class GesturePrimitive:
+    """Kinematic recipe for one gesture.
+
+    ``right_path``/``left_path`` are anchor selectors returning the
+    waypoints each arm travels (as a function of the scene and rng, so
+    variants differ per execution); rotation sweeps are (start, end)
+    Euler triples; jaw profiles are keywords interpreted by
+    :func:`_jaw_profile`.
+    """
+
+    gesture: Gesture
+    duration_s: tuple[float, float]
+    right_path: Callable[[SuturingAnchors, np.random.Generator], np.ndarray]
+    left_path: Callable[[SuturingAnchors, np.random.Generator], np.ndarray]
+    right_rotation: tuple[tuple[float, float, float], tuple[float, float, float]]
+    left_rotation: tuple[tuple[float, float, float], tuple[float, float, float]]
+    right_jaw: str = "hold_open"
+    left_jaw: str = "hold_open"
+
+    def sample_duration(
+        self, skill: SkillProfile, rng: np.random.Generator
+    ) -> float:
+        """Gesture duration in seconds for this execution."""
+        lo, hi = self.duration_s
+        return float(rng.uniform(lo, hi) * skill.duration_scale)
+
+
+def _hover(
+    point: np.ndarray, rng: np.random.Generator, spread: float = 0.004
+) -> np.ndarray:
+    """A near-stationary two-waypoint path around ``point``."""
+    start = point + rng.normal(0.0, spread, 3)
+    end = point + rng.normal(0.0, spread, 3)
+    return np.stack([start, end])
+
+
+def _path(*points: np.ndarray) -> np.ndarray:
+    return np.stack(points)
+
+
+def _make_primitives() -> dict[Gesture, GesturePrimitive]:
+    """The Suturing-task primitive library (anchor-based)."""
+    down = (np.pi, 0.0, 0.0)  # tool pointing down
+
+    return {
+        Gesture.G1: GesturePrimitive(
+            gesture=Gesture.G1,
+            duration_s=(1.5, 2.5),
+            right_path=lambda a, r: _path(
+                a.right_home + r.normal(0, 0.003, 3), a.needle_site
+            ),
+            left_path=lambda a, r: _hover(a.left_home, r),
+            right_rotation=(down, (np.pi, 0.25, 0.3)),
+            left_rotation=(down, down),
+            right_jaw="closing",
+            left_jaw="hold_open",
+        ),
+        Gesture.G2: GesturePrimitive(
+            gesture=Gesture.G2,
+            duration_s=(1.8, 3.2),
+            right_path=lambda a, r: _path(
+                a.needle_site, a.tissue_entry + r.normal(0, 0.002, 3)
+            ),
+            left_path=lambda a, r: _hover(a.left_home * 0.6, r),
+            right_rotation=((np.pi, 0.25, 0.3), (np.pi, 0.45, 0.1)),
+            left_rotation=(down, down),
+            right_jaw="hold_closed",
+            left_jaw="hold_open",
+        ),
+        Gesture.G3: GesturePrimitive(
+            gesture=Gesture.G3,
+            duration_s=(2.5, 4.5),
+            right_path=lambda a, r: _path(
+                a.tissue_entry,
+                # Needle driven along its curve: the wrist dips below the
+                # tissue plane midway.
+                0.5 * (a.tissue_entry + a.tissue_exit) + np.array([0, 0, -0.008]),
+                a.tissue_exit,
+            ),
+            left_path=lambda a, r: _hover(a.tissue_exit + np.array([0, 0.01, 0.01]), r),
+            right_rotation=((np.pi, 0.45, 0.1), (np.pi, -0.5, -0.4)),
+            left_rotation=(down, down),
+            right_jaw="hold_closed",
+            left_jaw="hold_half",
+        ),
+        Gesture.G4: GesturePrimitive(
+            gesture=Gesture.G4,
+            duration_s=(1.5, 3.0),
+            right_path=lambda a, r: _path(
+                a.right_home * 0.5 + r.normal(0, 0.002, 3), a.center
+            ),
+            left_path=lambda a, r: _path(
+                a.tissue_exit + np.array([0, 0.01, 0.02]), a.center
+            ),
+            right_rotation=(down, (np.pi, 0.2, -0.2)),
+            left_rotation=((np.pi, -0.2, 0.2), down),
+            right_jaw="closing",
+            left_jaw="opening",
+        ),
+        Gesture.G5: GesturePrimitive(
+            gesture=Gesture.G5,
+            duration_s=(1.0, 2.0),
+            right_path=lambda a, r: _path(
+                a.needle_site + r.normal(0, 0.003, 3), a.center
+            ),
+            left_path=lambda a, r: _hover(a.left_home, r),
+            right_rotation=((np.pi, 0.1, 0.2), down),
+            left_rotation=(down, down),
+            right_jaw="hold_closed",
+            left_jaw="hold_open",
+        ),
+        Gesture.G6: GesturePrimitive(
+            gesture=Gesture.G6,
+            duration_s=(2.0, 4.0),
+            right_path=lambda a, r: _hover(a.tissue_exit + np.array([0.01, 0, 0.01]), r),
+            left_path=lambda a, r: _path(a.tissue_exit, a.pull_target),
+            right_rotation=(down, down),
+            left_rotation=((np.pi, -0.3, 0.0), (np.pi, -0.6, 0.5)),
+            right_jaw="hold_half",
+            left_jaw="hold_closed",
+        ),
+        Gesture.G8: GesturePrimitive(
+            gesture=Gesture.G8,
+            duration_s=(1.5, 3.0),
+            right_path=lambda a, r: _hover(a.center, r, spread=0.006),
+            left_path=lambda a, r: _hover(a.center + np.array([-0.02, 0, 0]), r),
+            # Orientation-heavy: large roll sweep while nearly stationary.
+            right_rotation=((np.pi, 0.0, -0.8), (np.pi, 0.3, 0.8)),
+            left_rotation=(down, (np.pi, 0.1, 0.2)),
+            right_jaw="hold_closed",
+            left_jaw="hold_half",
+        ),
+        Gesture.G9: GesturePrimitive(
+            gesture=Gesture.G9,
+            duration_s=(1.2, 2.5),
+            right_path=lambda a, r: _path(
+                a.center, a.center + np.array([0.02, -0.025, 0.0])
+            ),
+            left_path=lambda a, r: _hover(a.center + np.array([-0.03, 0.01, 0]), r),
+            right_rotation=(down, (np.pi, 0.2, 0.1)),
+            left_rotation=(down, down),
+            right_jaw="hold_closed",
+            left_jaw="hold_closed",
+        ),
+        Gesture.G10: GesturePrimitive(
+            gesture=Gesture.G10,
+            duration_s=(1.0, 2.0),
+            right_path=lambda a, r: _hover(a.center + np.array([0.01, 0, 0.01]), r),
+            left_path=lambda a, r: _path(
+                a.center, a.center + np.array([-0.025, 0.02, 0.01])
+            ),
+            right_rotation=(down, down),
+            left_rotation=(down, (np.pi, -0.2, -0.2)),
+            right_jaw="hold_half",
+            left_jaw="hold_closed",
+        ),
+        Gesture.G11: GesturePrimitive(
+            gesture=Gesture.G11,
+            duration_s=(1.5, 3.0),
+            right_path=lambda a, r: _path(a.center, a.end_point),
+            left_path=lambda a, r: _path(
+                a.center + np.array([-0.02, 0, 0]), a.left_home
+            ),
+            right_rotation=(down, (np.pi, -0.1, -0.3)),
+            left_rotation=(down, down),
+            right_jaw="opening",
+            left_jaw="opening",
+        ),
+        # Block-Transfer-style / Knot-Tying vocabulary extras.
+        Gesture.G12: GesturePrimitive(
+            gesture=Gesture.G12,
+            duration_s=(1.5, 2.5),
+            right_path=lambda a, r: _hover(a.right_home, r),
+            left_path=lambda a, r: _path(
+                a.left_home + r.normal(0, 0.003, 3), a.needle_site * np.array([-1, 1, 1])
+            ),
+            right_rotation=(down, down),
+            left_rotation=(down, (np.pi, 0.25, -0.3)),
+            right_jaw="hold_open",
+            left_jaw="closing",
+        ),
+        Gesture.G13: GesturePrimitive(
+            gesture=Gesture.G13,
+            duration_s=(1.5, 3.0),
+            # C-loop: the left instrument circles the right one.
+            right_path=lambda a, r: _hover(a.center, r),
+            left_path=lambda a, r: _path(
+                a.center + np.array([-0.03, 0.0, 0.0]),
+                a.center + np.array([0.0, 0.03, 0.01]),
+                a.center + np.array([0.03, 0.0, 0.0]),
+            ),
+            right_rotation=(down, down),
+            left_rotation=(down, (np.pi, 0.4, 1.0)),
+            right_jaw="hold_closed",
+            left_jaw="hold_closed",
+        ),
+        Gesture.G14: GesturePrimitive(
+            gesture=Gesture.G14,
+            duration_s=(1.2, 2.5),
+            right_path=lambda a, r: _path(
+                a.right_home * 0.7, a.tissue_exit + np.array([0.01, 0, 0])
+            ),
+            left_path=lambda a, r: _hover(a.center, r),
+            right_rotation=(down, (np.pi, 0.3, 0.2)),
+            left_rotation=(down, down),
+            right_jaw="closing",
+            left_jaw="hold_closed",
+        ),
+        Gesture.G15: GesturePrimitive(
+            gesture=Gesture.G15,
+            duration_s=(1.5, 3.0),
+            right_path=lambda a, r: _path(
+                a.center, a.center + np.array([0.045, 0.0, 0.02])
+            ),
+            left_path=lambda a, r: _path(
+                a.center, a.center + np.array([-0.045, 0.0, 0.02])
+            ),
+            right_rotation=(down, (np.pi, 0.2, 0.3)),
+            left_rotation=(down, (np.pi, 0.2, -0.3)),
+            right_jaw="hold_closed",
+            left_jaw="hold_closed",
+        ),
+    }
+
+
+#: The primitive library, indexed by gesture.
+PRIMITIVES: dict[Gesture, GesturePrimitive] = _make_primitives()
+
+
+def render_gesture(
+    primitive: GesturePrimitive,
+    anchors: SuturingAnchors,
+    skill: SkillProfile,
+    rng: int | np.random.Generator | None,
+    frame_rate_hz: float = FRAME_RATE_HZ,
+    start_positions: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Render one gesture execution to kinematics frames.
+
+    Parameters
+    ----------
+    primitive:
+        The gesture recipe.
+    anchors:
+        Scene geometry.
+    skill:
+        Subject skill profile (noise/duration scaling).
+    start_positions:
+        Optional ``(left_xyz, right_xyz)`` continuity override: the
+        rendered paths are shifted to start where the previous gesture
+        ended (blended out over the gesture) so demonstrations are
+        spatially continuous.
+
+    Returns
+    -------
+    numpy.ndarray
+        Frames of shape ``(n, 38)`` (left arm columns 0..18, right arm
+        19..37).
+    """
+    gen = as_generator(rng)
+    duration = primitive.sample_duration(skill, gen)
+    n = max(int(round(duration * frame_rate_hz)), 4)
+
+    left_way = primitive.left_path(anchors, gen)
+    right_way = primitive.right_path(anchors, gen)
+    left_pos = _render_path(left_way, n)
+    right_pos = _render_path(right_way, n)
+
+    if start_positions is not None:
+        left_pos = _blend_start(left_pos, start_positions[0])
+        right_pos = _blend_start(right_pos, start_positions[1])
+
+    noise_std = 0.0045 * skill.noise_scale
+    left_pos = left_pos + _smooth_noise(gen, n, 3, noise_std)
+    right_pos = right_pos + _smooth_noise(gen, n, 3, noise_std)
+
+    rot_noise = 0.10 * skill.noise_scale
+    left_rot = _render_rotation(primitive.left_rotation, n, gen, rot_noise)
+    right_rot = _render_rotation(primitive.right_rotation, n, gen, rot_noise)
+
+    jaw_noise = 0.05 * skill.noise_scale
+    left_jaw = _jaw_profile(primitive.left_jaw, n, gen, jaw_noise)
+    right_jaw = _jaw_profile(primitive.right_jaw, n, gen, jaw_noise)
+
+    frames = np.empty((n, 2 * N_VARIABLES_PER_ARM))
+    _fill_arm(frames, 0, left_pos, left_rot, left_jaw, frame_rate_hz)
+    _fill_arm(frames, N_VARIABLES_PER_ARM, right_pos, right_rot, right_jaw, frame_rate_hz)
+    return frames
+
+
+# ----------------------------------------------------------------------
+# Internal rendering helpers
+# ----------------------------------------------------------------------
+def _render_path(waypoints: np.ndarray, n: int) -> np.ndarray:
+    waypoints = np.asarray(waypoints, dtype=float)
+    if waypoints.shape[0] < 2:
+        raise ConfigurationError("a path needs at least two waypoints")
+    n_segments = waypoints.shape[0] - 1
+    per_segment = [n // n_segments] * n_segments
+    per_segment[-1] += n - sum(per_segment)
+    pieces = []
+    for i in range(n_segments):
+        count = max(per_segment[i], 2)
+        seg = minimum_jerk_segment(waypoints[i], waypoints[i + 1], count)
+        pieces.append(seg if i == 0 else seg[1:])
+    path = np.concatenate(pieces, axis=0)
+    # Trim/pad to exactly n frames.
+    if path.shape[0] >= n:
+        return path[:n]
+    pad = np.tile(path[-1], (n - path.shape[0], 1))
+    return np.concatenate([path, pad], axis=0)
+
+
+def _blend_start(path: np.ndarray, start: np.ndarray) -> np.ndarray:
+    offset = np.asarray(start, dtype=float) - path[0]
+    ramp = np.linspace(1.0, 0.0, path.shape[0])[:, None]
+    return path + offset[None, :] * ramp
+
+
+def _smooth_noise(
+    gen: np.random.Generator, n: int, dims: int, std: float
+) -> np.ndarray:
+    white = gen.standard_normal((n, dims))
+    smooth = np.empty_like(white)
+    state = np.zeros(dims)
+    for t in range(n):
+        state = 0.9 * state + 0.1 * white[t]
+        smooth[t] = state
+    scale = smooth.std() or 1.0
+    return smooth / scale * std
+
+
+def _render_rotation(
+    sweep: tuple[tuple[float, float, float], tuple[float, float, float]],
+    n: int,
+    gen: np.random.Generator,
+    noise: float,
+) -> np.ndarray:
+    start = np.asarray(sweep[0], dtype=float)
+    end = np.asarray(sweep[1], dtype=float)
+    s = np.linspace(0.0, 1.0, n)[:, None]
+    eulers = start[None, :] + s * (end - start)[None, :]
+    eulers = eulers + _smooth_noise(gen, n, 3, noise)
+    out = np.empty((n, 3, 3))
+    for t in range(n):
+        out[t] = rotation_from_euler(*eulers[t])
+    return out
+
+
+def _jaw_profile(
+    kind: str, n: int, gen: np.random.Generator, noise: float
+) -> np.ndarray:
+    if kind == "hold_open":
+        profile = np.full(n, JAW_OPEN)
+    elif kind == "hold_closed":
+        profile = np.full(n, JAW_CLOSED)
+    elif kind == "hold_half":
+        profile = np.full(n, JAW_HALF)
+    elif kind == "closing":
+        profile = np.linspace(JAW_OPEN, JAW_CLOSED, n)
+    elif kind == "opening":
+        profile = np.linspace(JAW_CLOSED, JAW_OPEN, n)
+    else:
+        raise GestureError(f"unknown jaw profile {kind!r}")
+    return np.clip(profile + gen.normal(0.0, noise, n), 0.02, 1.4)
+
+
+def _fill_arm(
+    frames: np.ndarray,
+    offset: int,
+    positions: np.ndarray,
+    rotations: np.ndarray,
+    jaw: np.ndarray,
+    frame_rate_hz: float,
+) -> None:
+    n = frames.shape[0]
+    dt = 1.0 / frame_rate_hz
+    frames[:, offset : offset + 3] = positions
+    frames[:, offset + 3 : offset + 12] = rotations.reshape(n, 9)
+    frames[:, offset + 12 : offset + 15] = np.gradient(positions, dt, axis=0)
+    # Angular velocity: finite difference of the rotation columns gives a
+    # usable rate signal without a full log-map.
+    rot_rate = np.gradient(rotations.reshape(n, 9), dt, axis=0)
+    frames[:, offset + 15 : offset + 18] = rot_rate[:, :3]
+    frames[:, offset + 18] = jaw

@@ -1,0 +1,52 @@
+"""Kinematic state representation shared by both surgical platforms.
+
+This package defines the 19-variable-per-manipulator kinematics schema of
+the JIGSAWS dataset (Cartesian position, rotation matrix, linear and
+angular velocity, grasper angle), rotation-matrix utilities, named feature
+groups used for the paper's feature-subset ablations, sliding-window
+extraction (Equation 2 of the paper) and trajectory containers.
+"""
+
+from .features import (
+    ALL_FEATURES,
+    FEATURE_GROUPS,
+    FeatureGroup,
+    feature_indices,
+    feature_names,
+    n_features,
+    select_features,
+)
+from .rotations import (
+    identity_rotation,
+    is_rotation_matrix,
+    rotation_about_axis,
+    rotation_angle_between,
+    rotation_from_euler,
+    rotation_to_euler,
+)
+from .state import ManipulatorState, RobotState, N_VARIABLES_PER_ARM
+from .trajectory import Trajectory
+from .windows import StreamingWindow, sliding_windows, window_labels
+
+__all__ = [
+    "ALL_FEATURES",
+    "FEATURE_GROUPS",
+    "FeatureGroup",
+    "ManipulatorState",
+    "N_VARIABLES_PER_ARM",
+    "RobotState",
+    "StreamingWindow",
+    "Trajectory",
+    "feature_indices",
+    "feature_names",
+    "identity_rotation",
+    "is_rotation_matrix",
+    "n_features",
+    "rotation_about_axis",
+    "rotation_angle_between",
+    "rotation_from_euler",
+    "rotation_to_euler",
+    "select_features",
+    "sliding_windows",
+    "window_labels",
+]

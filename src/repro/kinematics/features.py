@@ -1,0 +1,142 @@
+"""Named kinematic feature groups and subset selection.
+
+The paper's erroneous-gesture experiments (Tables V and VI) ablate the
+input features: "All" (the full 38-dimensional vector), versus
+combinations of Cartesian position (C), rotation matrix (R) and grasper
+angle (G).  This module gives each column of the 38-dimensional vector a
+stable name and lets callers select subsets by group.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from .state import N_VARIABLES_PER_ARM
+
+
+class FeatureGroup(str, Enum):
+    """Feature groups used in the paper's feature-subset ablations."""
+
+    CARTESIAN = "C"
+    ROTATION = "R"
+    LINEAR_VELOCITY = "V"
+    ANGULAR_VELOCITY = "W"
+    GRASPER = "G"
+
+    @classmethod
+    def parse(cls, spec: "str | FeatureGroup") -> "FeatureGroup":
+        """Parse a single-letter code or enum member into a group."""
+        if isinstance(spec, FeatureGroup):
+            return spec
+        try:
+            return cls(spec.upper())
+        except (ValueError, AttributeError) as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise ConfigurationError(
+                f"unknown feature group {spec!r}; valid codes: {valid}"
+            ) from exc
+
+
+#: Per-arm column offsets of each feature group within the 19-variable layout.
+_GROUP_OFFSETS: dict[FeatureGroup, list[int]] = {
+    FeatureGroup.CARTESIAN: list(range(0, 3)),
+    FeatureGroup.ROTATION: list(range(3, 12)),
+    FeatureGroup.LINEAR_VELOCITY: list(range(12, 15)),
+    FeatureGroup.ANGULAR_VELOCITY: list(range(15, 18)),
+    FeatureGroup.GRASPER: [18],
+}
+
+#: All feature groups, in on-disk column order.
+FEATURE_GROUPS: tuple[FeatureGroup, ...] = (
+    FeatureGroup.CARTESIAN,
+    FeatureGroup.ROTATION,
+    FeatureGroup.LINEAR_VELOCITY,
+    FeatureGroup.ANGULAR_VELOCITY,
+    FeatureGroup.GRASPER,
+)
+
+_PER_ARM_NAMES: list[str] = (
+    ["pos_x", "pos_y", "pos_z"]
+    + [f"rot_{r}{c}" for r in range(3) for c in range(3)]
+    + ["vel_x", "vel_y", "vel_z"]
+    + ["angvel_x", "angvel_y", "angvel_z"]
+    + ["grasper_angle"]
+)
+
+#: Human-readable names for every column of the 38-dimensional vector.
+ALL_FEATURES: tuple[str, ...] = tuple(
+    f"{arm}_{name}" for arm in ("left", "right") for name in _PER_ARM_NAMES
+)
+
+
+def feature_indices(
+    groups: "str | FeatureGroup | list[str | FeatureGroup] | None" = None,
+) -> np.ndarray:
+    """Column indices (into the 38-wide vector) for the requested groups.
+
+    Parameters
+    ----------
+    groups:
+        ``None`` selects everything.  Otherwise a group code (``"C"``),
+        a concatenated string of codes (``"CRG"``), a
+        :class:`FeatureGroup`, or a list of either.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted unique column indices covering both manipulators.
+    """
+    if groups is None:
+        return np.arange(2 * N_VARIABLES_PER_ARM)
+    parsed = _parse_groups(groups)
+    indices: list[int] = []
+    for arm in range(2):
+        base = arm * N_VARIABLES_PER_ARM
+        for group in parsed:
+            indices.extend(base + offset for offset in _GROUP_OFFSETS[group])
+    return np.array(sorted(set(indices)), dtype=int)
+
+
+def feature_names(
+    groups: "str | FeatureGroup | list[str | FeatureGroup] | None" = None,
+) -> list[str]:
+    """Names of the columns selected by ``groups`` (see :func:`feature_indices`)."""
+    return [ALL_FEATURES[i] for i in feature_indices(groups)]
+
+
+def n_features(
+    groups: "str | FeatureGroup | list[str | FeatureGroup] | None" = None,
+) -> int:
+    """Number of columns selected by ``groups``."""
+    return int(feature_indices(groups).size)
+
+
+def select_features(
+    data: np.ndarray,
+    groups: "str | FeatureGroup | list[str | FeatureGroup] | None" = None,
+) -> np.ndarray:
+    """Select feature-group columns from kinematics data.
+
+    ``data`` may be 2-D ``(frames, 38)`` or 3-D ``(windows, window, 38)``;
+    the last axis must be the 38-wide feature axis.
+    """
+    data = np.asarray(data)
+    if data.ndim < 2 or data.shape[-1] != 2 * N_VARIABLES_PER_ARM:
+        raise ShapeError(
+            "data must have the 38-wide feature vector on its last axis, "
+            f"got shape {data.shape}"
+        )
+    return data[..., feature_indices(groups)]
+
+
+def _parse_groups(
+    groups: "str | FeatureGroup | list[str | FeatureGroup]",
+) -> list[FeatureGroup]:
+    if isinstance(groups, FeatureGroup):
+        return [groups]
+    if isinstance(groups, str):
+        return [FeatureGroup.parse(code) for code in groups]
+    return [FeatureGroup.parse(item) for item in groups]

@@ -1,0 +1,97 @@
+"""Rotation-matrix helpers used by the data synthesisers and the simulator.
+
+The JIGSAWS kinematics schema stores end-effector orientation as a flattened
+3x3 rotation matrix (9 of the 19 per-arm variables).  The synthetic data
+generators need to construct plausible orientations and to perturb them
+("wrong rotation angles" faults from paper Table II), and the evaluation
+code needs to measure angular deviations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def identity_rotation() -> np.ndarray:
+    """Return the 3x3 identity rotation."""
+    return np.eye(3)
+
+
+def rotation_about_axis(axis: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rotation matrix for a right-handed rotation of ``angle_rad`` about ``axis``.
+
+    Uses the Rodrigues formula.  ``axis`` need not be normalised.
+    """
+    axis = np.asarray(axis, dtype=float)
+    if axis.shape != (3,):
+        raise ShapeError(f"axis must have shape (3,), got {axis.shape}")
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ShapeError("axis must be a non-zero vector")
+    x, y, z = axis / norm
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    cross = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    outer = np.outer([x, y, z], [x, y, z])
+    return c * np.eye(3) + s * cross + (1.0 - c) * outer
+
+
+def rotation_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Rotation matrix from intrinsic XYZ (roll, pitch, yaw) Euler angles."""
+    rx = rotation_about_axis(np.array([1.0, 0.0, 0.0]), roll)
+    ry = rotation_about_axis(np.array([0.0, 1.0, 0.0]), pitch)
+    rz = rotation_about_axis(np.array([0.0, 0.0, 1.0]), yaw)
+    return rz @ ry @ rx
+
+
+def rotation_to_euler(rotation: np.ndarray) -> tuple[float, float, float]:
+    """Recover (roll, pitch, yaw) from a rotation produced by
+    :func:`rotation_from_euler`.
+
+    Uses the standard ZYX decomposition; in the gimbal-lock case
+    (``|pitch| == pi/2``) roll is set to zero.
+    """
+    rotation = _check_3x3(rotation)
+    sy = -rotation[2, 0]
+    sy = float(np.clip(sy, -1.0, 1.0))
+    pitch = float(np.arcsin(sy))
+    if abs(sy) < 1.0 - 1e-9:
+        roll = float(np.arctan2(rotation[2, 1], rotation[2, 2]))
+        yaw = float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+    else:
+        roll = 0.0
+        yaw = float(np.arctan2(-rotation[0, 1], rotation[1, 1]))
+    return roll, pitch, yaw
+
+
+def is_rotation_matrix(matrix: np.ndarray, atol: float = 1e-6) -> bool:
+    """True when ``matrix`` is a proper rotation (orthogonal, det +1)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (3, 3):
+        return False
+    if not np.allclose(matrix @ matrix.T, np.eye(3), atol=atol):
+        return False
+    return bool(np.isclose(np.linalg.det(matrix), 1.0, atol=atol))
+
+
+def rotation_angle_between(r_a: np.ndarray, r_b: np.ndarray) -> float:
+    """Geodesic angle (radians) between two rotations.
+
+    This is the magnitude of the axis-angle representation of
+    ``r_a.T @ r_b`` and is the natural metric for "wrong rotation angle"
+    deviations.
+    """
+    r_a = _check_3x3(r_a)
+    r_b = _check_3x3(r_b)
+    relative = r_a.T @ r_b
+    trace = float(np.trace(relative))
+    cos_angle = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    return float(np.arccos(cos_angle))
+
+
+def _check_3x3(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (3, 3):
+        raise ShapeError(f"expected a 3x3 matrix, got shape {matrix.shape}")
+    return matrix

@@ -1,0 +1,146 @@
+"""Per-manipulator and whole-robot kinematic state (JIGSAWS schema).
+
+The JIGSAWS kinematics recordings expose 19 variables per robot
+manipulator (paper Section IV-A):
+
+==================  =====  ==========================================
+Variable group      Count  Contents
+==================  =====  ==========================================
+Cartesian position      3  end-effector x, y, z (metres)
+Rotation matrix         9  flattened 3x3 end-effector orientation
+Linear velocity         3  end-effector vx, vy, vz (m/s)
+Angular velocity        3  end-effector wx, wy, wz (rad/s)
+Grasper angle           1  jaw opening angle (radians)
+==================  =====  ==========================================
+
+:class:`ManipulatorState` is a typed view over those 19 numbers and
+:class:`RobotState` bundles the left and right manipulators into the
+38-dimensional feature vector the paper's models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from .rotations import identity_rotation, is_rotation_matrix
+
+#: Number of kinematic variables recorded per manipulator.
+N_VARIABLES_PER_ARM = 19
+
+_POSITION_SLICE = slice(0, 3)
+_ROTATION_SLICE = slice(3, 12)
+_LINEAR_VELOCITY_SLICE = slice(12, 15)
+_ANGULAR_VELOCITY_SLICE = slice(15, 18)
+_GRASPER_INDEX = 18
+
+
+@dataclass
+class ManipulatorState:
+    """Kinematic state of a single robot manipulator.
+
+    Attributes
+    ----------
+    position:
+        End-effector Cartesian position, shape ``(3,)``.
+    rotation:
+        End-effector orientation as a 3x3 rotation matrix.
+    linear_velocity:
+        End-effector linear velocity, shape ``(3,)``.
+    angular_velocity:
+        End-effector angular velocity, shape ``(3,)``.
+    grasper_angle:
+        Jaw opening angle in radians; larger means more open.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    rotation: np.ndarray = field(default_factory=identity_rotation)
+    linear_velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    angular_velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    grasper_angle: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position = _as_vec3(self.position, "position")
+        self.linear_velocity = _as_vec3(self.linear_velocity, "linear_velocity")
+        self.angular_velocity = _as_vec3(self.angular_velocity, "angular_velocity")
+        self.rotation = np.asarray(self.rotation, dtype=float)
+        if self.rotation.shape != (3, 3):
+            raise ShapeError(
+                f"rotation must have shape (3, 3), got {self.rotation.shape}"
+            )
+        self.grasper_angle = float(self.grasper_angle)
+
+    def to_vector(self) -> np.ndarray:
+        """Flatten to the 19-dimensional JIGSAWS ordering."""
+        vec = np.empty(N_VARIABLES_PER_ARM)
+        vec[_POSITION_SLICE] = self.position
+        vec[_ROTATION_SLICE] = self.rotation.reshape(9)
+        vec[_LINEAR_VELOCITY_SLICE] = self.linear_velocity
+        vec[_ANGULAR_VELOCITY_SLICE] = self.angular_velocity
+        vec[_GRASPER_INDEX] = self.grasper_angle
+        return vec
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "ManipulatorState":
+        """Inverse of :meth:`to_vector`."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (N_VARIABLES_PER_ARM,):
+            raise ShapeError(
+                f"vector must have shape ({N_VARIABLES_PER_ARM},), got {vector.shape}"
+            )
+        return cls(
+            position=vector[_POSITION_SLICE].copy(),
+            rotation=vector[_ROTATION_SLICE].reshape(3, 3).copy(),
+            linear_velocity=vector[_LINEAR_VELOCITY_SLICE].copy(),
+            angular_velocity=vector[_ANGULAR_VELOCITY_SLICE].copy(),
+            grasper_angle=float(vector[_GRASPER_INDEX]),
+        )
+
+    def has_valid_rotation(self, atol: float = 1e-6) -> bool:
+        """True when the stored orientation is a proper rotation matrix."""
+        return is_rotation_matrix(self.rotation, atol=atol)
+
+    def copy(self) -> "ManipulatorState":
+        """Deep copy of this state."""
+        return ManipulatorState.from_vector(self.to_vector())
+
+
+@dataclass
+class RobotState:
+    """Joint state of the two patient-side manipulators.
+
+    The paper's models take the concatenation of the left then right
+    manipulator vectors (38 features) as input.
+    """
+
+    left: ManipulatorState = field(default_factory=ManipulatorState)
+    right: ManipulatorState = field(default_factory=ManipulatorState)
+
+    def to_vector(self) -> np.ndarray:
+        """Concatenate left and right manipulator vectors (38 features)."""
+        return np.concatenate([self.left.to_vector(), self.right.to_vector()])
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "RobotState":
+        """Inverse of :meth:`to_vector`."""
+        vector = np.asarray(vector, dtype=float)
+        expected = 2 * N_VARIABLES_PER_ARM
+        if vector.shape != (expected,):
+            raise ShapeError(f"vector must have shape ({expected},), got {vector.shape}")
+        return cls(
+            left=ManipulatorState.from_vector(vector[:N_VARIABLES_PER_ARM]),
+            right=ManipulatorState.from_vector(vector[N_VARIABLES_PER_ARM:]),
+        )
+
+    def copy(self) -> "RobotState":
+        """Deep copy of this state."""
+        return RobotState(left=self.left.copy(), right=self.right.copy())
+
+
+def _as_vec3(value: np.ndarray, name: str) -> np.ndarray:
+    value = np.asarray(value, dtype=float)
+    if value.shape != (3,):
+        raise ShapeError(f"{name} must have shape (3,), got {value.shape}")
+    return value

@@ -1,0 +1,191 @@
+"""Trajectory container: synchronised kinematics frames + per-frame labels.
+
+A :class:`Trajectory` is the unit of data exchanged between the data
+synthesisers, the fault injector, the simulator and the learning pipeline.
+It stores a ``(n_frames, n_features)`` kinematics array, the frame rate,
+optional per-frame gesture labels and per-frame safe/unsafe labels, and
+arbitrary metadata (subject, supertrial, injected faults, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..config import frames_to_ms
+from ..errors import DatasetError, ShapeError
+
+
+@dataclass
+class Trajectory:
+    """A recorded or synthesised demonstration.
+
+    Attributes
+    ----------
+    frames:
+        Kinematics array of shape ``(n_frames, n_features)``.
+    frame_rate_hz:
+        Sampling rate of ``frames``.
+    gestures:
+        Optional per-frame integer gesture labels, shape ``(n_frames,)``.
+    unsafe:
+        Optional per-frame binary labels (1 = erroneous/unsafe sample).
+    metadata:
+        Free-form provenance (subject id, supertrial, fault spec, ...).
+    """
+
+    frames: np.ndarray
+    frame_rate_hz: float
+    gestures: np.ndarray | None = None
+    unsafe: np.ndarray | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.frames = np.asarray(self.frames, dtype=float)
+        if self.frames.ndim != 2:
+            raise ShapeError(
+                f"frames must be 2-D (n_frames, n_features), got {self.frames.shape}"
+            )
+        if self.frame_rate_hz <= 0:
+            raise DatasetError("frame_rate_hz must be positive")
+        if self.gestures is not None:
+            self.gestures = np.asarray(self.gestures, dtype=int)
+            if self.gestures.shape != (self.n_frames,):
+                raise ShapeError(
+                    "gestures must have one label per frame: expected "
+                    f"({self.n_frames},), got {self.gestures.shape}"
+                )
+        if self.unsafe is not None:
+            self.unsafe = np.asarray(self.unsafe, dtype=int)
+            if self.unsafe.shape != (self.n_frames,):
+                raise ShapeError(
+                    "unsafe must have one label per frame: expected "
+                    f"({self.n_frames},), got {self.unsafe.shape}"
+                )
+            if not np.isin(self.unsafe, (0, 1)).all():
+                raise DatasetError("unsafe labels must be binary (0 or 1)")
+
+    @property
+    def n_frames(self) -> int:
+        """Number of kinematics frames."""
+        return int(self.frames.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Width of the kinematics feature vector."""
+        return int(self.frames.shape[1])
+
+    @property
+    def duration_ms(self) -> float:
+        """Total duration in milliseconds."""
+        return frames_to_ms(self.n_frames, self.frame_rate_hz)
+
+    def timestamps_ms(self) -> np.ndarray:
+        """Per-frame timestamps in milliseconds (frame 0 at t=0)."""
+        return np.arange(self.n_frames) * (1000.0 / self.frame_rate_hz)
+
+    def copy(self) -> "Trajectory":
+        """Deep copy (frames, labels and metadata are all copied)."""
+        return Trajectory(
+            frames=self.frames.copy(),
+            frame_rate_hz=self.frame_rate_hz,
+            gestures=None if self.gestures is None else self.gestures.copy(),
+            unsafe=None if self.unsafe is None else self.unsafe.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def slice(self, start: int, stop: int) -> "Trajectory":
+        """Sub-trajectory covering frames ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.n_frames:
+            raise DatasetError(
+                f"invalid slice [{start}, {stop}) for {self.n_frames} frames"
+            )
+        return Trajectory(
+            frames=self.frames[start:stop].copy(),
+            frame_rate_hz=self.frame_rate_hz,
+            gestures=None if self.gestures is None else self.gestures[start:stop].copy(),
+            unsafe=None if self.unsafe is None else self.unsafe[start:stop].copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def gesture_segments(self) -> list[tuple[int, int, int]]:
+        """Contiguous runs of equal gesture label.
+
+        Returns a list of ``(gesture, start_frame, end_frame_exclusive)``
+        tuples in temporal order.  Requires gesture labels.
+        """
+        if self.gestures is None:
+            raise DatasetError("trajectory has no gesture labels")
+        segments: list[tuple[int, int, int]] = []
+        start = 0
+        for t in range(1, self.n_frames + 1):
+            if t == self.n_frames or self.gestures[t] != self.gestures[start]:
+                segments.append((int(self.gestures[start]), start, t))
+                start = t
+        return segments
+
+    def unsafe_segments(self) -> list[tuple[int, int]]:
+        """Contiguous runs of unsafe frames as ``(start, end_exclusive)``."""
+        if self.unsafe is None:
+            raise DatasetError("trajectory has no unsafe labels")
+        segments: list[tuple[int, int]] = []
+        start: int | None = None
+        for t in range(self.n_frames):
+            if self.unsafe[t] and start is None:
+                start = t
+            elif not self.unsafe[t] and start is not None:
+                segments.append((start, t))
+                start = None
+        if start is not None:
+            segments.append((start, self.n_frames))
+        return segments
+
+    def resample(self, target_rate_hz: float) -> "Trajectory":
+        """Linear-interpolation resampling to ``target_rate_hz``.
+
+        Gesture and unsafe labels are carried over by nearest-neighbour
+        lookup.  Used to bridge the simulator's kinematics rate and the
+        30 Hz video/JIGSAWS rate.
+        """
+        if target_rate_hz <= 0:
+            raise DatasetError("target_rate_hz must be positive")
+        if np.isclose(target_rate_hz, self.frame_rate_hz):
+            return self.copy()
+        old_t = np.arange(self.n_frames) / self.frame_rate_hz
+        duration_s = self.n_frames / self.frame_rate_hz
+        n_new = max(1, int(round(duration_s * target_rate_hz)))
+        new_t = np.arange(n_new) / target_rate_hz
+        new_frames = np.empty((n_new, self.n_features))
+        for j in range(self.n_features):
+            new_frames[:, j] = np.interp(new_t, old_t, self.frames[:, j])
+        nearest = np.clip(
+            np.round(new_t * self.frame_rate_hz).astype(int), 0, self.n_frames - 1
+        )
+        return Trajectory(
+            frames=new_frames,
+            frame_rate_hz=target_rate_hz,
+            gestures=None if self.gestures is None else self.gestures[nearest],
+            unsafe=None if self.unsafe is None else self.unsafe[nearest],
+            metadata=dict(self.metadata),
+        )
+
+    def with_labels(
+        self,
+        gestures: np.ndarray | None = None,
+        unsafe: np.ndarray | None = None,
+    ) -> "Trajectory":
+        """Copy of this trajectory with replaced label arrays."""
+        out = self.copy()
+        if gestures is not None:
+            gestures = np.asarray(gestures, dtype=int)
+            if gestures.shape != (out.n_frames,):
+                raise ShapeError("gestures must have one label per frame")
+            out.gestures = gestures
+        if unsafe is not None:
+            unsafe = np.asarray(unsafe, dtype=int)
+            if unsafe.shape != (out.n_frames,):
+                raise ShapeError("unsafe must have one label per frame")
+            out.unsafe = unsafe
+        return out

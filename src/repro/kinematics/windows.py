@@ -1,0 +1,161 @@
+"""Sliding-window extraction over kinematics time series (paper Eq. 2).
+
+Both stages of the monitoring pipeline consume fixed-length windows of
+consecutive kinematics frames.  :func:`sliding_windows` builds them in
+batch for training; :class:`StreamingWindow` maintains them incrementally
+for the online monitor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..config import WindowConfig
+from ..errors import ShapeError
+
+
+def sliding_windows(
+    frames: np.ndarray, config: WindowConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extract overlapping windows from a frame sequence.
+
+    Parameters
+    ----------
+    frames:
+        Array of shape ``(n_frames, n_features)``.
+    config:
+        Window length and stride.
+
+    Returns
+    -------
+    windows, end_indices
+        ``windows`` has shape ``(n_windows, window, n_features)``;
+        ``end_indices[i]`` is the index of the *last* frame in window ``i``
+        (the frame whose label the window predicts, so the online monitor
+        incurs no look-ahead).
+    """
+    frames = np.asarray(frames, dtype=float)
+    if frames.ndim != 2:
+        raise ShapeError(f"frames must be 2-D (n_frames, n_features), got {frames.shape}")
+    n = config.n_windows(frames.shape[0])
+    if n == 0:
+        empty = np.empty((0, config.window, frames.shape[1]))
+        return empty, np.empty(0, dtype=int)
+    starts = np.arange(n) * config.stride
+    # Gather via advanced indexing; data volumes here are modest so a copy
+    # is preferable to the aliasing pitfalls of stride tricks.
+    idx = starts[:, None] + np.arange(config.window)[None, :]
+    windows = frames[idx]
+    end_indices = starts + config.window - 1
+    return windows, end_indices
+
+
+def window_labels(
+    labels: np.ndarray, config: WindowConfig, reduce: str = "last"
+) -> np.ndarray:
+    """Per-window labels aligned with :func:`sliding_windows`.
+
+    ``reduce`` selects how the per-frame labels within a window collapse to
+    one label:
+
+    - ``"last"`` — label of the final frame (causal; default, matches the
+      online monitor which predicts the current frame).
+    - ``"majority"`` — most frequent label in the window.
+    - ``"any"`` — for binary 0/1 labels, 1 if any frame is 1 (the paper
+      marks a whole gesture unsafe if any of its samples is erroneous).
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    n = config.n_windows(labels.shape[0])
+    if n == 0:
+        return np.empty(0, dtype=labels.dtype)
+    starts = np.arange(n) * config.stride
+    if reduce == "last":
+        return labels[starts + config.window - 1]
+    idx = starts[:, None] + np.arange(config.window)[None, :]
+    gathered = labels[idx]
+    if reduce == "any":
+        return (gathered != 0).any(axis=1).astype(labels.dtype)
+    if reduce == "majority":
+        out = np.empty(n, dtype=labels.dtype)
+        for i in range(n):
+            values, counts = np.unique(gathered[i], return_counts=True)
+            out[i] = values[np.argmax(counts)]
+        return out
+    raise ShapeError(f"unknown reduce mode {reduce!r}")
+
+
+class StreamingWindow:
+    """Incrementally maintained sliding window for online inference.
+
+    Push frames one at a time with :meth:`push`; once ``window`` frames
+    have accumulated every subsequent push (at multiples of ``stride``)
+    yields a ready window.
+
+    Example
+    -------
+    >>> sw = StreamingWindow(WindowConfig(window=3, stride=1), n_features=2)
+    >>> for t in range(5):
+    ...     ready = sw.push(np.full(2, float(t)))
+    """
+
+    def __init__(self, config: WindowConfig, n_features: int) -> None:
+        self._config = config
+        self._n_features = int(n_features)
+        self._buffer: deque[np.ndarray] = deque(maxlen=config.window)
+        self._frames_seen = 0
+        self._since_last_emit = 0
+
+    @property
+    def config(self) -> WindowConfig:
+        """The window configuration this stream was built with."""
+        return self._config
+
+    @property
+    def frames_seen(self) -> int:
+        """Total number of frames pushed so far."""
+        return self._frames_seen
+
+    def push(self, frame: np.ndarray) -> np.ndarray | None:
+        """Append a frame; return the current window when one is due.
+
+        Returns ``None`` while the buffer is warming up or between strides.
+        """
+        frame = np.asarray(frame, dtype=float)
+        if frame.shape != (self._n_features,):
+            raise ShapeError(
+                f"frame must have shape ({self._n_features},), got {frame.shape}"
+            )
+        self._buffer.append(frame)
+        self._frames_seen += 1
+        if len(self._buffer) < self._config.window:
+            return None
+        if self._frames_seen == self._config.window:
+            self._since_last_emit = 0
+            return np.stack(self._buffer)
+        self._since_last_emit += 1
+        if self._since_last_emit >= self._config.stride:
+            self._since_last_emit = 0
+            return np.stack(self._buffer)
+        return None
+
+    def reset(self) -> None:
+        """Clear the buffer (e.g. at a trajectory boundary)."""
+        self._buffer.clear()
+        self._frames_seen = 0
+        self._since_last_emit = 0
+
+    def iter_windows(self, frames: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(end_frame_index, window)`` pairs for a whole sequence.
+
+        Convenience wrapper equivalent to pushing every row of ``frames``.
+        """
+        frames = np.asarray(frames, dtype=float)
+        for t in range(frames.shape[0]):
+            ready = self.push(frames[t])
+            if ready is not None:
+                yield t, ready

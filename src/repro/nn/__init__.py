@@ -1,0 +1,74 @@
+"""A small numpy deep-learning framework (the paper's Keras/TF substitute).
+
+Implements exactly the model families the paper trains: stacked LSTMs for
+gesture classification and 1D-CNN / LSTM binary classifiers for erroneous
+gesture detection, with Adam, step-decay learning-rate schedules, batch
+normalisation, dropout and early stopping (paper Section III).
+
+Example
+-------
+>>> from repro import nn
+>>> model = nn.Sequential(
+...     [nn.LSTM(32), nn.Dense(16), nn.ReLU(), nn.Dense(3)], seed=0
+... )
+>>> model.compile(loss=nn.SoftmaxCrossEntropy(), optimizer=nn.Adam(1e-3))
+"""
+
+from .callbacks import Callback, EarlyStopping, History, LearningRateScheduler
+from .initializers import glorot_uniform, orthogonal, zeros_init
+from .layers import (
+    BatchNorm,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1D,
+    LSTM,
+    Layer,
+    MaxPool1D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .losses import Loss, SigmoidBinaryCrossEntropy, SoftmaxCrossEntropy
+from .model import Sequential
+from .optimizers import SGD, Adam, Optimizer
+from .preprocessing import StandardScaler, one_hot, train_val_split
+from .schedules import ConstantSchedule, StepDecay
+from .serialization import load_model, save_model
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "Callback",
+    "ConstantSchedule",
+    "Conv1D",
+    "Dense",
+    "Dropout",
+    "EarlyStopping",
+    "Flatten",
+    "GlobalAveragePool1D",
+    "History",
+    "LSTM",
+    "Layer",
+    "LearningRateScheduler",
+    "Loss",
+    "MaxPool1D",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "SigmoidBinaryCrossEntropy",
+    "SoftmaxCrossEntropy",
+    "StandardScaler",
+    "StepDecay",
+    "Tanh",
+    "glorot_uniform",
+    "load_model",
+    "one_hot",
+    "orthogonal",
+    "save_model",
+    "train_val_split",
+    "zeros_init",
+]

@@ -1,0 +1,115 @@
+"""Training callbacks: history recording, early stopping, LR scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .schedules import ConstantSchedule
+
+
+class Callback:
+    """Training hooks; override any subset.
+
+    ``on_epoch_end`` returning ``True`` requests that training stop.
+    """
+
+    def on_train_begin(self, model) -> None:  # noqa: ANN001 - avoid import cycle
+        """Called once before the first epoch."""
+
+    def on_epoch_begin(self, model, epoch: int) -> None:  # noqa: ANN001
+        """Called at the start of each epoch."""
+
+    def on_epoch_end(self, model, epoch: int, logs: dict[str, float]) -> bool:  # noqa: ANN001
+        """Called with the epoch's metric dict; return True to stop."""
+        return False
+
+    def on_train_end(self, model) -> None:  # noqa: ANN001
+        """Called once after the final epoch."""
+
+
+class History(Callback):
+    """Records the per-epoch metric dicts (Keras-style ``history``)."""
+
+    def __init__(self) -> None:
+        self.epochs: list[dict[str, float]] = []
+
+    def on_train_begin(self, model) -> None:  # noqa: ANN001
+        self.epochs = []
+
+    def on_epoch_end(self, model, epoch: int, logs: dict[str, float]) -> bool:  # noqa: ANN001
+        self.epochs.append(dict(logs))
+        return False
+
+    def series(self, key: str) -> list[float]:
+        """Metric values for ``key`` across epochs (missing -> nan)."""
+        return [e.get(key, float("nan")) for e in self.epochs]
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored metric has not improved for ``patience`` epochs.
+
+    Also restores the best parameter values seen, matching the Keras
+    ``restore_best_weights=True`` behaviour the paper relies on to address
+    over-fitting (Section III).
+    """
+
+    def __init__(
+        self,
+        monitor: str = "val_loss",
+        patience: int = 5,
+        min_delta: float = 0.0,
+        restore_best_weights: bool = True,
+    ) -> None:
+        if patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        if min_delta < 0.0:
+            raise ConfigurationError("min_delta must be >= 0")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best_weights = bool(restore_best_weights)
+        self.best: float = float("inf")
+        self.best_epoch: int = -1
+        self._wait = 0
+        self._best_params: list[np.ndarray] | None = None
+        self.stopped_epoch: int | None = None
+
+    def on_train_begin(self, model) -> None:  # noqa: ANN001
+        self.best = float("inf")
+        self.best_epoch = -1
+        self._wait = 0
+        self._best_params = None
+        self.stopped_epoch = None
+
+    def on_epoch_end(self, model, epoch: int, logs: dict[str, float]) -> bool:  # noqa: ANN001
+        current = logs.get(self.monitor)
+        if current is None or not np.isfinite(current):
+            return False
+        if current < self.best - self.min_delta:
+            self.best = float(current)
+            self.best_epoch = epoch
+            self._wait = 0
+            if self.restore_best_weights:
+                self._best_params = [p.copy() for p in model.state_arrays()]
+            return False
+        self._wait += 1
+        if self._wait >= self.patience:
+            self.stopped_epoch = epoch
+            return True
+        return False
+
+    def on_train_end(self, model) -> None:  # noqa: ANN001
+        if self.restore_best_weights and self._best_params is not None:
+            for param, best in zip(model.state_arrays(), self._best_params):
+                param[...] = best
+
+
+class LearningRateScheduler(Callback):
+    """Set the optimiser's learning rate from a schedule at each epoch."""
+
+    def __init__(self, schedule: ConstantSchedule) -> None:
+        self.schedule = schedule
+
+    def on_epoch_begin(self, model, epoch: int) -> None:  # noqa: ANN001
+        model.optimizer.learning_rate = self.schedule.rate_for_epoch(epoch)

@@ -1,0 +1,50 @@
+"""Weight initialisers for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Samples uniformly from ``[-limit, limit]`` with
+    ``limit = sqrt(6 / (fan_in + fan_out))``.  For kernels with more than
+    two axes the leading axes are treated as part of the receptive field
+    (Keras convention).
+    """
+    if len(shape) < 1:
+        raise ShapeError("shape must have at least one dimension")
+    if len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+        fan_in = shape[-2] * receptive
+        fan_out = shape[-1] * receptive
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation for recurrent kernels.
+
+    Returns a matrix with orthonormal rows or columns (whichever is
+    smaller), the standard choice for LSTM recurrent weights.
+    """
+    if len(shape) != 2:
+        raise ShapeError(f"orthogonal init requires a 2-D shape, got {shape}")
+    rows, cols = shape
+    size = max(rows, cols)
+    gaussian = rng.standard_normal((size, size))
+    q, r = np.linalg.qr(gaussian)
+    # Sign correction so the distribution is uniform over orthogonal matrices.
+    q = q * np.sign(np.diag(r))
+    return q[:rows, :cols].copy()
+
+
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    del rng  # deterministic; signature kept uniform with other initialisers
+    return np.zeros(shape)

@@ -1,0 +1,25 @@
+"""Neural-network layers (forward + explicit backward passes)."""
+
+from .activations import ReLU, Sigmoid, Tanh
+from .base import Layer
+from .conv1d import Conv1D
+from .dense import Dense
+from .dropout import Dropout
+from .normalization import BatchNorm
+from .pooling import Flatten, GlobalAveragePool1D, MaxPool1D
+from .recurrent import LSTM
+
+__all__ = [
+    "BatchNorm",
+    "Conv1D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAveragePool1D",
+    "LSTM",
+    "Layer",
+    "MaxPool1D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

@@ -1,0 +1,55 @@
+"""Inverted dropout regularisation (paper Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from .base import Layer
+
+
+class Dropout(Layer):
+    """Randomly zero a fraction ``rate`` of activations during training.
+
+    Uses inverted dropout (activations scaled by ``1 / keep_prob`` at
+    training time) so inference is the identity.  The mask generator is
+    seeded at build time for reproducible training runs.
+    """
+
+    def __init__(self, rate: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError("rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng: np.random.Generator | None = None
+        self._mask: np.ndarray | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        # Spawn an independent stream so mask draws do not perturb the
+        # weight-initialisation sequence of downstream layers.
+        self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        self._input_shape = tuple(input_shape)
+        self._output_shape = tuple(input_shape)
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_built()
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            return x
+        assert self._rng is not None
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._check_built()
+        if self._mask is None:
+            # forward ran with rate == 0 or in inference mode.
+            return np.asarray(grad_output, dtype=float)
+        grad_input = np.asarray(grad_output, dtype=float) * self._mask
+        self._mask = None
+        return grad_input
+
+    def get_config(self) -> dict:
+        return {"rate": self.rate}

@@ -1,0 +1,100 @@
+"""Gradient-descent optimisers (SGD with momentum, Adam).
+
+The paper trains every model with Adam (Section III); plain SGD is kept
+for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class Optimizer:
+    """Interface: update parameter arrays in place from gradient arrays.
+
+    ``params``/``grads`` are parallel lists of arrays; state (momentum,
+    Adam moments) is keyed by position so the same optimiser instance must
+    always be called with the same parameter list.
+    """
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0.0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update in place."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2014) with bias correction.
+
+    ``clip_norm`` optionally clips the global gradient norm before the
+    update — useful for LSTM training stability on small batches.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("beta1 and beta2 must be in [0, 1)")
+        if epsilon <= 0.0:
+            raise ConfigurationError("epsilon must be positive")
+        if clip_norm is not None and clip_norm <= 0.0:
+            raise ConfigurationError("clip_norm must be positive or None")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.clip_norm = clip_norm
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        if self.clip_norm is not None:
+            total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+            if total > self.clip_norm and total > 0.0:
+                scale = self.clip_norm / total
+                grads = [g * scale for g in grads]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,56 @@
+"""Learning-rate schedules.
+
+The paper trains with "adaptive learning rate with step-decay"
+(Section III): the rate is multiplied by a fixed factor every N epochs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class ConstantSchedule:
+    """A schedule that always returns the initial rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0.0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch`` (0-based)."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be >= 0")
+        return self.learning_rate
+
+
+class StepDecay(ConstantSchedule):
+    """Multiply the rate by ``factor`` every ``every`` epochs.
+
+    ``rate(epoch) = initial * factor ** (epoch // every)``, optionally
+    floored at ``min_rate``.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float,
+        factor: float = 0.5,
+        every: int = 10,
+        min_rate: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError("factor must be in (0, 1]")
+        if every < 1:
+            raise ConfigurationError("every must be >= 1")
+        if min_rate < 0.0:
+            raise ConfigurationError("min_rate must be >= 0")
+        self.factor = float(factor)
+        self.every = int(every)
+        self.min_rate = float(min_rate)
+
+    def rate_for_epoch(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ConfigurationError("epoch must be >= 0")
+        rate = self.learning_rate * self.factor ** (epoch // self.every)
+        return max(rate, self.min_rate)

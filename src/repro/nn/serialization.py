@@ -1,0 +1,96 @@
+"""Model persistence as ``.npz`` archives (no pickling of code).
+
+The archive stores, per layer: the class name, its ``get_config()``
+key/values and its parameter arrays, plus the model input shape — enough
+to rebuild the architecture and restore weights exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from .layers import (
+    BatchNorm,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1D,
+    LSTM,
+    MaxPool1D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .model import Sequential
+
+_LAYER_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        BatchNorm,
+        Conv1D,
+        Dense,
+        Dropout,
+        Flatten,
+        GlobalAveragePool1D,
+        LSTM,
+        MaxPool1D,
+        ReLU,
+        Sigmoid,
+        Tanh,
+    )
+}
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Serialise a built :class:`Sequential` model to ``path`` (.npz)."""
+    if not model.built:
+        raise NotFittedError("only built models can be saved")
+    arrays: dict[str, np.ndarray] = {}
+    spec: list[dict] = []
+    for i, layer in enumerate(model.layers):
+        spec.append({"class": type(layer).__name__, "config": layer.get_config()})
+        for key, value in layer.params.items():
+            arrays[f"layer{i}.{key}"] = value
+        if isinstance(layer, BatchNorm):
+            assert layer.running_mean is not None and layer.running_var is not None
+            arrays[f"layer{i}.running_mean"] = layer.running_mean
+            arrays[f"layer{i}.running_var"] = layer.running_var
+    meta = {
+        "layers": spec,
+        "input_shape": list(model.layers[0].input_shape),
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(Path(path), **arrays)
+
+
+def load_model(path: str | Path) -> Sequential:
+    """Rebuild a model saved by :func:`save_model`.
+
+    The returned model is built (weights restored) but not compiled; call
+    :meth:`~repro.nn.model.Sequential.compile` to continue training.
+    """
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        layers = []
+        for entry in meta["layers"]:
+            cls = _LAYER_REGISTRY.get(entry["class"])
+            if cls is None:
+                raise ConfigurationError(f"unknown layer class {entry['class']!r}")
+            layers.append(cls(**entry["config"]))
+        model = Sequential(layers, seed=0)
+        model.build(tuple(meta["input_shape"]))
+        for i, layer in enumerate(model.layers):
+            for key in layer.params:
+                layer.params[key][...] = archive[f"layer{i}.{key}"]
+            if isinstance(layer, BatchNorm):
+                assert layer.running_mean is not None and layer.running_var is not None
+                layer.running_mean[...] = archive[f"layer{i}.running_mean"]
+                layer.running_var[...] = archive[f"layer{i}.running_var"]
+    return model

@@ -1,0 +1,51 @@
+"""Pure-Python Raven II / Block Transfer simulator (ROS Gazebo substitute).
+
+The paper evaluates technical faults on a ROS Gazebo simulation of the
+Raven II performing the FLS Block Transfer task (Section IV-B).  This
+package reproduces that experimental substrate:
+
+- :mod:`~repro.simulation.workspace` — dry-lab geometry: table, block,
+  receptacle;
+- :mod:`~repro.simulation.motion` — minimum-jerk waypoint trajectories;
+- :mod:`~repro.simulation.teleop` — operator profiles adding human tremor
+  and timing variation to commanded trajectories;
+- :mod:`~repro.simulation.physics` — grasp/attach/release rules deciding
+  physical outcomes (block-drop, drop-off failure);
+- :mod:`~repro.simulation.schema` — the simulator's 277-feature state
+  vector layout;
+- :mod:`~repro.simulation.robot` — the simulator core: replays commanded
+  trajectories, applies physics, logs kinematics;
+- :mod:`~repro.simulation.camera` — virtual top-down camera producing
+  synchronised frames for the vision-based labeler;
+- :mod:`~repro.simulation.blocktransfer` — the Block Transfer task script
+  and demonstration generator.
+"""
+
+from .blocktransfer import BlockTransferTask, generate_demonstration
+from .camera import VirtualCamera
+from .motion import minimum_jerk_profile, minimum_jerk_segment, waypoint_trajectory
+from .physics import GrasperPhysics, PhysicsOutcome
+from .robot import RavenSimulator, SimulationResult
+from .schema import RAVEN_FEATURE_BLOCKS, RAVEN_STATE_WIDTH, RavenStateLayout
+from .teleop import OperatorProfile
+from .workspace import Block, Receptacle, Workspace
+
+__all__ = [
+    "Block",
+    "BlockTransferTask",
+    "GrasperPhysics",
+    "OperatorProfile",
+    "PhysicsOutcome",
+    "RAVEN_FEATURE_BLOCKS",
+    "RAVEN_STATE_WIDTH",
+    "RavenSimulator",
+    "RavenStateLayout",
+    "Receptacle",
+    "SimulationResult",
+    "VirtualCamera",
+    "Workspace",
+    "generate_demonstration",
+    "minimum_jerk_profile",
+    "minimum_jerk_segment",
+    "waypoint_trajectory",
+]

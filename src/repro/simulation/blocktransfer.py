@@ -1,0 +1,243 @@
+"""Block Transfer task script and demonstration generator.
+
+Encodes the FLS Block Transfer task as executed in the paper's dry-lab
+and Gazebo setups (Figures 1c and 6): the transfer arm positions over the
+block (G2), reaches down and grasps it (G12), lifts it (G6), carries it
+to the receptacle (G5), and drops it there before moving to the end point
+(G11).  Every demonstration follows this fixed gesture sequence, matching
+the deterministic Markov chain of paper Figure 3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import RAVEN_DEFAULT_SAMPLE_RATE_HZ, as_generator
+from ..errors import ConfigurationError
+from ..gestures.vocabulary import Gesture
+from .motion import waypoint_trajectory
+from .robot import CommandedTrajectory
+from .teleop import OperatorProfile
+from .workspace import Workspace
+
+#: The fixed gesture script (paper Figure 3b).
+BLOCK_TRANSFER_SEQUENCE: tuple[Gesture, ...] = (
+    Gesture.G2,
+    Gesture.G12,
+    Gesture.G6,
+    Gesture.G5,
+    Gesture.G11,
+)
+
+#: Nominal duration of each gesture in seconds (scaled by the operator's
+#: speed factor).  G11 includes the drop and the retreat to the end
+#: point, making it the longest phase, as in the paper's description.
+GESTURE_DURATIONS_S: dict[Gesture, float] = {
+    Gesture.G2: 2.0,
+    Gesture.G12: 2.0,
+    Gesture.G6: 1.5,
+    Gesture.G5: 3.5,
+    Gesture.G11: 2.6,
+}
+
+#: Jaw angles characterising the task phases (radians).
+JAW_OPEN_RAD = 0.8  # approach with jaws ready
+JAW_CLOSED_RAD = 0.2  # holding the block
+JAW_RELEASE_RAD = 1.25  # deliberate release over the receptacle
+
+
+@dataclass(frozen=True)
+class BlockTransferTask:
+    """Plans commanded trajectories for Block Transfer demonstrations.
+
+    Parameters
+    ----------
+    workspace:
+        Scene geometry the plan must respect.
+    sample_rate_hz:
+        Command stream rate.
+    transfer_arm:
+        Arm carrying the block (the other arm idles near its home pose).
+    """
+
+    workspace: Workspace
+    sample_rate_hz: float = RAVEN_DEFAULT_SAMPLE_RATE_HZ
+    transfer_arm: str = "left"
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample_rate_hz must be positive")
+        if self.transfer_arm not in ("left", "right"):
+            raise ConfigurationError("transfer_arm must be 'left' or 'right'")
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        operator: OperatorProfile,
+        rng: int | np.random.Generator | None = None,
+    ) -> CommandedTrajectory:
+        """Produce one operator-flavoured commanded trajectory.
+
+        The plan visits, per gesture:
+
+        - G2  — home -> hover above the block (jaws opening);
+        - G12 — descend to the block and close the jaws;
+        - G6  — lift straight up to carry height;
+        - G5  — carry horizontally to above the receptacle;
+        - G11 — lower slightly, open jaws to release, retreat to the end
+          point.
+        """
+        gen = as_generator(rng)
+        ws = self.workspace
+        block_top = ws.block.position.copy()
+        grasp_point = block_top.copy()
+        carry = ws.carry_height_mm
+        receptacle = ws.receptacle.position.copy()
+
+        home = np.array([-ws.extent_mm * 0.6, -ws.extent_mm * 0.5, carry])
+        hover_block = np.array([grasp_point[0], grasp_point[1], carry])
+        lift_point = hover_block.copy()
+        hover_receptacle = np.array([receptacle[0], receptacle[1], carry])
+        drop_point = np.array([receptacle[0], receptacle[1], carry * 0.45])
+        end_point = np.array([ws.extent_mm * 0.6, -ws.extent_mm * 0.5, carry])
+
+        # Order: one waypoint pair per gesture segment.  G11 is split into
+        # lower+release, a brisk retreat, and a hover at the end point —
+        # so a *late* release (a missed drop) lands visibly far from the
+        # receptacle, as in the dry-lab task.
+        waypoints = np.stack(
+            [
+                home,  # start of G2
+                hover_block,  # G2 -> G12 boundary
+                grasp_point,  # G12 -> G6 boundary (grasp happens here)
+                lift_point,  # G6 -> G5 boundary
+                hover_receptacle,  # G5 -> G11 boundary
+                drop_point,  # release point (30% into G11)
+                end_point,  # retreat target
+                end_point,  # hover at the end point
+            ]
+        )
+        # The grasp (index 2) and drop (index 5) targets must stay exact.
+        waypoints = operator.jitter_waypoints(waypoints, gen, frozen={2, 5})
+
+        durations = self._segment_durations(operator, gen)
+        steps = [
+            max(2, int(round(d * self.sample_rate_hz))) for d in durations
+        ]
+        positions = waypoint_trajectory(waypoints, steps)
+        n = positions.shape[0]
+        positions += operator.tremor(n, 3, gen)
+
+        gestures, boundaries = self._gesture_labels(steps)
+        jaw = self._jaw_profile(n, boundaries, operator, gen)
+
+        idle_offset = np.array([0.0, -ws.extent_mm * 0.7, carry])
+        idle = np.tile(idle_offset, (n, 1)) + operator.tremor(n, 3, gen) * 0.5
+        other_arm = "right" if self.transfer_arm == "left" else "left"
+
+        return CommandedTrajectory(
+            positions={self.transfer_arm: positions, other_arm: idle},
+            jaw_angles={
+                self.transfer_arm: jaw,
+                other_arm: np.full(n, JAW_OPEN_RAD)
+                + gen.normal(0.0, operator.grasper_noise_rad, size=n),
+            },
+            gestures=gestures,
+            sample_rate_hz=self.sample_rate_hz,
+            transfer_arm=self.transfer_arm,
+            metadata={"operator": operator.name, "task": "block_transfer"},
+        )
+
+    # ------------------------------------------------------------------
+    def _segment_durations(
+        self, operator: OperatorProfile, gen: np.random.Generator
+    ) -> list[float]:
+        """Per-segment durations (s): 7 segments for 5 gestures.
+
+        G11 is split over three waypoint segments (lower+release, brisk
+        retreat, end-point hover); the other gestures map to one each.
+        """
+        base = [
+            GESTURE_DURATIONS_S[Gesture.G2],
+            GESTURE_DURATIONS_S[Gesture.G12],
+            GESTURE_DURATIONS_S[Gesture.G6],
+            GESTURE_DURATIONS_S[Gesture.G5],
+            GESTURE_DURATIONS_S[Gesture.G11] * 0.30,
+            GESTURE_DURATIONS_S[Gesture.G11] * 0.35,
+            GESTURE_DURATIONS_S[Gesture.G11] * 0.35,
+        ]
+        # Log-normal per-segment timing variation around the profile speed.
+        factors = operator.speed_factor * np.exp(gen.normal(0.0, 0.08, size=len(base)))
+        return [b * f for b, f in zip(base, factors)]
+
+    def _gesture_labels(
+        self, steps: list[int]
+    ) -> tuple[np.ndarray, dict[Gesture, tuple[int, int]]]:
+        """Per-step gesture labels and gesture frame windows."""
+        # Segment i contributes steps[i] samples, sharing junctions
+        # (waypoint_trajectory drops the duplicated junction sample).
+        lengths = [steps[0]] + [s - 1 for s in steps[1:]]
+        total = sum(lengths)
+        labels = np.empty(total, dtype=int)
+        # Map the seven segments onto five gestures (G11 = segments 4-6).
+        segment_gestures = [
+            Gesture.G2,
+            Gesture.G12,
+            Gesture.G6,
+            Gesture.G5,
+            Gesture.G11,
+            Gesture.G11,
+            Gesture.G11,
+        ]
+        boundaries: dict[Gesture, tuple[int, int]] = {}
+        cursor = 0
+        for seg_len, gesture in zip(lengths, segment_gestures):
+            labels[cursor : cursor + seg_len] = int(gesture)
+            start, _ = boundaries.get(gesture, (cursor, cursor))
+            boundaries[gesture] = (start, cursor + seg_len)
+            cursor += seg_len
+        return labels, boundaries
+
+    def _jaw_profile(
+        self,
+        n: int,
+        boundaries: dict[Gesture, tuple[int, int]],
+        operator: OperatorProfile,
+        gen: np.random.Generator,
+    ) -> np.ndarray:
+        """Commanded jaw angle over the demonstration."""
+        jaw = np.full(n, JAW_OPEN_RAD)
+        g12_start, g12_end = boundaries[Gesture.G12]
+        g11_start, g11_end = boundaries[Gesture.G11]
+
+        # Close gradually during the second half of G12 (the descent).
+        close_start = (g12_start + g12_end) // 2
+        ramp = np.linspace(JAW_OPEN_RAD, JAW_CLOSED_RAD, max(2, g12_end - close_start))
+        jaw[close_start : close_start + ramp.size] = ramp
+        # Hold closed through the carry.
+        jaw[close_start + ramp.size : g11_start] = JAW_CLOSED_RAD
+        # Release during G11: open over the first part of the lowering
+        # segment, then keep the jaws open while retreating.
+        release_at = g11_start + int(0.3 * (g11_end - g11_start))
+        open_ramp = np.linspace(
+            JAW_CLOSED_RAD, JAW_RELEASE_RAD, max(2, release_at - g11_start)
+        )
+        jaw[g11_start : g11_start + open_ramp.size] = open_ramp
+        jaw[g11_start + open_ramp.size :] = JAW_RELEASE_RAD
+        jaw += gen.normal(0.0, operator.grasper_noise_rad, size=n)
+        return np.clip(jaw, 0.05, 1.5)
+
+
+def generate_demonstration(
+    operator: OperatorProfile,
+    workspace: Workspace | None = None,
+    sample_rate_hz: float = RAVEN_DEFAULT_SAMPLE_RATE_HZ,
+    rng: int | np.random.Generator | None = None,
+) -> CommandedTrajectory:
+    """Convenience: plan one fault-free Block Transfer command stream."""
+    task = BlockTransferTask(
+        workspace=workspace or Workspace(), sample_rate_hz=sample_rate_hz
+    )
+    return task.plan(operator, rng)

@@ -1,0 +1,126 @@
+"""Virtual top-down camera for the simulated dry-lab scene.
+
+The paper's simulator logs video frames at 30 fps alongside kinematics so
+that failures can be labeled automatically with vision techniques
+(Section IV-B).  This camera renders small RGB frames of the workspace:
+table background, receptacle ring, the coloured block and the grasper
+tips.  The renderer is intentionally simple — what matters is that the
+vision-based labeler (:mod:`repro.vision`) sees the same observable
+events (block moving, disappearing from its rest position, landing in or
+out of the receptacle) that the paper's marker-based detector used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .workspace import Workspace
+
+#: RGB colours (0..1) of scene elements.
+TABLE_COLOR = np.array([0.35, 0.35, 0.38])
+BLOCK_COLOR = np.array([0.95, 0.15, 0.15])
+RECEPTACLE_COLOR = np.array([0.15, 0.25, 0.85])
+GRASPER_COLOR = np.array([0.85, 0.85, 0.85])
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Image geometry of the virtual camera."""
+
+    width_px: int = 64
+    height_px: int = 48
+    frame_rate_hz: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.width_px < 8 or self.height_px < 8:
+            raise ConfigurationError("camera resolution must be at least 8x8")
+        if self.frame_rate_hz <= 0:
+            raise ConfigurationError("frame_rate_hz must be positive")
+
+
+class VirtualCamera:
+    """Renders top-down frames of a :class:`Workspace`.
+
+    The camera looks straight down: world (x, y) maps linearly onto image
+    columns/rows; z only affects the apparent size of the block slightly
+    (objects closer to the camera render marginally larger), enough for
+    SSIM to notice pick-up events.
+    """
+
+    def __init__(
+        self,
+        workspace_extent_mm: float,
+        intrinsics: CameraIntrinsics | None = None,
+    ) -> None:
+        if workspace_extent_mm <= 0:
+            raise ConfigurationError("workspace extent must be positive")
+        self.extent_mm = float(workspace_extent_mm)
+        self.intrinsics = intrinsics or CameraIntrinsics()
+
+    # ------------------------------------------------------------------
+    def world_to_pixel(self, point: np.ndarray) -> tuple[int, int]:
+        """Project a world point to (row, col) pixel coordinates."""
+        point = np.asarray(point, dtype=float)
+        width, height = self.intrinsics.width_px, self.intrinsics.height_px
+        col = (point[0] + self.extent_mm) / (2.0 * self.extent_mm) * (width - 1)
+        row = (point[1] + self.extent_mm) / (2.0 * self.extent_mm) * (height - 1)
+        return int(np.clip(round(row), 0, height - 1)), int(
+            np.clip(round(col), 0, width - 1)
+        )
+
+    def mm_to_px(self, length_mm: float) -> float:
+        """Convert a world length to pixels (horizontal scale)."""
+        return length_mm / (2.0 * self.extent_mm) * (self.intrinsics.width_px - 1)
+
+    # ------------------------------------------------------------------
+    def render(
+        self,
+        workspace: Workspace,
+        grasper_tips: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Render one RGB frame, shape ``(height, width, 3)`` in [0, 1]."""
+        height, width = self.intrinsics.height_px, self.intrinsics.width_px
+        frame = np.tile(TABLE_COLOR, (height, width, 1)).astype(float)
+
+        self._draw_ring(
+            frame,
+            workspace.receptacle.position,
+            self.mm_to_px(workspace.receptacle.radius_mm),
+        )
+        self._draw_block(frame, workspace)
+        for tip in grasper_tips or []:
+            self._draw_square(frame, tip, max(1.0, self.mm_to_px(4.0)), GRASPER_COLOR)
+        return frame
+
+    def _draw_block(self, frame: np.ndarray, workspace: Workspace) -> None:
+        block = workspace.block
+        # Mild perspective: a lifted block appears up to ~40% larger.
+        lift = np.clip(block.position[2] / max(workspace.carry_height_mm, 1e-9), 0, 1)
+        half_px = max(1.0, self.mm_to_px(block.size_mm / 2.0) * (1.0 + 0.4 * lift))
+        self._draw_square(frame, block.position, half_px, BLOCK_COLOR)
+
+    def _draw_square(
+        self,
+        frame: np.ndarray,
+        world_point: np.ndarray,
+        half_px: float,
+        color: np.ndarray,
+    ) -> None:
+        row, col = self.world_to_pixel(world_point)
+        h = int(round(half_px))
+        r0, r1 = max(0, row - h), min(frame.shape[0], row + h + 1)
+        c0, c1 = max(0, col - h), min(frame.shape[1], col + h + 1)
+        frame[r0:r1, c0:c1] = color
+
+    def _draw_ring(
+        self, frame: np.ndarray, world_point: np.ndarray, radius_px: float
+    ) -> None:
+        row, col = self.world_to_pixel(world_point)
+        height, width = frame.shape[:2]
+        rows, cols = np.ogrid[:height, :width]
+        dist = np.sqrt((rows - row) ** 2 + (cols - col) ** 2)
+        ring = np.abs(dist - radius_px) <= 1.0
+        frame[ring] = RECEPTACLE_COLOR

@@ -1,0 +1,107 @@
+"""Minimum-jerk motion primitives.
+
+Human reaching movements (and the motion planners used in tele-operation
+research) are well modelled by minimum-jerk trajectories.  The Block
+Transfer demonstrations are stitched together from minimum-jerk segments
+between task waypoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+
+def minimum_jerk_profile(n_steps: int) -> np.ndarray:
+    """Normalised minimum-jerk position profile ``s(t)`` on [0, 1].
+
+    ``s(t) = 10 t^3 - 15 t^4 + 6 t^5`` sampled at ``n_steps`` points with
+    ``s(0) = 0`` and ``s(1) = 1``; velocity and acceleration vanish at
+    both ends.
+    """
+    if n_steps < 2:
+        raise ConfigurationError("n_steps must be >= 2")
+    t = np.linspace(0.0, 1.0, n_steps)
+    return 10.0 * t**3 - 15.0 * t**4 + 6.0 * t**5
+
+
+def minimum_jerk_segment(
+    start: np.ndarray, end: np.ndarray, n_steps: int
+) -> np.ndarray:
+    """Minimum-jerk interpolation between two points.
+
+    Parameters
+    ----------
+    start, end:
+        Way-points of shape ``(dims,)``.
+    n_steps:
+        Number of samples including both endpoints.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_steps, dims)``.
+    """
+    start = np.atleast_1d(np.asarray(start, dtype=float))
+    end = np.atleast_1d(np.asarray(end, dtype=float))
+    if start.shape != end.shape:
+        raise ShapeError(f"start {start.shape} and end {end.shape} disagree")
+    s = minimum_jerk_profile(n_steps)[:, None]
+    return start[None, :] + s * (end - start)[None, :]
+
+
+def waypoint_trajectory(
+    waypoints: np.ndarray,
+    segment_steps: list[int],
+) -> np.ndarray:
+    """Chain minimum-jerk segments through a waypoint list.
+
+    Parameters
+    ----------
+    waypoints:
+        Array of shape ``(n_waypoints, dims)``.
+    segment_steps:
+        Sample count per segment, length ``n_waypoints - 1``.  Consecutive
+        segments share their junction waypoint, which is emitted once.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(sum(segment_steps) - (n_segments - 1), dims)``.
+    """
+    waypoints = np.asarray(waypoints, dtype=float)
+    if waypoints.ndim != 2 or waypoints.shape[0] < 2:
+        raise ShapeError(
+            f"waypoints must be (n >= 2, dims), got shape {waypoints.shape}"
+        )
+    n_segments = waypoints.shape[0] - 1
+    if len(segment_steps) != n_segments:
+        raise ConfigurationError(
+            f"need {n_segments} segment step counts, got {len(segment_steps)}"
+        )
+    pieces: list[np.ndarray] = []
+    for i in range(n_segments):
+        seg = minimum_jerk_segment(waypoints[i], waypoints[i + 1], segment_steps[i])
+        pieces.append(seg if i == 0 else seg[1:])
+    return np.concatenate(pieces, axis=0)
+
+
+def finite_difference_velocity(
+    positions: np.ndarray, sample_rate_hz: float
+) -> np.ndarray:
+    """Central-difference velocity estimate for a position time series.
+
+    End points use one-sided differences so the output length matches the
+    input length.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[0] < 2:
+        raise ShapeError(
+            f"positions must be (n >= 2, dims), got shape {positions.shape}"
+        )
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample_rate_hz must be positive")
+    dt = 1.0 / sample_rate_hz
+    velocity = np.gradient(positions, dt, axis=0)
+    return velocity

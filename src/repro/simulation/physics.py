@@ -1,0 +1,178 @@
+"""Physics-lite grasp/attach/release rules for the Block Transfer task.
+
+The Gazebo physics engine in the paper decides whether injected faults
+produce *physical* failures — an unintentional block drop or a failure to
+drop the block into the receptacle.  This module reproduces the minimal
+contact model needed for those outcomes:
+
+- the grasper *grasps* the block when its jaws close below
+  ``grasp_close_rad`` while the tip is within ``grasp_radius_mm`` of the
+  block;
+- a held block is *released* whenever the jaw angle rises above a
+  per-trial hold threshold (nominally ``hold_threshold_rad`` with small
+  trial-to-trial variation, mimicking contact-friction variability);
+- a released block falls straight down onto the table.
+
+The thresholds were chosen so the fault-injection dose-response of the
+paper's Table III emerges: jaw angles below ~0.8 rad keep the block held
+(drop-off failures when they persist through the drop gesture), angles
+above ~1.0 rad almost always lose the block, and the 0.9-1.0 rad band is
+a coin flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError
+from .workspace import Workspace
+
+
+class PhysicsOutcome(str, Enum):
+    """Physical outcome of one Block Transfer execution."""
+
+    SUCCESS = "success"
+    BLOCK_DROP = "block_drop"
+    DROPOFF_FAILURE = "dropoff_failure"
+    WRONG_POSITION = "wrong_position"
+    NEVER_GRASPED = "never_grasped"
+
+
+@dataclass
+class GrasperPhysics:
+    """Contact model parameters.
+
+    Attributes
+    ----------
+    grasp_close_rad:
+        Jaw angle below which a grasp attempt succeeds.
+    hold_threshold_rad:
+        Nominal jaw angle above which a held block slips out.
+    hold_threshold_std:
+        Trial-to-trial standard deviation of the hold threshold.
+    grasp_radius_mm:
+        Maximum tip-to-block distance for a grasp to engage.
+    """
+
+    grasp_close_rad: float = 0.35
+    hold_threshold_rad: float = 0.95
+    hold_threshold_std: float = 0.05
+    grasp_radius_mm: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.grasp_close_rad < self.hold_threshold_rad:
+            raise ConfigurationError(
+                "grasp_close_rad must be in (0, hold_threshold_rad)"
+            )
+        if self.hold_threshold_std < 0:
+            raise ConfigurationError("hold_threshold_std must be >= 0")
+        if self.grasp_radius_mm <= 0:
+            raise ConfigurationError("grasp_radius_mm must be positive")
+
+    def sample_hold_threshold(
+        self, rng: int | np.random.Generator | None
+    ) -> float:
+        """Draw this trial's hold threshold (contact variability)."""
+        gen = as_generator(rng)
+        threshold = gen.normal(self.hold_threshold_rad, self.hold_threshold_std)
+        # Keep the threshold physically meaningful: strictly above the
+        # closing angle so a freshly-grasped block is never instantly lost.
+        return float(max(threshold, self.grasp_close_rad + 0.05))
+
+
+class PhysicsEngine:
+    """Stateful contact resolver stepped by the simulator.
+
+    One instance per trial; call :meth:`step` once per simulation step
+    with the grasper tip position and jaw angle of the arm performing the
+    transfer.
+    """
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        physics: GrasperPhysics,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.workspace = workspace
+        self.physics = physics
+        self.hold_threshold_rad = physics.sample_hold_threshold(rng)
+        self.grasp_frame: int | None = None
+        self.release_frame: int | None = None
+        self.release_position: np.ndarray | None = None
+        self._frame = -1
+
+    @property
+    def block_held(self) -> bool:
+        """Whether the block is currently attached to the grasper."""
+        return self.workspace.block.held_by is not None
+
+    def step(self, tip_position: np.ndarray, jaw_angle_rad: float, arm: str) -> None:
+        """Advance the contact model by one simulation step."""
+        self._frame += 1
+        block = self.workspace.block
+        tip_position = np.asarray(tip_position, dtype=float)
+
+        if block.held_by is None:
+            # A grasp engages when the jaws are closed near the block and
+            # the block has not already been released this trial (no
+            # re-grasp: the task script makes a single transfer attempt,
+            # matching the paper's failure semantics).
+            if (
+                self.release_frame is None
+                and jaw_angle_rad <= self.physics.grasp_close_rad
+                and np.linalg.norm(tip_position - block.position)
+                <= self.physics.grasp_radius_mm
+            ):
+                block.held_by = arm
+                if self.grasp_frame is None:
+                    self.grasp_frame = self._frame
+            return
+
+        # Held: the block rides on the grasper tip.
+        block.position = tip_position.copy()
+        if jaw_angle_rad >= self.hold_threshold_rad:
+            block.held_by = None
+            self.release_frame = self._frame
+            self.release_position = tip_position.copy()
+            # The block falls straight down to the table.
+            block.position = np.array(
+                [tip_position[0], tip_position[1], block.resting_z]
+            )
+
+    def outcome(self, drop_window: tuple[int, int] | None = None) -> PhysicsOutcome:
+        """Classify the trial after the trajectory has been replayed.
+
+        Parameters
+        ----------
+        drop_window:
+            Frame interval ``[start, end)`` of the drop gesture (G11).  A
+            release before this window is an unintentional block drop; a
+            release into the receptacle during the window is a success; a
+            miss early in the window is a wrong-position drop, while a
+            miss late in the window (the robot already retreating — the
+            intended drop moment has passed) counts as a drop-off
+            failure, matching the paper's DTW-based detection of "the
+            block should have been dropped, but it was not".
+        """
+        if self.grasp_frame is None:
+            return PhysicsOutcome.NEVER_GRASPED
+        if self.release_frame is None:
+            return PhysicsOutcome.DROPOFF_FAILURE
+        if drop_window is not None:
+            start, end = drop_window
+            if self.release_frame < start:
+                return PhysicsOutcome.BLOCK_DROP
+            # The intended drop happens ~30% into G11; a release later
+            # than 45% through the gesture means the drop moment was
+            # missed and the block came loose during the retreat.
+            if self.release_frame > start + 0.45 * (end - start):
+                return PhysicsOutcome.DROPOFF_FAILURE
+        assert self.release_position is not None
+        if self.workspace.receptacle.contains(self.release_position):
+            return PhysicsOutcome.SUCCESS
+        return PhysicsOutcome.WRONG_POSITION

@@ -1,0 +1,136 @@
+"""The Raven II simulator's 277-feature state vector layout.
+
+The paper's Gazebo simulator logs 277 kinematic features per sample
+(Section IV-B), a superset of the 19-per-arm JIGSAWS variables.  The real
+Raven II ``ravenstate`` message carries motor/joint/Cartesian state for
+both arms plus desired (commanded) values and housekeeping fields; this
+module defines an explicit, documented layout with the same total width
+so downstream code (feature selection, logging, fault injection) works
+against named blocks instead of magic offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+#: (name, width) blocks of the simulator state vector.  Motor/joint blocks
+#: carry 8 degrees of freedom per arm (Raven II convention), Cartesian
+#: blocks 3 per arm, orientation blocks a 3x3 rotation per arm.
+RAVEN_FEATURE_BLOCKS: tuple[tuple[str, int], ...] = (
+    ("runlevel", 1),  # operating state of the control software
+    ("sublevel", 1),
+    ("last_seq", 1),  # sequence number of the last tele-op packet
+    ("dt", 1),  # control-loop period (s)
+    ("mpos", 16),  # motor positions, 8 per arm
+    ("mvel", 16),  # motor velocities
+    ("mpos_d", 16),  # desired motor positions
+    ("jpos", 16),  # joint positions
+    ("jvel", 16),  # joint velocities
+    ("jpos_d", 16),  # desired joint positions
+    ("pos", 6),  # end-effector xyz, left then right (mm)
+    ("pos_d", 6),  # desired end-effector xyz
+    ("ori", 18),  # end-effector rotation matrices, row-major
+    ("ori_d", 18),  # desired rotation matrices
+    ("grasp", 2),  # jaw angles (rad)
+    ("grasp_d", 2),  # desired jaw angles
+    ("lin_vel", 6),  # end-effector linear velocities
+    ("ang_vel", 6),  # end-effector angular velocities
+    ("enc_vals", 16),  # raw encoder counts
+    ("enc_offsets", 16),
+    ("dac_vals", 16),  # commanded DAC outputs
+    ("tau", 16),  # commanded joint torques
+    ("force", 6),  # estimated tip forces
+    ("jac_vel", 12),  # Jacobian-space velocities, 6 per arm
+    ("jac_force", 12),  # Jacobian-space forces
+    ("gesture_id", 1),  # operator-recorded current gesture (Section IV-B:
+    # "we extended the data structure of the Raven II to include the
+    # current surgical gesture")
+    ("fault_active", 1),  # 1 while the injector is perturbing the state
+    ("time_s", 1),  # simulation clock
+    ("reserved", 16),  # padding to the published width
+)
+
+#: Total width of the state vector (must equal the paper's 277).
+RAVEN_STATE_WIDTH = sum(width for _, width in RAVEN_FEATURE_BLOCKS)
+
+
+@dataclass(frozen=True)
+class RavenStateLayout:
+    """Index arithmetic over :data:`RAVEN_FEATURE_BLOCKS`.
+
+    Example
+    -------
+    >>> layout = RavenStateLayout()
+    >>> layout.slice("grasp")
+    slice(218, 220, None)
+    """
+
+    def __post_init__(self) -> None:
+        if RAVEN_STATE_WIDTH != 277:
+            raise ConfigurationError(
+                f"state layout must total 277 features, got {RAVEN_STATE_WIDTH}"
+            )
+
+    def offset(self, block: str) -> int:
+        """Column offset of ``block`` within the state vector."""
+        position = 0
+        for name, width in RAVEN_FEATURE_BLOCKS:
+            if name == block:
+                return position
+            position += width
+        raise ConfigurationError(f"unknown state block {block!r}")
+
+    def width(self, block: str) -> int:
+        """Width of ``block``."""
+        for name, width in RAVEN_FEATURE_BLOCKS:
+            if name == block:
+                return width
+        raise ConfigurationError(f"unknown state block {block!r}")
+
+    def slice(self, block: str) -> slice:
+        """Column slice of ``block``."""
+        start = self.offset(block)
+        return slice(start, start + self.width(block))
+
+    def view(self, state: np.ndarray, block: str) -> np.ndarray:
+        """A (writable) view of ``block`` within 1-D or 2-D state data."""
+        state = np.asarray(state)
+        if state.shape[-1] != RAVEN_STATE_WIDTH:
+            raise ShapeError(
+                f"state vector must have width {RAVEN_STATE_WIDTH}, "
+                f"got {state.shape[-1]}"
+            )
+        return state[..., self.slice(block)]
+
+    def jigsaws_indices(self, arm: str = "left") -> np.ndarray:
+        """Columns holding the 19 JIGSAWS variables for one arm.
+
+        Order matches :class:`repro.kinematics.ManipulatorState.to_vector`:
+        position (3), rotation (9), linear velocity (3), angular velocity
+        (3), grasper angle (1).
+        """
+        if arm not in ("left", "right"):
+            raise ConfigurationError("arm must be 'left' or 'right'")
+        half = 0 if arm == "left" else 1
+        pos = self.offset("pos") + 3 * half
+        ori = self.offset("ori") + 9 * half
+        lin = self.offset("lin_vel") + 3 * half
+        ang = self.offset("ang_vel") + 3 * half
+        grasp = self.offset("grasp") + half
+        return np.array(
+            [pos, pos + 1, pos + 2]
+            + list(range(ori, ori + 9))
+            + [lin, lin + 1, lin + 2]
+            + [ang, ang + 1, ang + 2]
+            + [grasp]
+        )
+
+    def jigsaws_38_indices(self) -> np.ndarray:
+        """Columns for the full left+right 38-variable JIGSAWS vector."""
+        return np.concatenate(
+            [self.jigsaws_indices("left"), self.jigsaws_indices("right")]
+        )

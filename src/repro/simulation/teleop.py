@@ -1,0 +1,125 @@
+"""Tele-operation operator model.
+
+The paper's fault-free demonstrations were produced by two human subjects
+tele-operating the simulated Raven II.  :class:`OperatorProfile` captures
+the per-subject variability that matters for the downstream learning
+problem: hand tremor (band-limited noise added to commanded positions),
+speed (scaling segment durations) and waypoint imprecision (small offsets
+on reach targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import as_generator
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Synthetic human-operator characteristics.
+
+    Attributes
+    ----------
+    name:
+        Subject identifier carried into demonstration metadata.
+    tremor_amplitude_mm:
+        Standard deviation of the band-limited positional tremor.
+    tremor_smoothing:
+        Exponential-smoothing coefficient in (0, 1); higher = smoother,
+        lower-frequency tremor.
+    speed_factor:
+        Multiplier on nominal segment durations (> 1 is slower).
+    waypoint_jitter_mm:
+        Standard deviation of per-waypoint target offsets.
+    grasper_noise_rad:
+        Standard deviation of grasper-angle command noise.
+    """
+
+    name: str = "subject_a"
+    tremor_amplitude_mm: float = 0.6
+    tremor_smoothing: float = 0.9
+    speed_factor: float = 1.0
+    waypoint_jitter_mm: float = 2.0
+    grasper_noise_rad: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.tremor_amplitude_mm < 0:
+            raise ConfigurationError("tremor_amplitude_mm must be >= 0")
+        if not 0.0 < self.tremor_smoothing < 1.0:
+            raise ConfigurationError("tremor_smoothing must be in (0, 1)")
+        if self.speed_factor <= 0:
+            raise ConfigurationError("speed_factor must be positive")
+        if self.waypoint_jitter_mm < 0:
+            raise ConfigurationError("waypoint_jitter_mm must be >= 0")
+        if self.grasper_noise_rad < 0:
+            raise ConfigurationError("grasper_noise_rad must be >= 0")
+
+    def tremor(
+        self,
+        n_steps: int,
+        dims: int,
+        rng: int | np.random.Generator | None,
+    ) -> np.ndarray:
+        """Band-limited tremor noise of shape ``(n_steps, dims)``.
+
+        White noise passed through a first-order low-pass filter, scaled
+        to the profile's amplitude.
+        """
+        gen = as_generator(rng)
+        white = gen.standard_normal((n_steps, dims))
+        smooth = np.empty_like(white)
+        state = np.zeros(dims)
+        alpha = self.tremor_smoothing
+        for t in range(n_steps):
+            state = alpha * state + (1.0 - alpha) * white[t]
+            smooth[t] = state
+        std = smooth.std()
+        if std > 1e-12:
+            smooth = smooth / std * self.tremor_amplitude_mm
+        return smooth
+
+    def jitter_waypoints(
+        self,
+        waypoints: np.ndarray,
+        rng: int | np.random.Generator | None,
+        frozen: set[int] | None = None,
+    ) -> np.ndarray:
+        """Apply per-waypoint Gaussian offsets (horizontal components only).
+
+        ``frozen`` lists waypoint indices that must stay exact (e.g. the
+        grasp point must still reach the block).
+        """
+        gen = as_generator(rng)
+        out = np.asarray(waypoints, dtype=float).copy()
+        frozen = frozen or set()
+        for i in range(out.shape[0]):
+            if i in frozen:
+                continue
+            out[i, :2] += gen.normal(0.0, self.waypoint_jitter_mm, size=2)
+        return out
+
+
+#: The two synthetic subjects used for fault-free demonstrations
+#: (the paper collected data from 2 human subjects).
+DEFAULT_OPERATORS: tuple[OperatorProfile, OperatorProfile] = (
+    OperatorProfile(
+        name="subject_a",
+        tremor_amplitude_mm=0.5,
+        tremor_smoothing=0.90,
+        speed_factor=1.0,
+        waypoint_jitter_mm=1.5,
+        grasper_noise_rad=0.015,
+    ),
+    OperatorProfile(
+        name="subject_b",
+        tremor_amplitude_mm=0.9,
+        tremor_smoothing=0.85,
+        speed_factor=1.2,
+        waypoint_jitter_mm=2.5,
+        grasper_noise_rad=0.03,
+    ),
+)

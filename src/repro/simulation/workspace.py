@@ -1,0 +1,119 @@
+"""Dry-lab workspace geometry for the Block Transfer task.
+
+Replicates the paper's Gazebo setup (Figure 6b): left and right robot
+manipulators with grasper instruments over a flat table holding a block
+and a receptacle where the block must be dropped.  All lengths are in
+millimetres in a table-centred frame: x to the right, y away from the
+camera, z up (table surface at z = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+
+@dataclass
+class Block:
+    """The transferable block.
+
+    Attributes
+    ----------
+    position:
+        Centre of the block, shape ``(3,)`` (z is the half-height when
+        resting on the table).
+    size_mm:
+        Edge length of the cube.
+    held_by:
+        ``None`` when free, else ``"left"`` or ``"right"``.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.array([-40.0, 0.0, 5.0]))
+    size_mm: float = 10.0
+    held_by: str | None = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        if self.position.shape != (3,):
+            raise ShapeError(f"block position must have shape (3,), got {self.position.shape}")
+        if self.size_mm <= 0:
+            raise ConfigurationError("block size must be positive")
+
+    @property
+    def resting_z(self) -> float:
+        """Height of the block centre when resting on the table."""
+        return self.size_mm / 2.0
+
+    def copy(self) -> "Block":
+        """Deep copy."""
+        return Block(self.position.copy(), self.size_mm, self.held_by)
+
+
+@dataclass
+class Receptacle:
+    """Target receptacle where the block must be dropped.
+
+    The drop counts as on-target when the block's horizontal (x, y)
+    distance from the receptacle centre is at most ``radius_mm``.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.array([40.0, 0.0, 0.0]))
+    radius_mm: float = 15.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        if self.position.shape != (3,):
+            raise ShapeError(
+                f"receptacle position must have shape (3,), got {self.position.shape}"
+            )
+        if self.radius_mm <= 0:
+            raise ConfigurationError("receptacle radius must be positive")
+
+    def contains(self, point: np.ndarray) -> bool:
+        """True when ``point``'s horizontal projection lies inside."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (3,):
+            raise ShapeError(f"point must have shape (3,), got {point.shape}")
+        return bool(np.linalg.norm(point[:2] - self.position[:2]) <= self.radius_mm)
+
+
+@dataclass
+class Workspace:
+    """The whole dry-lab scene.
+
+    ``extent_mm`` is the half-width of the square working area (used by
+    the virtual camera to frame the scene and by sanity checks on
+    commanded positions).
+    """
+
+    block: Block = field(default_factory=Block)
+    receptacle: Receptacle = field(default_factory=Receptacle)
+    extent_mm: float = 100.0
+    #: Height from which transported objects are carried.
+    carry_height_mm: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.extent_mm <= 0:
+            raise ConfigurationError("extent must be positive")
+        if self.carry_height_mm <= 0:
+            raise ConfigurationError("carry height must be positive")
+
+    def in_bounds(self, point: np.ndarray, slack_mm: float = 0.0) -> bool:
+        """True when the horizontal projection of ``point`` is on the table."""
+        point = np.asarray(point, dtype=float)
+        limit = self.extent_mm + slack_mm
+        return bool(np.all(np.abs(point[:2]) <= limit))
+
+    def copy(self) -> "Workspace":
+        """Deep copy of the scene."""
+        return Workspace(
+            block=self.block.copy(),
+            receptacle=Receptacle(
+                self.receptacle.position.copy(), self.receptacle.radius_mm
+            ),
+            extent_mm=self.extent_mm,
+            carry_height_mm=self.carry_height_mm,
+        )

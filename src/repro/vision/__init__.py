@@ -1,0 +1,34 @@
+"""Vision-based automated error labeling (paper Section IV-B).
+
+The paper labels simulator failures orthogonally to the kinematics by
+analysing the logged video: colour/contour marker detection, SSIM against
+a reference to find block-drop frames, centroid-trace comparison with
+Dynamic Time Warping to detect drop-off failures.  This package implements
+those primitives on numpy image arrays:
+
+- :mod:`~repro.vision.ssim` — Structural Similarity Index;
+- :mod:`~repro.vision.threshold` — colour thresholding / segmentation;
+- :mod:`~repro.vision.contours` — connected components and centroids;
+- :mod:`~repro.vision.dtw` — Dynamic Time Warping;
+- :mod:`~repro.vision.labeling` — the end-to-end failure detector over a
+  simulated trial's video log.
+"""
+
+from .contours import connected_components, largest_component_centroid, track_centroids
+from .dtw import dtw_distance, dtw_path
+from .labeling import VisionLabel, detect_failure
+from .ssim import ssim
+from .threshold import color_distance_mask, threshold_block
+
+__all__ = [
+    "VisionLabel",
+    "color_distance_mask",
+    "connected_components",
+    "detect_failure",
+    "dtw_distance",
+    "dtw_path",
+    "largest_component_centroid",
+    "ssim",
+    "threshold_block",
+    "track_centroids",
+]

@@ -1,0 +1,76 @@
+"""Connected-component analysis and centroid tracking.
+
+Substitutes OpenCV's contour detection in the paper's labeling pipeline:
+the block's mask is reduced to its largest connected component, whose
+centroid is tracked through the trajectory (Section IV-B, Figure 7c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import ShapeError
+
+
+def connected_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """Label 8-connected components of a binary mask.
+
+    Returns ``(labels, n_components)`` where ``labels`` assigns 0 to the
+    background and 1..n to components.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ShapeError(f"mask must be 2-D, got shape {mask.shape}")
+    structure = np.ones((3, 3), dtype=int)
+    labels, n = ndimage.label(mask, structure=structure)
+    return labels, int(n)
+
+
+def largest_component_centroid(mask: np.ndarray) -> tuple[float, float] | None:
+    """Centroid ``(row, col)`` of the largest component, or ``None``.
+
+    Returns ``None`` when the mask is empty (e.g. the block is occluded
+    or has left the camera's view).
+    """
+    labels, n = connected_components(mask)
+    if n == 0:
+        return None
+    sizes = ndimage.sum_labels(np.ones_like(labels), labels, index=range(1, n + 1))
+    biggest = int(np.argmax(sizes)) + 1
+    rows, cols = np.nonzero(labels == biggest)
+    return float(rows.mean()), float(cols.mean())
+
+
+def track_centroids(
+    frames: np.ndarray,
+    mask_fn,
+) -> np.ndarray:
+    """Centroid trace of an object across a frame sequence.
+
+    Parameters
+    ----------
+    frames:
+        RGB video, shape ``(n, height, width, 3)``.
+    mask_fn:
+        Callable mapping one frame to a binary mask.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n, 2)`` of ``(row, col)`` centroids; frames
+        where the object is not found repeat the previous centroid (NaN
+        for leading misses).
+    """
+    frames = np.asarray(frames, dtype=float)
+    if frames.ndim != 4:
+        raise ShapeError(f"frames must be 4-D (n, h, w, 3), got {frames.shape}")
+    out = np.full((frames.shape[0], 2), np.nan)
+    last: tuple[float, float] | None = None
+    for i in range(frames.shape[0]):
+        centroid = largest_component_centroid(mask_fn(frames[i]))
+        if centroid is not None:
+            last = centroid
+        if last is not None:
+            out[i] = last
+    return out

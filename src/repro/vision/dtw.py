@@ -1,0 +1,100 @@
+"""Dynamic Time Warping (DTW).
+
+The paper compares the block's centroid trace in a faulty trajectory
+against fault-free reference traces with DTW, flagging large deviations
+as drop-off failures ("the block should have been dropped, but it was
+not", Section IV-B).  Classic O(n*m) dynamic-programming DTW with an
+optional Sakoe-Chiba band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _pairwise_cost(series_a: np.ndarray, series_b: np.ndarray) -> np.ndarray:
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ShapeError(
+            f"series must be (n, d) with matching d, got {a.shape} and {b.shape}"
+        )
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ShapeError("series must be non-empty")
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def _accumulate(cost: np.ndarray, band: int | None) -> np.ndarray:
+    n, m = cost.shape
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if band is None:
+            j_lo, j_hi = 1, m
+        else:
+            centre = i * m / n
+            j_lo = max(1, int(np.floor(centre - band)))
+            j_hi = min(m, int(np.ceil(centre + band)))
+        for j in range(j_lo, j_hi + 1):
+            step = min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+            acc[i, j] = cost[i - 1, j - 1] + step
+    return acc
+
+
+def dtw_distance(
+    series_a: np.ndarray,
+    series_b: np.ndarray,
+    band: int | None = None,
+    normalize: bool = True,
+) -> float:
+    """DTW alignment cost between two (possibly multivariate) series.
+
+    Parameters
+    ----------
+    series_a, series_b:
+        Arrays of shape ``(n,)`` or ``(n, d)``.
+    band:
+        Optional Sakoe-Chiba band half-width (in samples of ``series_b``).
+    normalize:
+        Divide the total cost by the path length (makes costs comparable
+        across series lengths).
+    """
+    cost = _pairwise_cost(series_a, series_b)
+    acc = _accumulate(cost, band)
+    total = float(acc[cost.shape[0], cost.shape[1]])
+    if not np.isfinite(total):
+        raise ShapeError("band too narrow: no feasible warping path")
+    if normalize:
+        total /= cost.shape[0] + cost.shape[1]
+    return total
+
+
+def dtw_path(
+    series_a: np.ndarray,
+    series_b: np.ndarray,
+    band: int | None = None,
+) -> list[tuple[int, int]]:
+    """Optimal warping path as ``(i, j)`` index pairs (both 0-based)."""
+    cost = _pairwise_cost(series_a, series_b)
+    acc = _accumulate(cost, band)
+    i, j = cost.shape
+    if not np.isfinite(acc[i, j]):
+        raise ShapeError("band too narrow: no feasible warping path")
+    path: list[tuple[int, int]] = []
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (
+            (acc[i - 1, j - 1], i - 1, j - 1),
+            (acc[i - 1, j], i - 1, j),
+            (acc[i, j - 1], i, j - 1),
+        )
+        _, i, j = min(moves, key=lambda entry: entry[0])
+    path.reverse()
+    return path

@@ -1,0 +1,133 @@
+"""End-to-end vision-based failure detection over a simulated trial.
+
+Reproduces the intent of the paper's automated labeling (Section IV-B,
+Figure 7): the block is segmented by colour thresholding and contour
+detection, its centroid tracked through the video, and the trace compared
+against a fault-free reference demonstration.  Two questions decide the
+label:
+
+1. **Where did the block end up?**  A terminal centroid far from the
+   reference terminal (the receptacle) means the transfer failed.
+2. **When did the block stop moving?**  The block travels while grasped
+   and freezes once released.  Freezing well before the reference release
+   moment is an unintentional mid-carry drop (block-drop failure);
+   freezing at or after the nominal drop moment — yet away from the
+   receptacle — means the intended drop never happened (drop-off
+   failure).
+
+SSIM (end-state comparison) and DTW (trace deviation) are computed as
+corroborating evidence and reported in the label, matching the paper's
+use of both techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..simulation.robot import SimulationResult
+from .contours import track_centroids
+from .dtw import dtw_distance
+from .ssim import ssim
+from .threshold import threshold_block, to_grayscale
+
+
+@dataclass(frozen=True)
+class VisionLabel:
+    """Result of the vision-based failure analysis of one trial.
+
+    ``failure_video_frame`` indexes the 30-fps video stream; use the
+    trial's ``video_frame_indices`` to map back to kinematics frames.
+    """
+
+    block_drop: bool
+    dropoff_failure: bool
+    failure_video_frame: int | None
+    #: Normalised DTW cost between the trial and reference block traces.
+    dtw_deviation: float
+    #: SSIM between the trial's and the reference's final frames.
+    end_state_ssim: float
+    #: Pixel distance between terminal block centroids.
+    terminal_distance_px: float
+
+
+def last_motion_frame(trace: np.ndarray, eps_px: float = 0.75) -> int:
+    """Index of the last frame in which the centroid moved more than ``eps_px``.
+
+    Returns 0 when the object never moves.
+    """
+    trace = np.asarray(trace, dtype=float)
+    if trace.ndim != 2 or trace.shape[1] != 2:
+        raise ShapeError(f"trace must be (n, 2), got {trace.shape}")
+    if trace.shape[0] < 2:
+        return 0
+    steps = np.linalg.norm(np.diff(trace, axis=0), axis=1)
+    moving = np.flatnonzero(steps > eps_px)
+    return int(moving[-1] + 1) if moving.size else 0
+
+
+def detect_failure(
+    result: SimulationResult,
+    reference: SimulationResult,
+    terminal_tolerance_px: float = 2.5,
+    early_release_margin: float = 0.08,
+) -> VisionLabel:
+    """Vision-only failure analysis of a trial against a fault-free reference.
+
+    Parameters
+    ----------
+    result:
+        The (possibly faulty) trial; must carry video frames.
+    reference:
+        A fault-free trial of the same task for trace comparison.
+    terminal_tolerance_px:
+        Maximum terminal-centroid distance from the reference delivery
+        point for the trial to count as successful.
+    early_release_margin:
+        How much earlier (as a fraction of video length) than the
+        reference release the block must freeze to be called a mid-carry
+        drop rather than a failed drop-off.
+    """
+    if result.video_frames is None or reference.video_frames is None:
+        raise ShapeError("both trials must have recorded video")
+
+    trace = track_centroids(result.video_frames, threshold_block)
+    ref_trace = track_centroids(reference.video_frames, threshold_block)
+    valid = ~np.isnan(trace).any(axis=1)
+    ref_valid = ~np.isnan(ref_trace).any(axis=1)
+    if not valid.any() or not ref_valid.any():
+        raise ShapeError("block was never detected in one of the videos")
+    trace = trace[valid]
+    ref_trace = ref_trace[ref_valid]
+
+    deviation = dtw_distance(trace, ref_trace, normalize=True)
+    end_ssim = ssim(
+        to_grayscale(result.video_frames[-1]),
+        to_grayscale(reference.video_frames[-1]),
+    )
+    terminal_distance = float(np.linalg.norm(trace[-1] - ref_trace[-1]))
+
+    if terminal_distance <= terminal_tolerance_px:
+        return VisionLabel(
+            block_drop=False,
+            dropoff_failure=False,
+            failure_video_frame=None,
+            dtw_deviation=float(deviation),
+            end_state_ssim=end_ssim,
+            terminal_distance_px=terminal_distance,
+        )
+
+    release_frac = last_motion_frame(trace) / max(trace.shape[0] - 1, 1)
+    ref_release_frac = last_motion_frame(ref_trace) / max(ref_trace.shape[0] - 1, 1)
+    is_early = release_frac < ref_release_frac - early_release_margin
+    failure_frame = last_motion_frame(trace) if is_early else None
+    return VisionLabel(
+        block_drop=is_early,
+        dropoff_failure=not is_early,
+        failure_video_frame=failure_frame,
+        dtw_deviation=float(deviation),
+        end_state_ssim=end_ssim,
+        terminal_distance_px=terminal_distance,
+    )

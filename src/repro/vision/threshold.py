@@ -1,0 +1,54 @@
+"""Colour thresholding for marker-based object detection.
+
+The paper uses HSV thresholding to isolate the coloured block in the
+video frames before contour detection.  The virtual camera renders flat
+RGB colours, so a colour-distance threshold plays the same role.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..simulation.camera import BLOCK_COLOR
+
+
+def color_distance_mask(
+    frame: np.ndarray,
+    color: np.ndarray,
+    tolerance: float = 0.25,
+) -> np.ndarray:
+    """Binary mask of pixels within ``tolerance`` (Euclidean RGB) of ``color``.
+
+    Parameters
+    ----------
+    frame:
+        RGB image, shape ``(height, width, 3)``, values in [0, 1].
+    color:
+        Target RGB colour, shape ``(3,)``.
+    tolerance:
+        Maximum Euclidean distance in RGB space.
+    """
+    frame = np.asarray(frame, dtype=float)
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise ShapeError(f"frame must be (h, w, 3), got {frame.shape}")
+    color = np.asarray(color, dtype=float)
+    if color.shape != (3,):
+        raise ShapeError(f"color must have shape (3,), got {color.shape}")
+    if tolerance <= 0:
+        raise ShapeError("tolerance must be positive")
+    distance = np.linalg.norm(frame - color[None, None, :], axis=2)
+    return distance <= tolerance
+
+
+def threshold_block(frame: np.ndarray, tolerance: float = 0.25) -> np.ndarray:
+    """Mask of the transfer block in a virtual-camera frame."""
+    return color_distance_mask(frame, BLOCK_COLOR, tolerance)
+
+
+def to_grayscale(frame: np.ndarray) -> np.ndarray:
+    """Luma conversion of an RGB frame (ITU-R BT.601 weights)."""
+    frame = np.asarray(frame, dtype=float)
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise ShapeError(f"frame must be (h, w, 3), got {frame.shape}")
+    return 0.299 * frame[..., 0] + 0.587 * frame[..., 1] + 0.114 * frame[..., 2]

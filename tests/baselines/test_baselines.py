@@ -1,0 +1,136 @@
+"""Tests for the SC-CRF and SDSDL comparator implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DictionaryLearner, LinearSVM, SDSDL, SkipChainCRF, omp_encode
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+
+
+def blobs(n_per_class=60, n_classes=3, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for c in range(n_classes):
+        centre = np.zeros(d)
+        centre[c % d] = 4.0
+        xs.append(rng.standard_normal((n_per_class, d)) + centre)
+        ys.append(np.full(n_per_class, c))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self):
+        x, y = blobs()
+        svm = LinearSVM(epochs=5, seed=0).fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.95
+
+    def test_decision_function_shape(self):
+        x, y = blobs(n_classes=4)
+        svm = LinearSVM(seed=0).fit(x, y)
+        assert svm.decision_function(x).shape == (x.shape[0], 4)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            LinearSVM().fit(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestSkipChainCRF:
+    def make_sequences(self, n_seqs=8, seed=0):
+        rng = np.random.default_rng(seed)
+        seqs, labs = [], []
+        for _ in range(n_seqs):
+            labels = np.repeat([0, 1, 2], 15)
+            feats = np.zeros((labels.size, 3))
+            feats[np.arange(labels.size), labels] = 2.0
+            feats += rng.standard_normal(feats.shape) * 0.8
+            seqs.append(feats)
+            labs.append(labels)
+        return seqs, labs
+
+    def test_learns_segmentation(self):
+        seqs, labs = self.make_sequences()
+        crf = SkipChainCRF(n_classes=3, skip=5, epochs=4, seed=0)
+        crf.fit(seqs[:6], labs[:6])
+        acc = np.mean(
+            [(crf.predict(s) == l).mean() for s, l in zip(seqs[6:], labs[6:])]
+        )
+        assert acc > 0.85
+
+    def test_transitions_smooth_noise(self):
+        # A per-frame argmax would flicker; the chain should not.
+        seqs, labs = self.make_sequences(seed=3)
+        crf = SkipChainCRF(n_classes=3, skip=5, epochs=4, seed=0)
+        crf.fit(seqs[:6], labs[:6])
+        pred = crf.predict(seqs[6])
+        switches = int((np.diff(pred) != 0).sum())
+        assert switches <= 8  # truth has 2 switches; allow some slack
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            SkipChainCRF(n_classes=3).predict(np.zeros((5, 2)))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            SkipChainCRF(n_classes=1)
+        with pytest.raises(ConfigurationError):
+            SkipChainCRF(n_classes=3, skip=0)
+
+
+class TestDictionaryLearning:
+    def test_omp_reconstructs_sparse_signals(self):
+        rng = np.random.default_rng(0)
+        dictionary = rng.standard_normal((10, 8))
+        dictionary /= np.linalg.norm(dictionary, axis=1, keepdims=True)
+        codes_true = np.zeros((5, 10))
+        for i in range(5):
+            codes_true[i, rng.choice(10, 2, replace=False)] = rng.standard_normal(2)
+        signals = codes_true @ dictionary
+        codes = omp_encode(signals, dictionary, sparsity=2)
+        assert np.allclose(codes @ dictionary, signals, atol=1e-8)
+
+    def test_learned_dictionary_reduces_error(self):
+        rng = np.random.default_rng(1)
+        true_dict = rng.standard_normal((6, 12))
+        true_dict /= np.linalg.norm(true_dict, axis=1, keepdims=True)
+        codes = rng.standard_normal((200, 6)) * (rng.random((200, 6)) < 0.3)
+        signals = codes @ true_dict + rng.normal(0, 0.01, (200, 12))
+        learner = DictionaryLearner(n_atoms=6, sparsity=3, n_iterations=6, seed=0)
+        learner.fit(signals)
+        recon = learner.encode(signals) @ learner.dictionary
+        err = np.linalg.norm(signals - recon) / np.linalg.norm(signals)
+        assert err < 0.35
+
+    def test_atoms_unit_norm(self):
+        rng = np.random.default_rng(2)
+        learner = DictionaryLearner(n_atoms=4, sparsity=2, n_iterations=2, seed=0)
+        learner.fit(rng.standard_normal((50, 6)))
+        norms = np.linalg.norm(learner.dictionary, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_encode_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            DictionaryLearner().encode(np.zeros((2, 4)))
+
+
+class TestSDSDL:
+    def test_classifies_blobs(self):
+        x, y = blobs(n_per_class=80, d=6, seed=4)
+        model = SDSDL(n_atoms=12, sparsity=3, dict_iterations=4, seed=0)
+        model.fit(x, y)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_windows_flattened(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((60, 4, 3))
+        y = (x[:, :, 0].mean(axis=1) > 0).astype(int)
+        model = SDSDL(n_atoms=8, sparsity=2, dict_iterations=3, seed=0)
+        model.fit(x, y)
+        assert model.predict(x).shape == (60,)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            SDSDL().predict(np.zeros((2, 4)))

@@ -1,0 +1,186 @@
+"""Tests for repro.eval (metrics, ROC, timing, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.eval import (
+    accuracy,
+    auc_score,
+    binary_metrics,
+    confusion_matrix,
+    early_detection_percentage,
+    f1_score,
+    format_markdown_table,
+    format_table,
+    gesture_jitter,
+    reaction_times,
+    roc_curve,
+)
+
+
+class TestBinaryMetrics:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1, 0])
+        y_pred = np.array([1, 0, 0, 1, 1, 0])
+        m = binary_metrics(y_true, y_pred)
+        assert (m.tp, m.fn, m.fp, m.tn) == (2, 1, 1, 2)
+        assert m.tpr == pytest.approx(2 / 3)
+        assert m.tnr == pytest.approx(2 / 3)
+        assert m.ppv == pytest.approx(2 / 3)
+        assert m.npv == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        m = binary_metrics(y, y)
+        assert m.f1 == pytest.approx(1.0)
+        assert m.accuracy == pytest.approx(1.0)
+
+    def test_undefined_ratios_are_nan(self):
+        m = binary_metrics(np.array([0, 0]), np.array([0, 0]))
+        assert np.isnan(m.tpr) and np.isnan(m.ppv)
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ShapeError):
+            binary_metrics(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestF1AndAccuracy:
+    def test_micro_equals_accuracy(self):
+        y_true = np.array([0, 1, 2, 2, 1])
+        y_pred = np.array([0, 2, 2, 2, 1])
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(
+            accuracy(y_true, y_pred)
+        )
+
+    def test_macro_average(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 1])
+        per_class_0 = binary_metrics(y_true == 0, y_pred == 0).f1
+        per_class_1 = binary_metrics(y_true == 1, y_pred == 1).f1
+        expected = (per_class_0 + per_class_1) / 2
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(expected)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([1, 1, 0]), 2)
+        assert matrix.tolist() == [[0, 1], [1, 1]]
+
+
+class TestROC:
+    def test_perfect_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        fpr, tpr, thresholds = roc_curve(y, rng.random(200))
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_auc_equals_rank_statistic(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 300)
+        scores = rng.normal(size=300) + y  # informative
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        rank_stat = (pos[:, None] > neg[None, :]).mean() + 0.5 * (
+            pos[:, None] == neg[None, :]
+        ).mean()
+        assert auc_score(y, scores) == pytest.approx(rank_stat, abs=1e-9)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ShapeError):
+            auc_score(np.ones(5), np.random.default_rng(0).random(5))
+
+
+class TestTiming:
+    def test_reaction_time_late_detection(self):
+        true = np.array([0, 0, 0, 1, 1, 1, 0, 0])
+        pred = np.array([0, 0, 0, 0, 1, 1, 0, 0])
+        reactions = reaction_times(true, pred)
+        assert len(reactions) == 1
+        assert reactions[0][1] == -1.0  # detected one frame late
+
+    def test_reaction_time_early_detection(self):
+        true = np.array([0, 0, 0, 0, 1, 1, 0])
+        pred = np.array([0, 0, 1, 1, 1, 0, 0])
+        reactions = reaction_times(true, pred)
+        assert reactions[0][1] == 2.0  # two frames early
+
+    def test_undetected_occurrence_skipped(self):
+        true = np.array([0, 1, 1, 0, 1, 1])
+        pred = np.array([0, 1, 0, 0, 0, 0])
+        reactions = reaction_times(true, pred)
+        assert len(reactions) == 1
+
+    def test_gesture_attribution(self):
+        true = np.array([0, 1, 1, 0])
+        pred = np.array([0, 1, 1, 0])
+        gestures = np.array([3, 4, 4, 5])
+        reactions = reaction_times(true, pred, gestures)
+        assert reactions[0][0] == 4
+
+    def test_early_detection_percentage(self):
+        reactions = [(None, 2.0), (None, -1.0), (None, 0.0), (None, 5.0)]
+        assert early_detection_percentage(reactions) == pytest.approx(50.0)
+        assert np.isnan(early_detection_percentage([]))
+
+    def test_jitter_perfect_prediction(self):
+        gestures = np.array([1, 1, 2, 2, 2, 3, 3])
+        jitter = gesture_jitter(gestures, gestures)
+        for samples in jitter.values():
+            assert all(v == 0.0 for v in samples)
+
+    def test_jitter_late_prediction(self):
+        true = np.array([1, 1, 1, 2, 2, 2, 2])
+        pred = np.array([1, 1, 1, 1, 2, 2, 2])
+        jitter = gesture_jitter(true, pred)
+        assert jitter[2] == [-1.0]
+
+    def test_jitter_early_prediction(self):
+        true = np.array([1, 1, 1, 1, 2, 2, 2])
+        pred = np.array([1, 1, 2, 2, 2, 2, 2])
+        jitter = gesture_jitter(true, pred)
+        assert jitter[2] == [2.0]
+
+    def test_jitter_restrict_mask(self):
+        true = np.array([1, 1, 2, 2, 1, 1, 2, 2])
+        pred = true.copy()
+        mask = np.zeros(8, dtype=bool)
+        mask[6:] = True  # only the second G2 occurrence
+        jitter = gesture_jitter(true, pred, restrict_to=mask)
+        assert len(jitter.get(2, [])) == 1
+        assert 1 not in jitter
+
+
+class TestReports:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_markdown(self):
+        text = format_markdown_table(["h1", "h2"], [[1, 2]])
+        assert text.splitlines()[1] == "|---|---|"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ShapeError):
+            format_table(["a", "b"], [[1]])

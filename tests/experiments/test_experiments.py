@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (scales, shared builders, renderers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import SCALES, get_scale
+from repro.experiments.common import make_blocktransfer_dataset
+from repro.experiments.table3 import Table3Row
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "fast", "full"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("fast").name == "fast"
+
+    def test_get_scale_passthrough(self):
+        preset = SCALES["smoke"]
+        assert get_scale(preset) is preset
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_full_scale_matches_paper_sizes(self):
+        full = get_scale("full")
+        assert full.suturing_demos == 39
+        assert full.campaign_scale == 1.0
+
+    def test_configs_constructible(self):
+        for preset in SCALES.values():
+            gcfg = preset.gesture_config()
+            assert gcfg.lstm_units == preset.gesture_lstm
+            ecfg = preset.error_config("lstm")
+            assert ecfg.architecture == "lstm"
+            bcfg = preset.error_config(for_baseline=True)
+            assert bcfg.max_train_windows == preset.baseline_max_windows
+
+
+class TestBlockTransferDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_blocktransfer_dataset("smoke", seed=0, n_fault_free=6)
+
+    def test_contains_clean_and_faulty(self, dataset):
+        faulty = [d for d in dataset if d.trajectory.metadata.get("faulty")]
+        clean = [d for d in dataset if not d.trajectory.metadata.get("faulty")]
+        assert faulty and clean
+
+    def test_faulty_demos_have_unsafe_frames(self, dataset):
+        flagged = [
+            d
+            for d in dataset
+            if d.trajectory.metadata.get("faulty") and d.trajectory.unsafe.any()
+        ]
+        assert flagged  # campaign produced at least one manifest error
+
+    def test_jigsaws_feature_width(self, dataset):
+        for demo in dataset:
+            assert demo.trajectory.n_features == 38
+
+    def test_loso_splittable(self, dataset):
+        train, test = dataset.split_by_trials(2)
+        assert len(train) and len(test)
+
+
+class TestRowHelpers:
+    def test_table3_row_percentages(self):
+        row = Table3Row(
+            grasper_rad=(0.9, 1.0),
+            grasper_window=(0.55, 0.7),
+            cartesian_dev=(3000.0, 6000.0),
+            cartesian_window=(0.5, 0.6),
+            n_injections=10,
+            block_drops=5,
+            dropoff_failures=2,
+            wrong_positions=0,
+        )
+        assert row.block_drop_pct == pytest.approx(50.0)
+        assert row.dropoff_pct == pytest.approx(20.0)
+
+
+class TestCLI:
+    def test_main_runs_figure3(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure3", "--scale", "smoke", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table42"])

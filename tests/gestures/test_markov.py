@@ -1,0 +1,102 @@
+"""Tests for repro.gestures.markov."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GestureError
+from repro.gestures.markov import MarkovChain
+from repro.gestures.vocabulary import END_TOKEN, START_TOKEN, Gesture
+
+
+def two_state_chain() -> MarkovChain:
+    return MarkovChain(
+        {
+            START_TOKEN: {1: 1.0},
+            1: {2: 0.7, END_TOKEN: 0.3},
+            2: {1: 0.5, END_TOKEN: 0.5},
+        }
+    )
+
+
+class TestConstruction:
+    def test_rejects_unnormalised_rows(self):
+        with pytest.raises(ConfigurationError):
+            MarkovChain({START_TOKEN: {1: 0.5, 2: 0.2}})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MarkovChain({START_TOKEN: {1: 1.5, 2: -0.5}})
+
+
+class TestFit:
+    def test_probabilities_from_counts(self):
+        chain = MarkovChain.fit([[1, 2], [1, 2], [1, 3]])
+        assert chain.probability(START_TOKEN, 1) == pytest.approx(1.0)
+        assert chain.probability(1, 2) == pytest.approx(2 / 3)
+        assert chain.probability(1, 3) == pytest.approx(1 / 3)
+        assert chain.probability(2, END_TOKEN) == pytest.approx(1.0)
+
+    def test_smoothing_gives_unseen_mass(self):
+        chain = MarkovChain.fit([[1, 2]], smoothing=0.1)
+        assert chain.probability(1, 1) > 0.0
+        row = chain.successors(1)
+        assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            MarkovChain.fit([])
+        with pytest.raises(ConfigurationError):
+            MarkovChain.fit([[]])
+
+
+class TestQueries:
+    def test_states_order(self):
+        chain = two_state_chain()
+        assert chain.states() == [START_TOKEN, 1, 2, END_TOKEN]
+
+    def test_transition_matrix_rows_stochastic(self):
+        matrix, order = two_state_chain().transition_matrix()
+        for i, state in enumerate(order):
+            if state == END_TOKEN:
+                continue
+            assert matrix[i].sum() == pytest.approx(1.0)
+
+    def test_log_likelihood(self):
+        chain = two_state_chain()
+        ll = chain.sequence_log_likelihood([1, 2])
+        assert ll == pytest.approx(np.log(1.0) + np.log(0.7) + np.log(0.5))
+
+    def test_log_likelihood_unseen_is_neg_inf(self):
+        assert two_state_chain().sequence_log_likelihood([2]) == float("-inf")
+
+    def test_networkx_export(self):
+        graph = two_state_chain().to_networkx()
+        assert graph.has_edge(1, 2)
+        assert graph.edges[1, 2]["probability"] == pytest.approx(0.7)
+
+
+class TestSampling:
+    def test_sample_terminates_and_is_valid(self):
+        chain = two_state_chain()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            seq = chain.sample_sequence(rng)
+            assert seq
+            assert chain.sequence_log_likelihood([int(g) for g in seq]) > float("-inf")
+            assert all(isinstance(g, Gesture) for g in seq)
+
+    def test_sample_deterministic_with_seed(self):
+        chain = two_state_chain()
+        a = chain.sample_sequence(123)
+        b = chain.sample_sequence(123)
+        assert a == b
+
+    def test_absorbing_loop_raises(self):
+        chain = MarkovChain({START_TOKEN: {1: 1.0}, 1: {1: 1.0}})
+        with pytest.raises(GestureError):
+            chain.sample_sequence(0, max_length=20)
+
+    def test_missing_transitions_raise(self):
+        chain = MarkovChain({START_TOKEN: {1: 1.0}})
+        with pytest.raises(GestureError):
+            chain.sample_sequence(0)

@@ -1,0 +1,54 @@
+"""Tests for the published task grammars (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.gestures.models import (
+    BLOCK_TRANSFER_GESTURES,
+    SUTURING_GESTURES,
+    block_transfer_chain,
+    suturing_chain,
+)
+from repro.gestures.vocabulary import END_TOKEN, START_TOKEN, Gesture
+
+
+class TestSuturingChain:
+    def test_rows_are_distributions(self):
+        chain = suturing_chain()
+        for state, row in chain.transitions.items():
+            assert sum(row.values()) == pytest.approx(1.0), state
+
+    def test_published_probabilities(self):
+        chain = suturing_chain()
+        # Spot-check values transcribed from Figure 3a.
+        assert chain.probability(START_TOKEN, Gesture.G1) == pytest.approx(0.74)
+        assert chain.probability(Gesture.G1, Gesture.G2) == pytest.approx(0.97)
+        assert chain.probability(Gesture.G2, Gesture.G3) == pytest.approx(0.96)
+        assert chain.probability(Gesture.G6, Gesture.G4) == pytest.approx(0.89)
+        assert chain.probability(Gesture.G11, END_TOKEN) == pytest.approx(1.0)
+
+    def test_g7_not_in_chain(self):
+        assert Gesture.G7 not in suturing_chain().gesture_states()
+
+    def test_gesture_roster(self):
+        assert set(suturing_chain().gesture_states()) == set(SUTURING_GESTURES)
+
+    def test_samples_follow_grammar(self):
+        chain = suturing_chain()
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            seq = chain.sample_sequence(rng)
+            assert seq[-1] == Gesture.G11  # only G11 reaches End
+            assert seq[0] in (Gesture.G1, Gesture.G5, Gesture.G8)
+
+
+class TestBlockTransferChain:
+    def test_deterministic_sequence(self):
+        chain = block_transfer_chain()
+        seq = chain.sample_sequence(0)
+        assert seq == list(BLOCK_TRANSFER_GESTURES)
+
+    def test_all_probabilities_one(self):
+        chain = block_transfer_chain()
+        for row in chain.transitions.values():
+            assert list(row.values()) == [1.0]

@@ -1,0 +1,59 @@
+"""Tests for repro.gestures.rubric (paper Table II)."""
+
+from repro.gestures.rubric import (
+    ERROR_RUBRIC,
+    ErrorMode,
+    FaultCause,
+    error_modes_for,
+    gestures_with_errors,
+)
+from repro.gestures.vocabulary import Gesture
+
+
+class TestRubricContents:
+    def test_g10_has_no_errors(self):
+        # Paper: "there were no common errors in G10".
+        assert error_modes_for(Gesture.G10) == ()
+
+    def test_g2_multiple_attempts(self):
+        specs = error_modes_for(Gesture.G2)
+        assert [s.mode for s in specs] == [ErrorMode.MULTIPLE_ATTEMPTS]
+        assert FaultCause.WRONG_ROTATION in specs[0].causes
+
+    def test_g4_has_two_modes(self):
+        modes = {s.mode for s in error_modes_for(Gesture.G4)}
+        assert modes == {ErrorMode.NEEDLE_DROP, ErrorMode.OUT_OF_VIEW}
+
+    def test_g5_cause_is_high_grasper(self):
+        (spec,) = error_modes_for(Gesture.G5)
+        assert spec.causes == (FaultCause.HIGH_GRASPER_ANGLE,)
+
+    def test_g11_failure_to_dropoff(self):
+        (spec,) = error_modes_for(Gesture.G11)
+        assert spec.mode == ErrorMode.FAILURE_TO_DROPOFF
+        assert spec.causes == (FaultCause.LOW_GRASPER_ANGLE,)
+
+    def test_gestures_with_errors_sorted(self):
+        gestures = gestures_with_errors()
+        assert list(gestures) == sorted(gestures, key=int)
+        assert Gesture.G10 not in gestures
+        assert Gesture.G7 not in gestures
+
+    def test_every_entry_has_cause(self):
+        assert all(spec.causes for spec in ERROR_RUBRIC)
+
+    def test_table_ii_gesture_coverage(self):
+        covered = {spec.gesture for spec in ERROR_RUBRIC}
+        expected = {
+            Gesture.G1,
+            Gesture.G2,
+            Gesture.G3,
+            Gesture.G4,
+            Gesture.G5,
+            Gesture.G6,
+            Gesture.G8,
+            Gesture.G9,
+            Gesture.G11,
+            Gesture.G12,
+        }
+        assert covered == expected

@@ -1,0 +1,45 @@
+"""Tests for repro.gestures.vocabulary."""
+
+import pytest
+
+from repro.errors import GestureError
+from repro.gestures.vocabulary import (
+    GESTURE_DESCRIPTIONS,
+    Gesture,
+    N_GESTURE_CLASSES,
+)
+
+
+class TestGesture:
+    def test_numbering(self):
+        assert int(Gesture.G3) == 3
+        assert Gesture.G3.class_index == 2
+
+    def test_from_class_index_round_trip(self):
+        for g in Gesture:
+            assert Gesture.from_class_index(g.class_index) is g
+
+    def test_from_class_index_rejects_out_of_range(self):
+        with pytest.raises(GestureError):
+            Gesture.from_class_index(15)
+        with pytest.raises(GestureError):
+            Gesture.from_class_index(-1)
+
+    @pytest.mark.parametrize("spec", [3, "3", "G3", "g3", " g3 ", Gesture.G3])
+    def test_parse_variants(self, spec):
+        assert Gesture.parse(spec) is Gesture.G3
+
+    @pytest.mark.parametrize("spec", ["Gx", "sixteen", 0, 16])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(GestureError):
+            Gesture.parse(spec)
+
+    def test_str(self):
+        assert str(Gesture.G11) == "G11"
+
+    def test_vocabulary_size(self):
+        assert N_GESTURE_CLASSES == 15
+        assert len(list(Gesture)) == 15
+
+    def test_descriptions_cover_vocabulary(self):
+        assert set(GESTURE_DESCRIPTIONS) == set(Gesture)

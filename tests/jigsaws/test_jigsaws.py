@@ -1,0 +1,204 @@
+"""Tests for the synthetic JIGSAWS data substrate."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.errors import DatasetError
+from repro.gestures.rubric import ErrorMode
+from repro.gestures.vocabulary import Gesture
+from repro.jigsaws import (
+    ERROR_RATES,
+    ErrorInjector,
+    PRIMITIVES,
+    SurgicalDataset,
+    loso_splits,
+    make_task_dataset,
+)
+from repro.jigsaws.primitives import SKILL_PROFILES, render_gesture
+from repro.jigsaws.schema import SuturingAnchors
+from repro.jigsaws.synthesis import SurgicalTaskSynthesizer
+
+
+class TestPrimitives:
+    def test_every_suturing_gesture_has_primitive(self):
+        from repro.gestures.models import SUTURING_GESTURES
+
+        for gesture in SUTURING_GESTURES:
+            assert gesture in PRIMITIVES
+
+    def test_render_shapes(self):
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G3],
+            SuturingAnchors(),
+            SKILL_PROFILES["expert"],
+            rng=0,
+        )
+        assert frames.ndim == 2 and frames.shape[1] == 38
+        assert frames.shape[0] >= 4
+
+    def test_novice_slower_than_expert(self):
+        anchors = SuturingAnchors()
+        novice = render_gesture(
+            PRIMITIVES[Gesture.G3], anchors, SKILL_PROFILES["novice"], rng=5
+        )
+        expert = render_gesture(
+            PRIMITIVES[Gesture.G3], anchors, SKILL_PROFILES["expert"], rng=5
+        )
+        assert novice.shape[0] > expert.shape[0]
+
+    def test_continuity_override(self):
+        anchors = SuturingAnchors()
+        start = (np.array([0.0, 0.0, 0.0]), np.array([0.01, 0.01, 0.01]))
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G1],
+            anchors,
+            SKILL_PROFILES["expert"],
+            rng=0,
+            start_positions=start,
+        )
+        assert np.allclose(frames[0, 0:3], start[0], atol=0.01)
+        assert np.allclose(frames[0, 19:22], start[1], atol=0.01)
+
+    def test_rotation_blocks_are_rotations(self):
+        from repro.kinematics.rotations import is_rotation_matrix
+
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G8],
+            SuturingAnchors(),
+            SKILL_PROFILES["intermediate"],
+            rng=1,
+        )
+        for t in (0, frames.shape[0] // 2, -1):
+            assert is_rotation_matrix(frames[t, 3:12].reshape(3, 3), atol=1e-6)
+
+
+class TestErrorInjector:
+    def test_rate_zero_never_injects(self):
+        injector = ErrorInjector(rate_scale=0.0)
+        frames = np.zeros((30, 38))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            __, mode = injector.maybe_inject(
+                Gesture.G4, frames, SKILL_PROFILES["novice"], rng
+            )
+            assert mode is None
+
+    def test_injection_modifies_frames(self):
+        injector = ErrorInjector()
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G4], SuturingAnchors(), SKILL_PROFILES["novice"], rng=3
+        )
+        modified = injector.apply(Gesture.G4, ErrorMode.NEEDLE_DROP, frames, rng=4)
+        assert not np.allclose(modified, frames)
+        # Original untouched.
+        assert frames is not modified
+
+    def test_needle_drop_opens_jaw(self):
+        injector = ErrorInjector()
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G4], SuturingAnchors(), SKILL_PROFILES["expert"], rng=5
+        )
+        modified = injector.apply(Gesture.G4, ErrorMode.NEEDLE_DROP, frames, rng=6)
+        # Right-arm jaw (column 37) ends clearly more open than nominal.
+        assert modified[-1, 37] > frames[-1, 37] + 0.2
+
+    def test_failure_to_dropoff_keeps_jaw_closed(self):
+        injector = ErrorInjector()
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G11], SuturingAnchors(), SKILL_PROFILES["expert"], rng=7
+        )
+        modified = injector.apply(
+            Gesture.G11, ErrorMode.FAILURE_TO_DROPOFF, frames, rng=8
+        )
+        assert modified[-1, 37] < frames[-1, 37] - 0.3
+
+    def test_velocities_rederived(self):
+        injector = ErrorInjector()
+        frames = render_gesture(
+            PRIMITIVES[Gesture.G6], SuturingAnchors(), SKILL_PROFILES["expert"], rng=9
+        )
+        modified = injector.apply(Gesture.G6, ErrorMode.OUT_OF_VIEW, frames, rng=10)
+        dt = 1.0 / 30.0
+        expected = np.gradient(modified[:, 0:3], dt, axis=0)
+        assert np.allclose(modified[:, 12:15], expected)
+
+    def test_error_rates_match_table_vii(self):
+        assert ERROR_RATES[Gesture.G4] == pytest.approx(0.77)
+        assert ERROR_RATES[Gesture.G5] == pytest.approx(0.05)
+        assert Gesture.G10 not in ERROR_RATES
+
+
+class TestSynthesis:
+    def test_dataset_structure(self, suturing_dataset):
+        assert len(suturing_dataset) == 12
+        for demo in suturing_dataset:
+            traj = demo.trajectory
+            assert traj.n_features == 38
+            assert traj.frame_rate_hz == 30.0
+            assert traj.gestures is not None and traj.unsafe is not None
+
+    def test_sequences_follow_grammar(self, suturing_dataset):
+        from repro.gestures.models import suturing_chain
+
+        chain = suturing_chain()
+        for demo in suturing_dataset:
+            seq = demo.gesture_sequence()
+            assert chain.sequence_log_likelihood(seq) > float("-inf")
+
+    def test_unsafe_marks_whole_gestures(self, suturing_dataset):
+        for demo in suturing_dataset:
+            traj = demo.trajectory
+            for __, start, end in traj.gesture_segments():
+                segment = traj.unsafe[start:end]
+                assert segment.min() == segment.max()
+
+    def test_deterministic(self):
+        synth = SurgicalTaskSynthesizer()
+        a = synth.demonstration("B", 1, rng=42)
+        b = SurgicalTaskSynthesizer().demonstration("B", 1, rng=42)
+        assert np.allclose(a.trajectory.frames, b.trajectory.frames)
+
+    def test_other_tasks(self):
+        kt = make_task_dataset("knot_tying", n_demos=4, rng=0)
+        assert kt.task == "knot_tying"
+        np_ds = make_task_dataset("needle_passing", n_demos=4, rng=0)
+        assert len(np_ds) == 4
+        with pytest.raises(DatasetError):
+            make_task_dataset("juggling")
+
+
+class TestDatasetOperations:
+    def test_windows_shapes(self, suturing_dataset):
+        data = suturing_dataset.windows(WindowConfig(5, 2))
+        assert data.x.shape[1:] == (5, 38)
+        assert data.gesture.shape == (data.n_windows,)
+        assert data.gesture.min() >= 0
+
+    def test_windows_do_not_cross_demos(self, suturing_dataset):
+        data = suturing_dataset.windows(WindowConfig(5, 1))
+        total = sum(
+            WindowConfig(5, 1).n_windows(d.n_frames) for d in suturing_dataset
+        )
+        assert data.n_windows == total
+
+    def test_for_gesture_filter(self, suturing_dataset):
+        data = suturing_dataset.windows(WindowConfig(5, 1))
+        sub = data.for_gesture(Gesture.G3)
+        assert (sub.gesture == Gesture.G3.class_index).all()
+
+    def test_loso_splits_cover_all_trials(self, suturing_dataset):
+        folds = list(loso_splits(suturing_dataset))
+        held = [t for t, __, __ in folds]
+        assert held == suturing_dataset.supertrials()
+        for trial, train, test in folds:
+            assert all(d.trial == trial for d in test)
+            assert all(d.trial != trial for d in train)
+
+    def test_erroneous_counts(self, suturing_dataset):
+        total, erroneous = suturing_dataset.erroneous_gesture_counts()
+        assert 0 < erroneous < total
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            SurgicalDataset([], task="x")

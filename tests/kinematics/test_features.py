@@ -1,0 +1,78 @@
+"""Tests for repro.kinematics.features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.kinematics.features import (
+    ALL_FEATURES,
+    FeatureGroup,
+    feature_indices,
+    feature_names,
+    n_features,
+    select_features,
+)
+
+
+class TestFeatureIndices:
+    def test_all_features_count(self):
+        assert len(ALL_FEATURES) == 38
+        assert feature_indices(None).shape == (38,)
+
+    def test_cartesian_selects_both_arms(self):
+        idx = feature_indices("C")
+        assert idx.tolist() == [0, 1, 2, 19, 20, 21]
+
+    def test_grasper(self):
+        assert feature_indices("G").tolist() == [18, 37]
+
+    def test_crg_combination(self):
+        # Cartesian (3) + rotation (9) + grasper (1) per arm = 13 x 2.
+        assert n_features("CRG") == 26
+
+    def test_cg_combination(self):
+        # The paper's Block Transfer feature set: Cartesian + grasper.
+        assert n_features("CG") == 8
+
+    def test_case_insensitive(self):
+        assert np.array_equal(feature_indices("crg"), feature_indices("CRG"))
+
+    def test_list_input(self):
+        idx = feature_indices([FeatureGroup.CARTESIAN, "G"])
+        assert np.array_equal(idx, feature_indices("CG"))
+
+    def test_duplicates_collapse(self):
+        assert np.array_equal(feature_indices("CC"), feature_indices("C"))
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ConfigurationError):
+            feature_indices("X")
+
+
+class TestFeatureNames:
+    def test_names_align_with_indices(self):
+        names = feature_names("G")
+        assert names == ["left_grasper_angle", "right_grasper_angle"]
+
+    def test_all_names_unique(self):
+        assert len(set(ALL_FEATURES)) == len(ALL_FEATURES)
+
+
+class TestSelectFeatures:
+    def test_2d_selection(self):
+        data = np.arange(2 * 38).reshape(2, 38).astype(float)
+        out = select_features(data, "G")
+        assert out.shape == (2, 2)
+        assert out[0].tolist() == [18.0, 37.0]
+
+    def test_3d_selection(self):
+        data = np.zeros((4, 5, 38))
+        assert select_features(data, "C").shape == (4, 5, 6)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ShapeError):
+            select_features(np.zeros((3, 37)), "C")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            select_features(np.zeros(38), "C")

@@ -1,0 +1,92 @@
+"""Tests for repro.kinematics.rotations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kinematics.rotations import (
+    identity_rotation,
+    is_rotation_matrix,
+    rotation_about_axis,
+    rotation_angle_between,
+    rotation_from_euler,
+    rotation_to_euler,
+)
+
+
+class TestRotationAboutAxis:
+    def test_zero_angle_is_identity(self):
+        rot = rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.0)
+        assert np.allclose(rot, np.eye(3))
+
+    def test_quarter_turn_about_z(self):
+        rot = rotation_about_axis(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+        assert np.allclose(rot @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_axis_normalisation(self):
+        a = rotation_about_axis(np.array([0.0, 0.0, 2.0]), 0.3)
+        b = rotation_about_axis(np.array([0.0, 0.0, 1.0]), 0.3)
+        assert np.allclose(a, b)
+
+    def test_is_proper_rotation(self):
+        rot = rotation_about_axis(np.array([1.0, 2.0, 3.0]), 1.1)
+        assert is_rotation_matrix(rot)
+
+    def test_rejects_zero_axis(self):
+        with pytest.raises(ShapeError):
+            rotation_about_axis(np.zeros(3), 1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            rotation_about_axis(np.ones(2), 1.0)
+
+
+class TestEulerRoundTrip:
+    @pytest.mark.parametrize(
+        "roll,pitch,yaw",
+        [(0.1, 0.2, 0.3), (-0.5, 0.4, -1.2), (0.0, 0.0, 0.0), (3.0, -1.0, 2.5)],
+    )
+    def test_round_trip(self, roll, pitch, yaw):
+        rot = rotation_from_euler(roll, pitch, yaw)
+        recovered = rotation_from_euler(*rotation_to_euler(rot))
+        assert np.allclose(rot, recovered, atol=1e-9)
+
+    def test_always_proper(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            angles = rng.uniform(-np.pi, np.pi, 3)
+            assert is_rotation_matrix(rotation_from_euler(*angles))
+
+
+class TestAngleBetween:
+    def test_zero_for_identical(self):
+        rot = rotation_from_euler(0.3, -0.2, 0.9)
+        assert rotation_angle_between(rot, rot) == pytest.approx(0.0, abs=1e-7)
+
+    def test_matches_constructed_angle(self):
+        base = identity_rotation()
+        for angle in (0.1, 0.7, 1.5, 3.0):
+            other = rotation_about_axis(np.array([0.0, 1.0, 0.0]), angle)
+            assert rotation_angle_between(base, other) == pytest.approx(angle, abs=1e-9)
+
+    def test_symmetry(self):
+        a = rotation_from_euler(0.2, 0.4, -0.3)
+        b = rotation_from_euler(-0.7, 0.1, 0.5)
+        assert rotation_angle_between(a, b) == pytest.approx(
+            rotation_angle_between(b, a)
+        )
+
+
+class TestIsRotationMatrix:
+    def test_identity(self):
+        assert is_rotation_matrix(np.eye(3))
+
+    def test_rejects_reflection(self):
+        reflection = np.diag([1.0, 1.0, -1.0])
+        assert not is_rotation_matrix(reflection)
+
+    def test_rejects_scaled(self):
+        assert not is_rotation_matrix(2.0 * np.eye(3))
+
+    def test_rejects_wrong_shape(self):
+        assert not is_rotation_matrix(np.eye(2))

@@ -1,0 +1,83 @@
+"""Tests for repro.kinematics.state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kinematics.rotations import rotation_from_euler
+from repro.kinematics.state import ManipulatorState, N_VARIABLES_PER_ARM, RobotState
+
+
+class TestManipulatorState:
+    def test_vector_round_trip(self):
+        state = ManipulatorState(
+            position=np.array([0.1, 0.2, 0.3]),
+            rotation=rotation_from_euler(0.1, 0.2, 0.3),
+            linear_velocity=np.array([1.0, -1.0, 0.5]),
+            angular_velocity=np.array([0.0, 0.1, -0.1]),
+            grasper_angle=0.7,
+        )
+        recovered = ManipulatorState.from_vector(state.to_vector())
+        assert np.allclose(recovered.position, state.position)
+        assert np.allclose(recovered.rotation, state.rotation)
+        assert np.allclose(recovered.linear_velocity, state.linear_velocity)
+        assert np.allclose(recovered.angular_velocity, state.angular_velocity)
+        assert recovered.grasper_angle == pytest.approx(0.7)
+
+    def test_vector_width(self):
+        assert ManipulatorState().to_vector().shape == (N_VARIABLES_PER_ARM,)
+
+    def test_vector_layout(self):
+        # JIGSAWS ordering: position, rotation, lin vel, ang vel, grasper.
+        state = ManipulatorState(grasper_angle=0.9)
+        vec = state.to_vector()
+        assert vec[18] == pytest.approx(0.9)
+        assert np.allclose(vec[3:12].reshape(3, 3), np.eye(3))
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ShapeError):
+            ManipulatorState(position=np.zeros(2))
+
+    def test_rejects_bad_rotation(self):
+        with pytest.raises(ShapeError):
+            ManipulatorState(rotation=np.zeros((2, 3)))
+
+    def test_rejects_bad_vector(self):
+        with pytest.raises(ShapeError):
+            ManipulatorState.from_vector(np.zeros(18))
+
+    def test_has_valid_rotation(self):
+        assert ManipulatorState().has_valid_rotation()
+        bad = ManipulatorState()
+        bad.rotation = 2 * np.eye(3)
+        assert not bad.has_valid_rotation()
+
+    def test_copy_is_deep(self):
+        state = ManipulatorState()
+        clone = state.copy()
+        clone.position[0] = 99.0
+        assert state.position[0] == 0.0
+
+
+class TestRobotState:
+    def test_round_trip(self):
+        robot = RobotState(
+            left=ManipulatorState(position=np.array([1.0, 2.0, 3.0])),
+            right=ManipulatorState(grasper_angle=1.2),
+        )
+        recovered = RobotState.from_vector(robot.to_vector())
+        assert np.allclose(recovered.left.position, [1.0, 2.0, 3.0])
+        assert recovered.right.grasper_angle == pytest.approx(1.2)
+
+    def test_width(self):
+        assert RobotState().to_vector().shape == (2 * N_VARIABLES_PER_ARM,)
+
+    def test_left_comes_first(self):
+        robot = RobotState(left=ManipulatorState(grasper_angle=0.5))
+        vec = robot.to_vector()
+        assert vec[18] == pytest.approx(0.5)
+        assert vec[37] == pytest.approx(0.0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ShapeError):
+            RobotState.from_vector(np.zeros(37))

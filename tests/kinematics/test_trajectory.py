@@ -1,0 +1,111 @@
+"""Tests for repro.kinematics.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ShapeError
+from repro.kinematics.trajectory import Trajectory
+
+
+def make_trajectory(n=10, d=3, rate=30.0, gestures=None, unsafe=None):
+    return Trajectory(
+        frames=np.arange(n * d, dtype=float).reshape(n, d),
+        frame_rate_hz=rate,
+        gestures=gestures,
+        unsafe=unsafe,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        traj = make_trajectory(12, 4)
+        assert traj.n_frames == 12
+        assert traj.n_features == 4
+        assert traj.duration_ms == pytest.approx(400.0)
+
+    def test_timestamps(self):
+        traj = make_trajectory(3, 1, rate=10.0)
+        assert traj.timestamps_ms().tolist() == [0.0, 100.0, 200.0]
+
+    def test_rejects_1d_frames(self):
+        with pytest.raises(ShapeError):
+            Trajectory(frames=np.zeros(5), frame_rate_hz=30.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(DatasetError):
+            make_trajectory(rate=0.0)
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            make_trajectory(10, gestures=np.zeros(9, dtype=int))
+
+    def test_rejects_nonbinary_unsafe(self):
+        with pytest.raises(DatasetError):
+            make_trajectory(3, unsafe=np.array([0, 1, 2]))
+
+
+class TestSegments:
+    def test_gesture_segments(self):
+        traj = make_trajectory(6, gestures=np.array([1, 1, 2, 2, 2, 3]))
+        assert traj.gesture_segments() == [(1, 0, 2), (2, 2, 5), (3, 5, 6)]
+
+    def test_unsafe_segments(self):
+        traj = make_trajectory(7, unsafe=np.array([0, 1, 1, 0, 0, 1, 1]))
+        assert traj.unsafe_segments() == [(1, 3), (5, 7)]
+
+    def test_unsafe_segment_at_end(self):
+        traj = make_trajectory(3, unsafe=np.array([0, 0, 1]))
+        assert traj.unsafe_segments() == [(2, 3)]
+
+    def test_requires_labels(self):
+        with pytest.raises(DatasetError):
+            make_trajectory().gesture_segments()
+        with pytest.raises(DatasetError):
+            make_trajectory().unsafe_segments()
+
+
+class TestSliceCopyResample:
+    def test_slice(self):
+        traj = make_trajectory(10, gestures=np.arange(10) % 3 + 1)
+        part = traj.slice(2, 6)
+        assert part.n_frames == 4
+        assert np.array_equal(part.frames, traj.frames[2:6])
+        assert np.array_equal(part.gestures, traj.gestures[2:6])
+
+    def test_slice_bounds(self):
+        with pytest.raises(DatasetError):
+            make_trajectory(5).slice(3, 7)
+
+    def test_copy_independent(self):
+        traj = make_trajectory(5)
+        clone = traj.copy()
+        clone.frames[0, 0] = 999.0
+        assert traj.frames[0, 0] != 999.0
+
+    def test_resample_downsamples(self):
+        traj = make_trajectory(30, rate=30.0, gestures=np.ones(30, dtype=int))
+        down = traj.resample(10.0)
+        assert down.frame_rate_hz == 10.0
+        assert down.n_frames == 10
+        assert down.gestures is not None and down.gestures.shape == (10,)
+
+    def test_resample_identity(self):
+        traj = make_trajectory(8)
+        same = traj.resample(traj.frame_rate_hz)
+        assert np.allclose(same.frames, traj.frames)
+
+    def test_resample_preserves_linear_signal(self):
+        n = 60
+        frames = np.linspace(0.0, 1.0, n)[:, None]
+        traj = Trajectory(frames=frames, frame_rate_hz=60.0)
+        down = traj.resample(20.0)
+        expected = np.linspace(0.0, down.n_frames - 1, down.n_frames) * (3 / (n - 1))
+        assert np.allclose(down.frames[:, 0], expected, atol=1e-6)
+
+    def test_with_labels(self):
+        traj = make_trajectory(4)
+        labelled = traj.with_labels(
+            gestures=np.ones(4, dtype=int), unsafe=np.zeros(4, dtype=int)
+        )
+        assert labelled.gestures is not None
+        assert traj.gestures is None

@@ -1,0 +1,93 @@
+"""Tests for repro.kinematics.windows."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.errors import ShapeError
+from repro.kinematics.windows import StreamingWindow, sliding_windows, window_labels
+
+
+def ramp_frames(n: int, d: int = 2) -> np.ndarray:
+    return np.arange(n * d, dtype=float).reshape(n, d)
+
+
+class TestSlidingWindows:
+    def test_shapes_and_ends(self):
+        windows, ends = sliding_windows(ramp_frames(10), WindowConfig(4, 2))
+        assert windows.shape == (4, 4, 2)
+        assert ends.tolist() == [3, 5, 7, 9]
+
+    def test_content(self):
+        frames = ramp_frames(6)
+        windows, _ = sliding_windows(frames, WindowConfig(3, 1))
+        assert np.array_equal(windows[0], frames[0:3])
+        assert np.array_equal(windows[-1], frames[3:6])
+
+    def test_too_short_sequence(self):
+        windows, ends = sliding_windows(ramp_frames(3), WindowConfig(5, 1))
+        assert windows.shape == (0, 5, 2)
+        assert ends.size == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            sliding_windows(np.arange(10.0), WindowConfig(3, 1))
+
+
+class TestWindowLabels:
+    def test_last_reduce(self):
+        labels = np.array([1, 1, 2, 2, 3, 3])
+        out = window_labels(labels, WindowConfig(3, 1), reduce="last")
+        assert out.tolist() == [2, 2, 3, 3]
+
+    def test_any_reduce(self):
+        labels = np.array([0, 1, 0, 0, 0])
+        out = window_labels(labels, WindowConfig(3, 1), reduce="any")
+        assert out.tolist() == [1, 1, 0]
+
+    def test_majority_reduce(self):
+        labels = np.array([5, 5, 7, 7, 7])
+        out = window_labels(labels, WindowConfig(5, 1), reduce="majority")
+        assert out.tolist() == [7]
+
+    def test_alignment_with_windows(self):
+        frames = ramp_frames(20)
+        labels = np.arange(20)
+        cfg = WindowConfig(4, 3)
+        _, ends = sliding_windows(frames, cfg)
+        out = window_labels(labels, cfg, reduce="last")
+        assert np.array_equal(out, labels[ends])
+
+    def test_unknown_reduce(self):
+        with pytest.raises(ShapeError):
+            window_labels(np.zeros(5, dtype=int), WindowConfig(2, 1), reduce="mean")
+
+
+class TestStreamingWindow:
+    def test_matches_batch_extraction(self):
+        frames = ramp_frames(25, 3)
+        cfg = WindowConfig(5, 2)
+        batch_windows, batch_ends = sliding_windows(frames, cfg)
+        stream = StreamingWindow(cfg, n_features=3)
+        seen = list(stream.iter_windows(frames))
+        assert [t for t, _ in seen] == batch_ends.tolist()
+        for (_, win), batch in zip(seen, batch_windows):
+            assert np.array_equal(win, batch)
+
+    def test_warmup_returns_none(self):
+        stream = StreamingWindow(WindowConfig(4, 1), n_features=1)
+        for t in range(3):
+            assert stream.push(np.array([float(t)])) is None
+        assert stream.push(np.array([3.0])) is not None
+
+    def test_reset(self):
+        stream = StreamingWindow(WindowConfig(2, 1), n_features=1)
+        stream.push(np.array([0.0]))
+        stream.reset()
+        assert stream.frames_seen == 0
+        assert stream.push(np.array([1.0])) is None
+
+    def test_rejects_wrong_width(self):
+        stream = StreamingWindow(WindowConfig(2, 1), n_features=2)
+        with pytest.raises(ShapeError):
+            stream.push(np.zeros(3))

@@ -1,0 +1,257 @@
+"""Layer tests: shapes, semantics and numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def numeric_gradient_check(layers, in_shape, loss, y, seed=0, tol=3e-4):
+    """Compare analytic parameter gradients against central differences."""
+    model = nn.Sequential(layers, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((4, *in_shape))
+    model.build(in_shape)
+    logits = model.forward(x, training=True)
+    grad = loss.gradient(logits, y)
+    for layer in reversed(model.layers):
+        grad = layer.backward(grad)
+    analytic = [g.copy() for g in model.gradients()]
+    params = model.parameters()
+    eps = 1e-5
+    for pi, p in enumerate(params):
+        numeric = np.zeros_like(p)
+        it = np.nditer(p, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = p[idx]
+            p[idx] = orig + eps
+            up = loss.value(model.forward(x, training=False), y)
+            p[idx] = orig - eps
+            down = loss.value(model.forward(x, training=False), y)
+            p[idx] = orig
+            numeric[idx] = (up - down) / (2 * eps)
+            it.iternext()
+        scale = np.max(np.abs(numeric)) + 1e-8
+        err = np.max(np.abs(numeric - analytic[pi])) / scale
+        assert err < tol, f"param {pi}: relative error {err:.2e}"
+
+
+MULTICLASS = nn.SoftmaxCrossEntropy()
+BINARY = nn.SigmoidBinaryCrossEntropy(positive_weight=2.0)
+Y_MC = np.array([0, 1, 2, 1])
+Y_BIN = np.array([0.0, 1.0, 1.0, 0.0])
+
+
+class TestGradients:
+    def test_dense_relu(self):
+        numeric_gradient_check(
+            [nn.Dense(5), nn.ReLU(), nn.Dense(3)], (4,), MULTICLASS, Y_MC
+        )
+
+    def test_stacked_lstm(self):
+        numeric_gradient_check(
+            [nn.LSTM(5, return_sequences=True), nn.LSTM(4), nn.Dense(3)],
+            (5, 3),
+            MULTICLASS,
+            Y_MC,
+        )
+
+    def test_conv_same_maxpool_flatten(self):
+        numeric_gradient_check(
+            [
+                nn.Conv1D(4, 3, padding="same"),
+                nn.Tanh(),
+                nn.MaxPool1D(2),
+                nn.Flatten(),
+                nn.Dense(1),
+            ],
+            (6, 3),
+            BINARY,
+            Y_BIN,
+        )
+
+    def test_conv_valid_gap_sigmoid(self):
+        numeric_gradient_check(
+            [
+                nn.Conv1D(4, 3, padding="valid"),
+                nn.Sigmoid(),
+                nn.GlobalAveragePool1D(),
+                nn.Dense(1),
+            ],
+            (6, 3),
+            BINARY,
+            Y_BIN,
+        )
+
+    def test_dense_on_sequences(self):
+        numeric_gradient_check(
+            [nn.Dense(4), nn.ReLU(), nn.Flatten(), nn.Dense(3)],
+            (5, 3),
+            MULTICLASS,
+            Y_MC,
+        )
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = nn.Dense(7)
+        layer.build((4,), np.random.default_rng(0))
+        assert layer.output_shape == (7,)
+        out = layer.forward(np.zeros((2, 4)))
+        assert out.shape == (2, 7)
+
+    def test_timestep_sharing(self):
+        layer = nn.Dense(2)
+        layer.build((3, 4), np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((1, 3, 4))
+        out = layer.forward(x)
+        for t in range(3):
+            single = x[:, t, :] @ layer.params["W"] + layer.params["b"]
+            assert np.allclose(out[:, t, :], single)
+
+    def test_rejects_invalid_units(self):
+        with pytest.raises(ConfigurationError):
+            nn.Dense(0)
+
+    def test_rejects_wrong_feature_count(self):
+        layer = nn.Dense(2)
+        layer.build((3,), np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 4)))
+
+
+class TestLSTM:
+    def test_return_sequences_shape(self):
+        layer = nn.LSTM(6, return_sequences=True)
+        layer.build((5, 3), np.random.default_rng(0))
+        assert layer.forward(np.zeros((2, 5, 3))).shape == (2, 5, 6)
+
+    def test_last_state_shape(self):
+        layer = nn.LSTM(6)
+        layer.build((5, 3), np.random.default_rng(0))
+        assert layer.forward(np.zeros((2, 5, 3))).shape == (2, 6)
+
+    def test_last_state_matches_sequence_tail(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 5, 3))
+        seq = nn.LSTM(4, return_sequences=True)
+        last = nn.LSTM(4, return_sequences=False)
+        build_rng_a = np.random.default_rng(11)
+        build_rng_b = np.random.default_rng(11)
+        seq.build((5, 3), build_rng_a)
+        last.build((5, 3), build_rng_b)
+        assert np.allclose(seq.forward(x)[:, -1, :], last.forward(x))
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = nn.LSTM(4)
+        layer.build((5, 3), np.random.default_rng(0))
+        assert np.allclose(layer.params["b"][4:8], 1.0)
+
+    def test_zero_input_gives_bounded_output(self):
+        layer = nn.LSTM(4)
+        layer.build((5, 3), np.random.default_rng(0))
+        out = layer.forward(np.zeros((1, 5, 3)))
+        assert np.all(np.abs(out) < 1.0)
+
+
+class TestConv1D:
+    def test_same_padding_preserves_length(self):
+        layer = nn.Conv1D(3, 5, padding="same")
+        layer.build((8, 2), np.random.default_rng(0))
+        assert layer.forward(np.zeros((1, 8, 2))).shape == (1, 8, 3)
+
+    def test_valid_padding_shrinks(self):
+        layer = nn.Conv1D(3, 3, padding="valid")
+        layer.build((8, 2), np.random.default_rng(0))
+        assert layer.forward(np.zeros((1, 8, 2))).shape == (1, 6, 3)
+
+    def test_matches_manual_convolution(self):
+        layer = nn.Conv1D(1, 3, padding="valid")
+        layer.build((5, 1), np.random.default_rng(0))
+        layer.params["W"][...] = np.array([1.0, 2.0, 3.0]).reshape(3, 1, 1)
+        layer.params["b"][...] = 0.5
+        x = np.arange(5.0).reshape(1, 5, 1)
+        out = layer.forward(x)
+        expected = [0 + 2 + 6 + 0.5, 1 + 4 + 9 + 0.5, 2 + 6 + 12 + 0.5]
+        assert np.allclose(out[0, :, 0], expected)
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(ConfigurationError):
+            nn.Conv1D(2, 3, padding="reflect")
+
+    def test_rejects_kernel_larger_than_input(self):
+        layer = nn.Conv1D(2, 9, padding="valid")
+        with pytest.raises(ConfigurationError):
+            layer.build((4, 2), np.random.default_rng(0))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        layer = nn.MaxPool1D(2)
+        layer.build((4, 1), np.random.default_rng(0))
+        x = np.array([[1.0], [5.0], [2.0], [3.0]]).reshape(1, 4, 1)
+        assert layer.forward(x)[0, :, 0].tolist() == [5.0, 3.0]
+
+    def test_maxpool_drops_remainder(self):
+        layer = nn.MaxPool1D(2)
+        layer.build((5, 2), np.random.default_rng(0))
+        assert layer.forward(np.zeros((1, 5, 2))).shape == (1, 2, 2)
+
+    def test_gap_is_time_mean(self):
+        layer = nn.GlobalAveragePool1D()
+        layer.build((4, 2), np.random.default_rng(0))
+        x = np.random.default_rng(0).standard_normal((3, 4, 2))
+        assert np.allclose(layer.forward(x), x.mean(axis=1))
+
+    def test_flatten(self):
+        layer = nn.Flatten()
+        layer.build((3, 4), np.random.default_rng(0))
+        assert layer.forward(np.zeros((2, 3, 4))).shape == (2, 12)
+
+
+class TestBatchNorm:
+    def test_training_normalises(self):
+        layer = nn.BatchNorm()
+        layer.build((3,), np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((200, 3)) * 5 + 2
+        out = layer.forward(x, training=True)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_inference_uses_running_stats(self):
+        layer = nn.BatchNorm(momentum=0.0)  # adopt batch stats immediately
+        layer.build((2,), np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((100, 2)) * 3 + 1
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_3d_input(self):
+        layer = nn.BatchNorm()
+        layer.build((4, 3), np.random.default_rng(0))
+        out = layer.forward(np.random.default_rng(2).standard_normal((5, 4, 3)), True)
+        assert out.shape == (5, 4, 3)
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.build((4,), np.random.default_rng(0))
+        x = np.ones((3, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_scales_survivors(self):
+        layer = nn.Dropout(0.5)
+        layer.build((1000,), np.random.default_rng(0))
+        out = layer.forward(np.ones((1, 1000)), training=True)
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 300 < survivors.size < 700
+
+    def test_rate_zero_is_identity_even_training(self):
+        layer = nn.Dropout(0.0)
+        layer.build((4,), np.random.default_rng(0))
+        x = np.ones((2, 4))
+        assert np.array_equal(layer.forward(x, training=True), x)

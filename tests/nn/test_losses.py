@@ -1,0 +1,109 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import SigmoidBinaryCrossEntropy, SoftmaxCrossEntropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.value(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_prediction_is_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((5, 4))
+        assert loss.value(logits, np.array([0, 1, 2, 3, 0])) == pytest.approx(
+            np.log(4), abs=1e-9
+        )
+
+    def test_one_hot_and_index_targets_agree(self):
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((6, 3))
+        y_idx = np.array([0, 1, 2, 0, 1, 2])
+        y_hot = np.eye(3)[y_idx]
+        assert loss.value(logits, y_idx) == pytest.approx(loss.value(logits, y_hot))
+        assert np.allclose(loss.gradient(logits, y_idx), loss.gradient(logits, y_hot))
+
+    def test_gradient_matches_numeric(self):
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((3, 4))
+        y = np.array([1, 3, 0])
+        grad = loss.gradient(logits, y)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                logits[i, j] += eps
+                up = loss.value(logits, y)
+                logits[i, j] -= 2 * eps
+                down = loss.value(logits, y)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_predict_sums_to_one(self):
+        loss = SoftmaxCrossEntropy()
+        probs = loss.predict(np.random.default_rng(2).standard_normal((5, 3)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_rejects_out_of_range_labels(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ShapeError):
+            loss.value(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_extreme_logits_stable(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1000.0, -1000.0]])
+        assert np.isfinite(loss.value(logits, np.array([0])))
+
+
+class TestSigmoidBinaryCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SigmoidBinaryCrossEntropy()
+        assert loss.value(np.array([10.0, -10.0]), np.array([1.0, 0.0])) < 1e-4
+
+    def test_positive_weight_scales_positive_loss(self):
+        plain = SigmoidBinaryCrossEntropy(positive_weight=1.0)
+        weighted = SigmoidBinaryCrossEntropy(positive_weight=3.0)
+        logits = np.array([0.0])
+        y_pos = np.array([1.0])
+        assert weighted.value(logits, y_pos) == pytest.approx(
+            3.0 * plain.value(logits, y_pos)
+        )
+        y_neg = np.array([0.0])
+        assert weighted.value(logits, y_neg) == pytest.approx(
+            plain.value(logits, y_neg)
+        )
+
+    def test_gradient_matches_numeric(self):
+        loss = SigmoidBinaryCrossEntropy(positive_weight=2.0)
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((5, 1))
+        y = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+        grad = loss.gradient(logits, y)
+        eps = 1e-6
+        for i in range(5):
+            logits[i, 0] += eps
+            up = loss.value(logits, y)
+            logits[i, 0] -= 2 * eps
+            down = loss.value(logits, y)
+            logits[i, 0] += eps
+            assert grad[i, 0] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_gradient_preserves_shape(self):
+        loss = SigmoidBinaryCrossEntropy()
+        logits = np.zeros((4, 1))
+        assert loss.gradient(logits, np.zeros(4)).shape == (4, 1)
+
+    def test_rejects_mismatched_lengths(self):
+        loss = SigmoidBinaryCrossEntropy()
+        with pytest.raises(ShapeError):
+            loss.value(np.zeros(3), np.zeros(4))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ShapeError):
+            SigmoidBinaryCrossEntropy(positive_weight=0.0)

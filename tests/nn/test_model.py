@@ -1,0 +1,131 @@
+"""Tests for repro.nn.model (Sequential) and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+
+
+def separable_binary(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestSequentialBasics:
+    def test_rejects_empty_layer_list(self):
+        with pytest.raises(ConfigurationError):
+            nn.Sequential([])
+
+    def test_fit_requires_compile(self):
+        model = nn.Sequential([nn.Dense(2)])
+        with pytest.raises(NotFittedError):
+            model.fit(np.zeros((4, 3)), np.zeros(4))
+
+    def test_fit_rejects_mismatched_rows(self):
+        model = nn.Sequential([nn.Dense(2)])
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam())
+        with pytest.raises(ShapeError):
+            model.fit(np.zeros((4, 3)), np.zeros(5))
+
+    def test_n_parameters(self):
+        model = nn.Sequential([nn.Dense(5), nn.ReLU(), nn.Dense(2)])
+        model.build((3,))
+        assert model.n_parameters() == (3 * 5 + 5) + (5 * 2 + 2)
+
+    def test_summary_contains_layers(self):
+        model = nn.Sequential([nn.Dense(5), nn.ReLU()])
+        model.build((3,))
+        text = model.summary()
+        assert "Dense" in text and "ReLU" in text
+
+    def test_deterministic_given_seed(self):
+        x, y = separable_binary()
+
+        def train():
+            model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(2)], seed=7)
+            model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+            model.fit(x, y, epochs=3, batch_size=32)
+            return model.predict_proba(x)
+
+        assert np.allclose(train(), train())
+
+
+class TestTraining:
+    def test_learns_separable_binary(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        model.fit(x, y, epochs=15, batch_size=32)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_loss_decreases(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        history = model.fit(x, y, epochs=8, batch_size=32)
+        losses = history.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_binary_head_predictions(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(1)], seed=0)
+        model.compile(nn.SigmoidBinaryCrossEntropy(), nn.Adam(1e-2))
+        model.fit(x, y, epochs=15, batch_size=32)
+        preds = model.predict(x)
+        assert set(np.unique(preds)) <= {0, 1}
+        assert (preds == y).mean() > 0.95
+
+    def test_validation_loss_recorded(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(4), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        history = model.fit(
+            x[:200], y[:200], epochs=3, validation_data=(x[200:], y[200:])
+        )
+        assert all(np.isfinite(v) for v in history.series("val_loss"))
+
+
+class TestCallbacks:
+    def test_early_stopping_stops(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        stopper = nn.EarlyStopping(monitor="loss", patience=1, min_delta=10.0)
+        history = model.fit(x, y, epochs=50, callbacks=[stopper])
+        # min_delta of 10 is never achieved, so training stops after
+        # 1 + patience epochs.
+        assert len(history.epochs) <= 3
+
+    def test_early_stopping_restores_best(self):
+        x, y = separable_binary()
+        model = nn.Sequential([nn.Dense(8), nn.ReLU(), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        stopper = nn.EarlyStopping(monitor="val_loss", patience=2)
+        model.fit(
+            x[:200],
+            y[:200],
+            epochs=10,
+            validation_data=(x[200:], y[200:]),
+            callbacks=[stopper],
+        )
+        restored = model.evaluate(x[200:], y[200:])
+        assert restored == pytest.approx(stopper.best, rel=0.15)
+
+    def test_lr_scheduler_applies(self):
+        x, y = separable_binary(80)
+        model = nn.Sequential([nn.Dense(2)], seed=0)
+        optimizer = nn.Adam(0.1)
+        model.compile(nn.SoftmaxCrossEntropy(), optimizer)
+        schedule = nn.StepDecay(0.1, factor=0.5, every=1)
+        history = model.fit(
+            x, y, epochs=3, callbacks=[nn.LearningRateScheduler(schedule)]
+        )
+        assert history.series("learning_rate") == pytest.approx([0.1, 0.05, 0.025])
+
+    def test_history_series_missing_key(self):
+        history = nn.History()
+        history.epochs = [{"loss": 1.0}]
+        assert np.isnan(history.series("val_loss")[0])

@@ -1,0 +1,83 @@
+"""Tests for repro.nn.optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.schedules import ConstantSchedule, StepDecay
+
+
+def quadratic_descent(optimizer, steps=300):
+    """Minimise f(w) = ||w - target||^2 and return the final w."""
+    target = np.array([1.5, -2.0, 0.5])
+    w = np.zeros(3)
+    for _ in range(steps):
+        grad = 2.0 * (w - target)
+        optimizer.step([w], [grad])
+    return w, target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_descent(SGD(learning_rate=0.1))
+        assert np.allclose(w, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        w, target = quadratic_descent(SGD(learning_rate=0.05, momentum=0.9))
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w, target = quadratic_descent(Adam(learning_rate=0.05), steps=800)
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in each coord.
+        opt = Adam(learning_rate=0.1, clip_norm=None)
+        w = np.zeros(2)
+        opt.step([w], [np.array([1.0, -3.0])])
+        assert np.allclose(np.abs(w), 0.1, atol=1e-6)
+
+    def test_clip_norm_limits_update(self):
+        clipped = Adam(learning_rate=0.1, clip_norm=1e-9)
+        w = np.zeros(2)
+        clipped.step([w], [np.array([100.0, 100.0])])
+        # The clipped gradient is tiny relative to epsilon, so the update
+        # stays well below the nominal learning-rate step.
+        assert np.all(np.abs(w) < 0.1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(clip_norm=0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule.rate_for_epoch(0) == 0.01
+        assert schedule.rate_for_epoch(100) == 0.01
+
+    def test_step_decay(self):
+        schedule = StepDecay(0.1, factor=0.5, every=10)
+        assert schedule.rate_for_epoch(0) == pytest.approx(0.1)
+        assert schedule.rate_for_epoch(9) == pytest.approx(0.1)
+        assert schedule.rate_for_epoch(10) == pytest.approx(0.05)
+        assert schedule.rate_for_epoch(25) == pytest.approx(0.025)
+
+    def test_min_rate_floor(self):
+        schedule = StepDecay(0.1, factor=0.1, every=1, min_rate=0.01)
+        assert schedule.rate_for_epoch(50) == pytest.approx(0.01)
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.1).rate_for_epoch(-1)

@@ -1,0 +1,120 @@
+"""Tests for repro.nn.preprocessing and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import NotFittedError, ShapeError
+from repro.nn.serialization import load_model, save_model
+
+
+class TestStandardScaler:
+    def test_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((500, 3)) * np.array([5.0, 0.1, 2.0]) + 7.0
+        scaler = nn.StandardScaler()
+        out = scaler.fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_3d_windows(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 5, 2)) + 3.0
+        scaler = nn.StandardScaler()
+        out = scaler.fit_transform(x)
+        assert out.shape == x.shape
+        assert abs(out.mean()) < 1e-9
+
+    def test_constant_feature_not_scaled(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        out = nn.StandardScaler().fit_transform(x)
+        assert np.allclose(out[:, 0], 0.0)
+        assert np.isfinite(out).all()
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((20, 4)) * 3 + 1
+        scaler = nn.StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            nn.StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_feature_mismatch(self):
+        scaler = nn.StandardScaler().fit(np.zeros((4, 3)))
+        with pytest.raises(ShapeError):
+            scaler.transform(np.zeros((4, 2)))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = nn.one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            nn.one_hot(np.array([3]), 3)
+
+
+class TestTrainValSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(100, 1)
+        y = np.arange(100) % 2
+        x_tr, y_tr, x_val, y_val = nn.train_val_split(x, y, 0.2, rng=0)
+        assert x_val.shape[0] == 20
+        assert x_tr.shape[0] == 80
+        assert set(x_tr[:, 0]) | set(x_val[:, 0]) == set(range(100))
+
+    def test_stratified_keeps_minority(self):
+        y = np.zeros(100, dtype=int)
+        y[:5] = 1  # 5% minority
+        x = np.arange(100).reshape(100, 1)
+        __, y_tr, __, y_val = nn.train_val_split(x, y, 0.2, rng=0, stratify=True)
+        assert (y_val == 1).sum() >= 1
+        assert (y_tr == 1).sum() >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ShapeError):
+            nn.train_val_split(np.zeros((4, 1)), np.zeros(4), 0.0)
+
+
+class TestSerialization:
+    def test_round_trip_predictions(self, tmp_path):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((20, 6, 3))
+        model = nn.Sequential(
+            [
+                nn.Conv1D(4, 3),
+                nn.ReLU(),
+                nn.BatchNorm(),
+                nn.GlobalAveragePool1D(),
+                nn.Dense(2),
+            ],
+            seed=0,
+        )
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        model.fit(x, (x[:, :, 0].mean(axis=1) > 0).astype(int), epochs=2)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        loaded.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        assert np.allclose(loaded.predict_proba(x), model.predict_proba(x))
+
+    def test_lstm_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 5, 2))
+        model = nn.Sequential([nn.LSTM(4), nn.Dense(1)], seed=0)
+        model.compile(nn.SigmoidBinaryCrossEntropy(), nn.Adam(1e-2))
+        model.build((5, 2))
+        path = tmp_path / "lstm.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        loaded.compile(nn.SigmoidBinaryCrossEntropy(), nn.Adam(1e-2))
+        assert np.allclose(loaded.predict_proba(x), model.predict_proba(x))
+
+    def test_unbuilt_model_rejected(self, tmp_path):
+        model = nn.Sequential([nn.Dense(2)])
+        with pytest.raises(NotFittedError):
+            save_model(model, tmp_path / "x.npz")

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import WindowConfig
+from repro.eval.metrics import binary_metrics
+from repro.eval.roc import auc_score
+from repro.gestures.markov import MarkovChain
+from repro.kinematics.rotations import (
+    is_rotation_matrix,
+    rotation_angle_between,
+    rotation_from_euler,
+)
+from repro.kinematics.windows import StreamingWindow, sliding_windows, window_labels
+from repro.nn.layers.activations import sigmoid, softmax
+from repro.nn.preprocessing import StandardScaler, one_hot
+from repro.vision.dtw import dtw_distance
+
+angles = st.floats(-np.pi, np.pi, allow_nan=False)
+
+
+class TestRotationProperties:
+    @given(angles, angles, angles)
+    @settings(max_examples=50, deadline=None)
+    def test_euler_always_proper_rotation(self, roll, pitch, yaw):
+        assert is_rotation_matrix(rotation_from_euler(roll, pitch, yaw), atol=1e-7)
+
+    @given(angles, angles, angles, angles, angles, angles)
+    @settings(max_examples=30, deadline=None)
+    def test_angle_between_symmetric_and_bounded(self, r1, p1, y1, r2, p2, y2):
+        a = rotation_from_euler(r1, p1, y1)
+        b = rotation_from_euler(r2, p2, y2)
+        angle = rotation_angle_between(a, b)
+        assert 0.0 <= angle <= np.pi + 1e-9
+        assert angle == rotation_angle_between(b, a)
+
+
+class TestWindowProperties:
+    @given(
+        n_frames=st.integers(1, 60),
+        window=st.integers(1, 12),
+        stride=st.integers(1, 6),
+        n_features=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_count_and_content(self, n_frames, window, stride, n_features):
+        cfg = WindowConfig(window, stride)
+        frames = np.arange(n_frames * n_features, dtype=float).reshape(
+            n_frames, n_features
+        )
+        windows, ends = sliding_windows(frames, cfg)
+        assert windows.shape[0] == cfg.n_windows(n_frames)
+        for i in range(windows.shape[0]):
+            start = ends[i] - window + 1
+            assert np.array_equal(windows[i], frames[start : ends[i] + 1])
+
+    @given(
+        n_frames=st.integers(5, 60),
+        window=st.integers(1, 8),
+        stride=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_batch(self, n_frames, window, stride):
+        cfg = WindowConfig(window, stride)
+        rng = np.random.default_rng(0)
+        frames = rng.random((n_frames, 2))
+        batch, ends = sliding_windows(frames, cfg)
+        stream = StreamingWindow(cfg, 2)
+        events = list(stream.iter_windows(frames))
+        assert [t for t, __ in events] == ends.tolist()
+        for (__, win), expected in zip(events, batch):
+            assert np.array_equal(win, expected)
+
+    @given(
+        labels=arrays(np.int64, st.integers(3, 40), elements=st.integers(0, 1)),
+        window=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_reduce_never_underreports(self, labels, window):
+        cfg = WindowConfig(window, 1)
+        if cfg.n_windows(labels.size) == 0:
+            return
+        any_labels = window_labels(labels, cfg, reduce="any")
+        last_labels = window_labels(labels, cfg, reduce="last")
+        assert np.all(any_labels >= last_labels)
+
+
+class TestMarkovProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 6), min_size=1, max_size=10),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fitted_rows_are_distributions(self, sequences):
+        chain = MarkovChain.fit(sequences)
+        for state, row in chain.transitions.items():
+            assert abs(sum(row.values()) - 1.0) < 1e-9
+
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 4), min_size=1, max_size=8),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_samples_have_positive_likelihood(self, sequences, seed):
+        chain = MarkovChain.fit(sequences)
+        sample = chain.sample_sequence(seed, max_length=500)
+        assert chain.sequence_log_likelihood([int(g) for g in sample]) > float("-inf")
+
+
+class TestMetricProperties:
+    @given(
+        y_true=arrays(np.int64, st.integers(2, 60), elements=st.integers(0, 1)),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_auc_bounds_and_complement(self, y_true, seed):
+        if len(np.unique(y_true)) < 2:
+            return
+        scores = np.random.default_rng(seed).random(y_true.size)
+        auc = auc_score(y_true, scores)
+        assert 0.0 <= auc <= 1.0
+        # Negating the scores mirrors the AUC around 0.5 (ties aside —
+        # continuous random scores are almost surely tie-free).
+        assert abs(auc_score(y_true, -scores) - (1.0 - auc)) < 1e-9
+
+    @given(
+        y_true=arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 1)),
+        y_pred=arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binary_metrics_consistency(self, y_true, y_pred):
+        n = min(y_true.size, y_pred.size)
+        m = binary_metrics(y_true[:n], y_pred[:n])
+        assert m.tp + m.fp + m.tn + m.fn == n
+        for value in (m.tpr, m.tnr, m.ppv, m.npv, m.f1):
+            assert np.isnan(value) or 0.0 <= value <= 1.0
+
+
+class TestDTWProperties:
+    @given(
+        a=arrays(np.float64, st.integers(2, 25), elements=st.floats(-5, 5)),
+        b=arrays(np.float64, st.integers(2, 25), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_symmetric_identity(self, a, b):
+        assert dtw_distance(a, a) <= 1e-9
+        d_ab = dtw_distance(a, b)
+        assert d_ab >= 0.0
+        assert d_ab == dtw_distance(b, a)
+
+
+class TestNNProperties:
+    @given(
+        x=arrays(
+            np.float64,
+            st.tuples(st.integers(1, 10), st.integers(2, 6)),
+            elements=st.floats(-50, 50),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, x):
+        probs = softmax(x)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    @given(
+        x=arrays(np.float64, st.integers(1, 50), elements=st.floats(-700, 700))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_bounded(self, x):
+        out = sigmoid(x)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+        assert np.isfinite(out).all()
+
+    @given(
+        data=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.integers(1, 5)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scaler_round_trip(self, data):
+        scaler = StandardScaler().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(recovered, data, atol=1e-6)
+
+    @given(
+        labels=arrays(np.int64, st.integers(1, 30), elements=st.integers(0, 7))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_hot_rows(self, labels):
+        out = one_hot(labels, 8)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.array_equal(out.argmax(axis=1), labels)

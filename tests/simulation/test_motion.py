@@ -1,0 +1,87 @@
+"""Tests for repro.simulation.motion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.simulation.motion import (
+    finite_difference_velocity,
+    minimum_jerk_profile,
+    minimum_jerk_segment,
+    waypoint_trajectory,
+)
+
+
+class TestMinimumJerkProfile:
+    def test_endpoints(self):
+        s = minimum_jerk_profile(50)
+        assert s[0] == pytest.approx(0.0)
+        assert s[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        s = minimum_jerk_profile(100)
+        assert np.all(np.diff(s) >= -1e-12)
+
+    def test_zero_boundary_velocity(self):
+        s = minimum_jerk_profile(1000)
+        v = np.diff(s)
+        # Boundary velocity an order of magnitude below peak velocity.
+        assert v[0] < 0.1 * v.max()
+        assert v[-1] < 0.1 * v.max()
+
+    def test_rejects_short(self):
+        with pytest.raises(ConfigurationError):
+            minimum_jerk_profile(1)
+
+
+class TestMinimumJerkSegment:
+    def test_endpoints_exact(self):
+        seg = minimum_jerk_segment(np.array([0.0, 0.0]), np.array([2.0, -1.0]), 20)
+        assert np.allclose(seg[0], [0.0, 0.0])
+        assert np.allclose(seg[-1], [2.0, -1.0])
+
+    def test_stays_on_line(self):
+        start, end = np.array([1.0, 1.0, 0.0]), np.array([3.0, 5.0, 2.0])
+        seg = minimum_jerk_segment(start, end, 30)
+        direction = end - start
+        for point in seg:
+            rel = point - start
+            cross = np.cross(rel, direction)
+            assert np.allclose(cross, 0.0, atol=1e-9)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ShapeError):
+            minimum_jerk_segment(np.zeros(2), np.zeros(3), 10)
+
+
+class TestWaypointTrajectory:
+    def test_length_formula(self):
+        waypoints = np.zeros((3, 2))
+        out = waypoint_trajectory(waypoints, [10, 15])
+        assert out.shape == (10 + 15 - 1, 2)
+
+    def test_visits_waypoints(self):
+        waypoints = np.array([[0.0], [1.0], [3.0]])
+        out = waypoint_trajectory(waypoints, [10, 10])
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[9, 0] == pytest.approx(1.0)
+        assert out[-1, 0] == pytest.approx(3.0)
+
+    def test_rejects_wrong_step_count(self):
+        with pytest.raises(ConfigurationError):
+            waypoint_trajectory(np.zeros((3, 2)), [10])
+
+
+class TestFiniteDifferenceVelocity:
+    def test_linear_motion_constant_velocity(self):
+        positions = np.linspace(0.0, 9.0, 10)[:, None]
+        vel = finite_difference_velocity(positions, sample_rate_hz=10.0)
+        assert np.allclose(vel, 10.0)
+
+    def test_shape_preserved(self):
+        vel = finite_difference_velocity(np.zeros((7, 3)), 100.0)
+        assert vel.shape == (7, 3)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            finite_difference_velocity(np.zeros((5, 2)), 0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.simulation.physics and workspace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.physics import GrasperPhysics, PhysicsEngine, PhysicsOutcome
+from repro.simulation.workspace import Block, Receptacle, Workspace
+
+
+class TestWorkspace:
+    def test_receptacle_contains(self):
+        receptacle = Receptacle(position=np.array([10.0, 0.0, 0.0]), radius_mm=5.0)
+        assert receptacle.contains(np.array([12.0, 3.0, 40.0]))
+        assert not receptacle.contains(np.array([16.0, 0.0, 0.0]))
+
+    def test_block_resting_z(self):
+        block = Block(size_mm=12.0)
+        assert block.resting_z == pytest.approx(6.0)
+
+    def test_in_bounds(self):
+        ws = Workspace(extent_mm=50.0)
+        assert ws.in_bounds(np.array([49.0, -49.0, 10.0]))
+        assert not ws.in_bounds(np.array([51.0, 0.0, 0.0]))
+
+    def test_copy_is_deep(self):
+        ws = Workspace()
+        clone = ws.copy()
+        clone.block.position[0] = 99.0
+        assert ws.block.position[0] != 99.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            Receptacle(radius_mm=0.0)
+        with pytest.raises(ConfigurationError):
+            Block(size_mm=-1.0)
+
+
+class TestGrasperPhysics:
+    def test_threshold_sampling_bounded_below(self):
+        physics = GrasperPhysics(hold_threshold_rad=0.4, hold_threshold_std=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            threshold = physics.sample_hold_threshold(rng)
+            assert threshold > physics.grasp_close_rad
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            GrasperPhysics(grasp_close_rad=1.0, hold_threshold_rad=0.5)
+
+
+class TestPhysicsEngine:
+    def make_engine(self):
+        ws = Workspace()
+        physics = GrasperPhysics(hold_threshold_std=0.0)
+        return ws, PhysicsEngine(ws, physics, rng=0)
+
+    def test_grasp_requires_proximity_and_closure(self):
+        ws, engine = self.make_engine()
+        far = ws.block.position + np.array([50.0, 0.0, 0.0])
+        engine.step(far, 0.1, "left")
+        assert not engine.block_held
+        engine.step(ws.block.position, 0.9, "left")  # near but open
+        assert not engine.block_held
+        engine.step(ws.block.position, 0.1, "left")  # near and closed
+        assert engine.block_held
+        assert engine.grasp_frame == 2
+
+    def test_block_follows_grasper(self):
+        ws, engine = self.make_engine()
+        engine.step(ws.block.position, 0.1, "left")
+        carry = np.array([0.0, 0.0, 40.0])
+        engine.step(carry, 0.1, "left")
+        assert np.allclose(ws.block.position, carry)
+
+    def test_release_above_threshold(self):
+        ws, engine = self.make_engine()
+        engine.step(ws.block.position, 0.1, "left")
+        carry = np.array([10.0, 5.0, 40.0])
+        engine.step(carry, 0.1, "left")
+        engine.step(carry, 1.2, "left")  # open wide -> release
+        assert not engine.block_held
+        assert ws.block.position[2] == pytest.approx(ws.block.resting_z)
+        assert engine.release_frame == 2
+
+    def test_no_regrasp_after_release(self):
+        ws, engine = self.make_engine()
+        engine.step(ws.block.position, 0.1, "left")
+        engine.step(ws.block.position, 1.2, "left")  # release
+        engine.step(ws.block.position, 0.1, "left")  # try again
+        assert not engine.block_held
+
+    def test_outcome_never_grasped(self):
+        __, engine = self.make_engine()
+        engine.step(np.array([90.0, 90.0, 50.0]), 0.1, "left")
+        assert engine.outcome() == PhysicsOutcome.NEVER_GRASPED
+
+    def test_outcome_dropoff_when_never_released(self):
+        ws, engine = self.make_engine()
+        engine.step(ws.block.position, 0.1, "left")
+        assert engine.outcome() == PhysicsOutcome.DROPOFF_FAILURE
+
+    def test_outcome_block_drop_before_window(self):
+        ws, engine = self.make_engine()
+        engine.step(ws.block.position, 0.1, "left")  # frame 0: grasp
+        engine.step(np.array([0.0, 0.0, 40.0]), 1.3, "left")  # frame 1: drop
+        assert engine.outcome(drop_window=(5, 10)) == PhysicsOutcome.BLOCK_DROP
+
+    def test_outcome_success_in_window(self):
+        ws, engine = self.make_engine()
+        target = ws.receptacle.position + np.array([0.0, 0.0, 20.0])
+        engine.step(ws.block.position, 0.1, "left")  # 0: grasp
+        engine.step(target, 0.1, "left")  # 1: carry
+        engine.step(target, 1.3, "left")  # 2: release over receptacle
+        assert engine.outcome(drop_window=(2, 10)) == PhysicsOutcome.SUCCESS
+
+    def test_outcome_late_release_is_dropoff(self):
+        ws, engine = self.make_engine()
+        target = ws.receptacle.position + np.array([0.0, 0.0, 20.0])
+        engine.step(ws.block.position, 0.1, "left")
+        for _ in range(8):
+            engine.step(target, 0.1, "left")
+        engine.step(target, 1.3, "left")  # released at frame 9
+        # Window (2, 10): release at 9 > 2 + 0.45 * 8.
+        assert engine.outcome(drop_window=(2, 10)) == PhysicsOutcome.DROPOFF_FAILURE
+
+    def test_outcome_wrong_position(self):
+        ws, engine = self.make_engine()
+        away = ws.receptacle.position + np.array([40.0, 0.0, 20.0])
+        engine.step(ws.block.position, 0.1, "left")
+        engine.step(away, 0.1, "left")
+        engine.step(away, 1.3, "left")  # release early in window, off target
+        assert engine.outcome(drop_window=(2, 20)) == PhysicsOutcome.WRONG_POSITION

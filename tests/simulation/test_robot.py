@@ -1,0 +1,180 @@
+"""Tests for the Raven II simulator core, schema and task script."""
+
+import numpy as np
+import pytest
+
+from repro.config import RAVEN_DEFAULT_SAMPLE_RATE_HZ
+from repro.errors import ConfigurationError, ShapeError
+from repro.gestures.models import BLOCK_TRANSFER_GESTURES
+from repro.simulation import (
+    BlockTransferTask,
+    PhysicsOutcome,
+    RAVEN_STATE_WIDTH,
+    RavenSimulator,
+    RavenStateLayout,
+    VirtualCamera,
+    Workspace,
+    generate_demonstration,
+)
+from repro.simulation.teleop import DEFAULT_OPERATORS, OperatorProfile
+
+
+class TestStateLayout:
+    def test_total_width_is_277(self):
+        assert RAVEN_STATE_WIDTH == 277
+
+    def test_slices_are_disjoint_and_cover(self):
+        layout = RavenStateLayout()
+        from repro.simulation.schema import RAVEN_FEATURE_BLOCKS
+
+        covered = np.zeros(RAVEN_STATE_WIDTH, dtype=int)
+        for name, _ in RAVEN_FEATURE_BLOCKS:
+            covered[layout.slice(name)] += 1
+        assert np.all(covered == 1)
+
+    def test_view_is_writable(self):
+        layout = RavenStateLayout()
+        state = np.zeros((3, RAVEN_STATE_WIDTH))
+        layout.view(state, "grasp")[:] = 1.5
+        assert state[:, layout.slice("grasp")].tolist() == [[1.5, 1.5]] * 3
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(ConfigurationError):
+            RavenStateLayout().offset("nonexistent")
+
+    def test_view_rejects_wrong_width(self):
+        with pytest.raises(ShapeError):
+            RavenStateLayout().view(np.zeros((2, 10)), "pos")
+
+    def test_jigsaws_indices_width(self):
+        layout = RavenStateLayout()
+        assert layout.jigsaws_indices("left").shape == (19,)
+        assert layout.jigsaws_38_indices().shape == (38,)
+
+    def test_jigsaws_grasper_column(self):
+        layout = RavenStateLayout()
+        idx = layout.jigsaws_indices("right")
+        assert idx[-1] == layout.offset("grasp") + 1
+
+
+class TestBlockTransferTask:
+    def test_plan_structure(self):
+        ws = Workspace()
+        commands = generate_demonstration(
+            DEFAULT_OPERATORS[0], workspace=ws, rng=0, sample_rate_hz=50.0
+        )
+        assert commands.sample_rate_hz == 50.0
+        gestures_in_order = [g for g, __, __ in _segments(commands.gestures)]
+        assert gestures_in_order == [int(g) for g in BLOCK_TRANSFER_GESTURES]
+
+    def test_grasp_waypoint_reaches_block(self):
+        ws = Workspace()
+        commands = generate_demonstration(
+            DEFAULT_OPERATORS[0], workspace=ws, rng=1, sample_rate_hz=50.0
+        )
+        arm = commands.transfer_arm
+        distances = np.linalg.norm(
+            commands.positions[arm] - ws.block.position[None, :], axis=1
+        )
+        assert distances.min() < 6.0  # within grasp radius
+
+    def test_operator_speed_changes_duration(self):
+        ws = Workspace()
+        slow = OperatorProfile(name="slow", speed_factor=1.5)
+        fast = OperatorProfile(name="fast", speed_factor=0.7)
+        n_slow = BlockTransferTask(ws, 50.0).plan(slow, rng=3).n_steps
+        n_fast = BlockTransferTask(ws, 50.0).plan(fast, rng=3).n_steps
+        assert n_slow > n_fast
+
+    def test_rejects_bad_arm(self):
+        with pytest.raises(ConfigurationError):
+            BlockTransferTask(Workspace(), transfer_arm="middle")
+
+
+class TestRavenSimulator:
+    def test_fault_free_run_succeeds(self, block_transfer_run):
+        __, result = block_transfer_run
+        assert result.outcome == PhysicsOutcome.SUCCESS
+        assert result.grasp_frame is not None
+        assert result.release_frame is not None
+        assert result.grasp_frame < result.release_frame
+
+    def test_state_log_width(self, block_transfer_run):
+        commands, result = block_transfer_run
+        assert result.states.shape == (commands.n_steps, RAVEN_STATE_WIDTH)
+
+    def test_gesture_channel_matches_labels(self, block_transfer_run):
+        commands, result = block_transfer_run
+        layout = RavenStateLayout()
+        channel = layout.view(result.states, "gesture_id")[:, 0]
+        assert np.array_equal(channel.astype(int), commands.gestures)
+
+    def test_video_rate(self, block_transfer_run):
+        commands, result = block_transfer_run
+        assert result.video_frames is not None
+        # The camera samples every round(kinematics_rate / 30) steps.
+        every = max(1, round(commands.sample_rate_hz / 30.0))
+        expected = int(np.ceil(commands.n_steps / every))
+        assert result.video_frames.shape[0] == expected
+        assert result.video_frame_indices is not None
+        assert np.all(np.diff(result.video_frame_indices) == every)
+
+    def test_kinematics_trajectory_features(self, block_transfer_run):
+        __, result = block_transfer_run
+        traj = result.kinematics_trajectory()
+        assert traj.n_features == 38
+        assert traj.gestures is not None
+
+    def test_servo_tracks_commands(self, block_transfer_run):
+        commands, result = block_transfer_run
+        layout = RavenStateLayout()
+        actual = layout.view(result.states, "pos")[:, 0:3]
+        commanded = commands.positions["left"]
+        # After the warm-up, tracking error stays small.
+        err = np.linalg.norm(actual[10:] - commanded[10:], axis=1)
+        assert err.mean() < 2.0
+
+    def test_rejects_short_commands(self):
+        sim = RavenSimulator(camera=None, rng=0)
+        commands = generate_demonstration(DEFAULT_OPERATORS[0], rng=0)
+        short = commands.copy()
+        for arm in ("left", "right"):
+            short.positions[arm] = short.positions[arm][:1]
+            short.jaw_angles[arm] = short.jaw_angles[arm][:1]
+        short.gestures = short.gestures[:1]
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim.run(short)
+
+
+class TestVirtualCamera:
+    def test_render_shape_and_range(self):
+        ws = Workspace()
+        camera = VirtualCamera(ws.extent_mm)
+        frame = camera.render(ws)
+        assert frame.shape == (48, 64, 3)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_block_visible(self):
+        ws = Workspace()
+        camera = VirtualCamera(ws.extent_mm)
+        frame = camera.render(ws)
+        from repro.vision import threshold_block
+
+        assert threshold_block(frame).sum() > 0
+
+    def test_world_to_pixel_center(self):
+        camera = VirtualCamera(100.0)
+        row, col = camera.world_to_pixel(np.zeros(3))
+        assert abs(row - 24) <= 1 and abs(col - 32) <= 1
+
+
+def _segments(labels):
+    out = []
+    start = 0
+    for t in range(1, len(labels) + 1):
+        if t == len(labels) or labels[t] != labels[start]:
+            out.append((int(labels[start]), start, t))
+            start = t
+    return out

@@ -1,0 +1,216 @@
+"""Tests for the vision substrate (SSIM, threshold, contours, DTW, labeling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.simulation import RavenSimulator, VirtualCamera, Workspace
+from repro.simulation.camera import BLOCK_COLOR
+from repro.simulation.teleop import DEFAULT_OPERATORS
+from repro.simulation.blocktransfer import generate_demonstration
+from repro.faults import FaultInjector, FaultSpec, FaultWindow, GrasperAngleFault
+from repro.vision import (
+    color_distance_mask,
+    connected_components,
+    detect_failure,
+    dtw_distance,
+    dtw_path,
+    largest_component_centroid,
+    ssim,
+    threshold_block,
+    track_centroids,
+)
+from repro.vision.labeling import last_motion_frame
+from repro.vision.ssim import ssim_series
+from repro.vision.threshold import to_grayscale
+
+
+class TestSSIM:
+    def test_identical_images(self):
+        img = np.random.default_rng(0).random((20, 30))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_different_images_lower(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((20, 30))
+        b = rng.random((20, 30))
+        assert ssim(a, b) < 0.5
+
+    def test_small_perturbation_high_similarity(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((20, 30))
+        b = a + rng.normal(0, 0.01, a.shape)
+        assert 0.8 < ssim(a, b) < 1.0
+
+    def test_series(self):
+        img = np.random.default_rng(3).random((16, 16))
+        frames = np.stack([img, img * 0.5 + 0.25])
+        series = ssim_series(frames, img)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] < series[0]
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros((10, 10)), np.zeros((10, 11)))
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros((10, 10)), np.zeros((10, 10)), window=4)
+
+
+class TestThreshold:
+    def test_mask_finds_exact_color(self):
+        frame = np.zeros((8, 8, 3))
+        frame[2:4, 3:5] = BLOCK_COLOR
+        mask = threshold_block(frame)
+        assert mask.sum() == 4
+        assert mask[2, 3] and mask[3, 4]
+
+    def test_tolerance(self):
+        frame = np.zeros((4, 4, 3))
+        frame[0, 0] = BLOCK_COLOR * 0.95
+        assert color_distance_mask(frame, BLOCK_COLOR, tolerance=0.2)[0, 0]
+        assert not color_distance_mask(frame, BLOCK_COLOR, tolerance=0.01)[0, 0]
+
+    def test_grayscale_weights(self):
+        white = np.ones((2, 2, 3))
+        assert np.allclose(to_grayscale(white), 1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            threshold_block(np.zeros((4, 4)))
+
+
+class TestContours:
+    def test_connected_components(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[1:3, 1:3] = True
+        mask[6:9, 6:9] = True
+        __, n = connected_components(mask)
+        assert n == 2
+
+    def test_largest_centroid(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[1:3, 1:3] = True  # 4 px
+        mask[5:9, 5:9] = True  # 16 px -> the largest
+        centroid = largest_component_centroid(mask)
+        assert centroid == pytest.approx((6.5, 6.5))
+
+    def test_empty_mask_is_none(self):
+        assert largest_component_centroid(np.zeros((5, 5), dtype=bool)) is None
+
+    def test_track_centroids_carries_last(self):
+        frames = np.zeros((3, 8, 8, 3))
+        frames[0, 2, 2] = BLOCK_COLOR  # visible
+        # frame 1: block occluded -> carry previous centroid
+        frames[2, 5, 6] = BLOCK_COLOR
+        trace = track_centroids(frames, threshold_block)
+        assert trace[0].tolist() == [2.0, 2.0]
+        assert trace[1].tolist() == [2.0, 2.0]
+        assert trace[2].tolist() == [5.0, 6.0]
+
+
+class TestDTW:
+    def test_identical_series_zero(self):
+        series = np.sin(np.linspace(0, 4, 40))
+        assert dtw_distance(series, series) == pytest.approx(0.0, abs=1e-12)
+
+    def test_time_shift_tolerated(self):
+        t = np.linspace(0, 4 * np.pi, 80)
+        a = np.sin(t)
+        b = np.sin(t + 0.4)
+        shifted = dtw_distance(a, b)
+        euclid = float(np.abs(a - b).mean()) / 2
+        assert shifted < euclid  # warping absorbs most of the shift
+
+    def test_distance_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(20)
+        b = rng.random(25)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_path_endpoints(self):
+        a = np.arange(10.0)
+        b = np.arange(15.0)
+        path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (9, 14)
+
+    def test_path_monotone(self):
+        rng = np.random.default_rng(1)
+        path = dtw_path(rng.random(12), rng.random(9))
+        for (i0, j0), (i1, j1) in zip(path[:-1], path[1:]):
+            assert 0 <= i1 - i0 <= 1 and 0 <= j1 - j0 <= 1
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((10, 2))
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_wide_band_matches_unbanded(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(15)
+        b = rng.random(12)
+        assert dtw_distance(a, b, band=20) == pytest.approx(dtw_distance(a, b))
+
+    def test_narrow_band_cannot_lower_cost(self):
+        rng = np.random.default_rng(4)
+        a = rng.random(20)
+        b = rng.random(20)
+        assert dtw_distance(a, b, band=1) >= dtw_distance(a, b) - 1e-12
+
+
+class TestLastMotionFrame:
+    def test_detects_freeze(self):
+        trace = np.zeros((10, 2))
+        trace[:5, 0] = np.arange(5) * 3.0  # moving, then frozen
+        assert last_motion_frame(trace) == 5
+
+    def test_never_moves(self):
+        assert last_motion_frame(np.ones((5, 2))) == 0
+
+
+class TestDetectFailure:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        ws = Workspace()
+        camera = VirtualCamera(ws.extent_mm)
+        sim = RavenSimulator(workspace=ws, camera=camera, rng=0)
+        ref_cmd = generate_demonstration(
+            DEFAULT_OPERATORS[0], workspace=ws, rng=21, sample_rate_hz=50.0
+        )
+        reference = sim.run(ref_cmd)
+        ok_cmd = generate_demonstration(
+            DEFAULT_OPERATORS[1], workspace=ws, rng=22, sample_rate_hz=50.0
+        )
+        injector = FaultInjector()
+        drop = sim.run(
+            injector.inject(
+                ok_cmd, FaultSpec(grasper=GrasperAngleFault(1.35, FaultWindow(0.55, 0.70)))
+            )
+        )
+        dropoff = sim.run(
+            injector.inject(
+                ok_cmd, FaultSpec(grasper=GrasperAngleFault(0.4, FaultWindow(0.65, 0.90)))
+            )
+        )
+        clean = sim.run(ok_cmd)
+        return reference, clean, drop, dropoff
+
+    def test_clean_trial_not_flagged(self, scenario):
+        reference, clean, __, __ = scenario
+        label = detect_failure(clean, reference)
+        assert not label.block_drop and not label.dropoff_failure
+
+    def test_block_drop_detected(self, scenario):
+        reference, __, drop, __ = scenario
+        assert drop.outcome.value == "block_drop"
+        label = detect_failure(drop, reference)
+        assert label.block_drop
+        assert label.failure_video_frame is not None
+
+    def test_dropoff_detected(self, scenario):
+        reference, __, __, dropoff = scenario
+        assert dropoff.outcome.value == "dropoff_failure"
+        label = detect_failure(dropoff, reference)
+        assert label.dropoff_failure and not label.block_drop
