@@ -1,0 +1,117 @@
+"""Benchmark: multi-stream serving throughput and per-tick latency.
+
+Measures the batched :class:`repro.serving.MonitorService` against the
+equivalent number of sequential single-stream
+:meth:`~repro.core.SafetyMonitor.stream` loops, at 1 / 8 / 64 concurrent
+sessions: frames per second, speedup, and p50/p99 per-tick latency.
+
+The point of the serving tentpole is that each pipeline stage runs once
+per tick on the window batch stacked *across* sessions, so throughput
+should grow strongly sub-linearly in session count.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.serving import (
+    MonitorService,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+)
+
+N_FEATURES = 38
+
+
+def run_sequential(monitor, trajectories) -> tuple[float, np.ndarray]:
+    """Total seconds and per-frame latencies for back-to-back streams."""
+    latencies = []
+    start = time.perf_counter()
+    for trajectory in trajectories:
+        for *_, latency_ms in monitor.stream(trajectory):
+            latencies.append(latency_ms)
+    return time.perf_counter() - start, np.asarray(latencies)
+
+
+def run_service(monitor, trajectories) -> tuple[float, np.ndarray]:
+    """Total seconds and per-tick latencies for one batched service."""
+    service = MonitorService(monitor, max_sessions=len(trajectories))
+    start = time.perf_counter()
+    for trajectory in trajectories:
+        session_id = service.open_session()
+        service.feed(session_id, trajectory.frames)
+    service.drain(collect=False)
+    elapsed = time.perf_counter() - start
+    return elapsed, np.asarray(service.stats.tick_ms)
+
+
+def benchmark(n_sessions: int, n_frames: int, seed: int = 0) -> dict:
+    """One row of the report: sequential vs batched at ``n_sessions``."""
+    monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=seed)
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=seed + i)
+        for i in range(n_sessions)
+    ]
+    total_frames = n_sessions * n_frames
+    seq_s, _ = run_sequential(monitor, trajectories)
+    srv_s, tick_ms = run_service(monitor, trajectories)
+    return {
+        "sessions": n_sessions,
+        "frames": total_frames,
+        "seq_fps": total_frames / seq_s,
+        "srv_fps": total_frames / srv_s,
+        "speedup": seq_s / srv_s,
+        "tick_p50_ms": float(np.percentile(tick_ms, 50)),
+        "tick_p99_ms": float(np.percentile(tick_ms, 99)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short trajectories for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, help="frames per session (override)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the 64-session speedup reaches 3x",
+    )
+    args = parser.parse_args(argv)
+    if args.frames is not None and args.frames < 1:
+        parser.error("--frames must be >= 1")
+    n_frames = args.frames if args.frames is not None else (120 if args.smoke else 600)
+
+    print(f"serving throughput — {n_frames} frames/session, {N_FEATURES} features")
+    print(
+        f"{'sessions':>8} {'frames':>8} {'seq fps':>10} {'service fps':>12} "
+        f"{'speedup':>8} {'tick p50':>9} {'tick p99':>9}"
+    )
+    rows = [benchmark(n, n_frames) for n in (1, 8, 64)]
+    for r in rows:
+        print(
+            f"{r['sessions']:>8} {r['frames']:>8} {r['seq_fps']:>10.0f} "
+            f"{r['srv_fps']:>12.0f} {r['speedup']:>7.1f}x "
+            f"{r['tick_p50_ms']:>7.2f}ms {r['tick_p99_ms']:>7.2f}ms"
+        )
+
+    speedup_64 = rows[-1]["speedup"]
+    print(f"\n64-session batched speedup over sequential streams: {speedup_64:.1f}x")
+    if args.check and speedup_64 < 3.0:
+        print("FAIL: expected >= 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

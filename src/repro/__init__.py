@@ -21,6 +21,8 @@ The package provides, from the bottom up:
   comparators;
 - :mod:`repro.core` — the paper's contribution: the context-aware safety
   monitoring pipeline;
+- :mod:`repro.serving` — the multi-stream online serving engine
+  (concurrent monitoring sessions batched per tick);
 - :mod:`repro.eval` — metrics (accuracy, TPR/TNR/PPV/NPV, F1, ROC/AUC,
   jitter, reaction time) and report formatting;
 - :mod:`repro.experiments` — one entry point per paper table/figure.

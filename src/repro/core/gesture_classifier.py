@@ -133,7 +133,10 @@ class GestureClassifier:
 
         The window's prediction is assigned to its final frame (causal);
         leading frames before the first complete window inherit the first
-        prediction.  Returns ``(gesture_numbers, mean_ms_per_window)``.
+        prediction.  A trajectory shorter than one window has no gesture
+        context and returns all zeros ("unknown"), which downstream
+        consumers treat as safe.  Returns ``(gesture_numbers,
+        mean_ms_per_window)``.
         """
         self._check_fitted()
         assert self.model is not None
@@ -142,17 +145,21 @@ class GestureClassifier:
         if cfg.feature_indices is not None:
             frames = frames[:, cfg.feature_indices]
         windows, ends = sliding_windows(frames, cfg.window)
+        if ends.size == 0:
+            return np.zeros(trajectory.n_frames, dtype=int), 0.0
         x = self.scaler.transform(windows)
         start_time = time.perf_counter()
         class_idx = self.model.predict(x)
         elapsed_ms = (
             1000.0 * (time.perf_counter() - start_time) / max(x.shape[0], 1)
         )
+        # Window i's prediction covers frames [ends[i], ends[i+1]) — one
+        # np.repeat instead of a per-window Python fill loop.
+        numbers = class_idx + 1
+        lengths = np.diff(np.append(ends, trajectory.n_frames))
         out = np.empty(trajectory.n_frames, dtype=int)
-        out[: ends[0] + 1] = class_idx[0] + 1
-        for i in range(len(ends)):
-            stop = ends[i + 1] if i + 1 < len(ends) else trajectory.n_frames - 1
-            out[ends[i] : stop + 1] = class_idx[i] + 1
+        out[: ends[0]] = numbers[0]
+        out[ends[0] :] = np.repeat(numbers, lengths)
         return out, elapsed_ms
 
     def accuracy(self, dataset: SurgicalDataset) -> float:

@@ -25,7 +25,7 @@ from ..config import MonitorConfig
 from ..errors import NotFittedError
 from ..gestures.vocabulary import Gesture
 from ..kinematics.trajectory import Trajectory
-from ..kinematics.windows import StreamingWindow, sliding_windows
+from ..kinematics.windows import sliding_windows
 from .error_classifiers import ErrorClassifierLibrary
 from .gesture_classifier import GestureClassifier
 
@@ -105,14 +105,23 @@ class SafetyMonitor:
         # Group windows by the gesture active at their final frame so each
         # classifier runs once per batch.
         window_gestures = gestures[ends]
+        if not use_true_gestures:
+            # predict_frames backfills frames before the first complete
+            # gesture window with the first prediction; the online monitor
+            # has no context there yet.  Treat error windows ending in that
+            # warm-up as context-unknown (safe) so process() stays causal
+            # and bit-identical to stream()/the serving engine.
+            context_start = self.gesture_classifier.config.window.window - 1
+            window_gestures = np.where(ends >= context_start, window_gestures, 0)
         scored = np.zeros(n_frames, dtype=bool)
         error_ms_total = 0.0
         n_timed = 0
         for gesture_number in np.unique(window_gestures):
-            gesture = Gesture(int(gesture_number))
             mask = window_gestures == gesture_number
             scored[ends[mask]] = True  # a constant classifier scores 0 (safe)
-            clf = self.library.classifiers.get(gesture)
+            if gesture_number < 1:
+                continue  # no gesture context yet (shorter than one window)
+            clf = self.library.classifiers.get(Gesture(int(gesture_number)))
             if clf is None:
                 continue
             probs, per_window_ms = clf.timed_predict_proba(windows[mask])
@@ -123,13 +132,13 @@ class SafetyMonitor:
 
         # Propagate the last windowed score forward so every frame after
         # the first window carries the monitor's current belief (matters
-        # for stride > 1 and for the trailing frames of a demonstration).
-        last = 0.0
-        for t in range(n_frames):
-            if scored[t]:
-                last = scores[t]
-            else:
-                scores[t] = last
+        # for stride > 1 and for the trailing frames of a demonstration):
+        # running maximum over scored frame indices finds, per frame, the
+        # most recent frame with a fresh score (-1 while none exists yet).
+        source = np.maximum.accumulate(
+            np.where(scored, np.arange(n_frames), -1)
+        )
+        scores = np.where(source >= 0, scores[np.maximum(source, 0)], 0.0)
         flags = (scores >= self.threshold).astype(int)
 
         return MonitorOutput(
@@ -148,31 +157,20 @@ class SafetyMonitor:
         Yields ``(frame_index, gesture_number, unsafe_probability,
         latency_ms)`` per frame, exactly as an online deployment at the
         robot's control-system output stage would observe them.
+
+        This is a thin one-session wrapper over the batched serving
+        engine (:class:`repro.serving.MonitorService`), so a standalone
+        stream and a session inside a multi-stream service produce
+        bit-identical gestures and scores.
         """
-        g_cfg = self.gesture_classifier.config
-        feature_idx = g_cfg.feature_indices
-        gesture_stream = StreamingWindow(
-            g_cfg.window,
-            trajectory.n_features if feature_idx is None else len(feature_idx),
-        )
-        error_stream = StreamingWindow(
-            self.config.error_window, trajectory.n_features
-        )
-        current_gesture = 0
-        current_score = 0.0
-        model = self.gesture_classifier
-        for t in range(trajectory.n_frames):
+        from ..serving.service import MonitorService
+
+        service = MonitorService(self, max_sessions=1)
+        # Consumers read the yielded events; skip the per-frame timeline.
+        session_id = service.open_session(record_timeline=False)
+        service.feed(session_id, trajectory.frames)
+        for _ in range(trajectory.n_frames):
             start = time.perf_counter()
-            frame = trajectory.frames[t]
-            g_frame = frame if feature_idx is None else frame[feature_idx]
-            g_window = gesture_stream.push(g_frame)
-            if g_window is not None and model.model is not None:
-                x = model.scaler.transform(g_window[None, :, :])
-                current_gesture = int(model.model.predict(x)[0]) + 1
-            e_window = error_stream.push(frame)
-            if e_window is not None and current_gesture > 0:
-                clf = self.library.classifiers.get(Gesture(current_gesture))
-                if clf is not None:
-                    current_score = float(clf.predict_proba(e_window[None, :, :])[0])
+            event = service.tick()[0]
             latency_ms = 1000.0 * (time.perf_counter() - start)
-            yield t, current_gesture, current_score, latency_ms
+            yield event.frame_index, event.gesture, event.score, latency_ms

@@ -26,7 +26,12 @@ from .rotations import (
 )
 from .state import ManipulatorState, RobotState, N_VARIABLES_PER_ARM
 from .trajectory import Trajectory
-from .windows import StreamingWindow, sliding_windows, window_labels
+from .windows import (
+    StreamingWindow,
+    StreamingWindowBatch,
+    sliding_windows,
+    window_labels,
+)
 
 __all__ = [
     "ALL_FEATURES",
@@ -36,6 +41,7 @@ __all__ = [
     "N_VARIABLES_PER_ARM",
     "RobotState",
     "StreamingWindow",
+    "StreamingWindowBatch",
     "Trajectory",
     "feature_indices",
     "feature_names",

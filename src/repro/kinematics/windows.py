@@ -2,19 +2,19 @@
 
 Both stages of the monitoring pipeline consume fixed-length windows of
 consecutive kinematics frames.  :func:`sliding_windows` builds them in
-batch for training; :class:`StreamingWindow` maintains them incrementally
-for the online monitor.
+batch for training; :class:`StreamingWindowBatch` maintains them
+incrementally for many concurrent online streams at once (the serving
+hot path), and :class:`StreamingWindow` is its single-stream wrapper.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Iterator
 
 import numpy as np
 
 from ..config import WindowConfig
-from ..errors import ShapeError
+from ..errors import ConfigurationError, ShapeError
 
 
 def sliding_windows(
@@ -63,7 +63,11 @@ def window_labels(
 
     - ``"last"`` — label of the final frame (causal; default, matches the
       online monitor which predicts the current frame).
-    - ``"majority"`` — most frequent label in the window.
+    - ``"majority"`` — most frequent label in the window.  Ties break to
+      the **lowest** label value; this is a contract, not an accident of
+      implementation, so that e.g. a half-safe/half-unsafe binary window
+      resolves to 0 (safe) and re-runs are reproducible across numpy
+      versions.
     - ``"any"`` — for binary 0/1 labels, 1 if any frame is 1 (the paper
       marks a whole gesture unsafe if any of its samples is erroneous).
     """
@@ -81,20 +85,155 @@ def window_labels(
     if reduce == "any":
         return (gathered != 0).any(axis=1).astype(labels.dtype)
     if reduce == "majority":
-        out = np.empty(n, dtype=labels.dtype)
-        for i in range(n):
-            values, counts = np.unique(gathered[i], return_counts=True)
-            out[i] = values[np.argmax(counts)]
-        return out
+        # Vectorized per-row mode in O(n_windows * window) memory: sort
+        # each window, run-length encode, take each row's longest run.
+        # Runs are value-ascending and argmax returns the first maximum,
+        # which yields the lowest-label-wins contract.
+        ordered = np.sort(gathered, axis=1)
+        window = ordered.shape[1]
+        starts = np.concatenate(
+            [np.ones((n, 1), dtype=bool), ordered[:, 1:] != ordered[:, :-1]],
+            axis=1,
+        )
+        run_ids = np.cumsum(starts, axis=1) - 1  # at most `window` runs/row
+        run_lengths = np.zeros((n, window), dtype=np.int64)
+        np.add.at(run_lengths, (np.arange(n)[:, None], run_ids), 1)
+        best_run = np.argmax(run_lengths, axis=1)
+        first_of_best = np.argmax(run_ids == best_run[:, None], axis=1)
+        return ordered[np.arange(n), first_of_best]
     raise ShapeError(f"unknown reduce mode {reduce!r}")
 
 
-class StreamingWindow:
-    """Incrementally maintained sliding window for online inference.
+class StreamingWindowBatch:
+    """Ring-buffered sliding windows over many concurrent streams.
 
-    Push frames one at a time with :meth:`push`; once ``window`` frames
-    have accumulated every subsequent push (at multiples of ``stride``)
-    yields a ready window.
+    The serving hot path: a preallocated ``(n_streams, window,
+    n_features)`` buffer absorbs one new frame per pushed stream per call
+    and reports — with a vectorized readiness mask, no per-stream Python
+    state — which streams completed a window on this push.  Stream slots
+    advance independently, so sessions that joined at different times can
+    share one batch.
+
+    Emission semantics per stream are identical to pushing that stream's
+    frames one-by-one through a :class:`StreamingWindow`: the first window
+    emits once ``window`` frames arrived, subsequent windows every
+    ``stride`` frames after that.
+    """
+
+    def __init__(self, config: WindowConfig, n_streams: int, n_features: int) -> None:
+        if n_streams < 1:
+            raise ConfigurationError("n_streams must be >= 1")
+        if n_features < 1:
+            raise ConfigurationError("n_features must be >= 1")
+        self._config = config
+        self._n_streams = int(n_streams)
+        self._n_features = int(n_features)
+        self._buffer = np.zeros((n_streams, config.window, n_features))
+        self._seen = np.zeros(n_streams, dtype=np.int64)
+        self._since_emit = np.zeros(n_streams, dtype=np.int64)
+        self._window_offsets = np.arange(config.window)
+
+    @property
+    def config(self) -> WindowConfig:
+        """The window configuration this batch was built with."""
+        return self._config
+
+    @property
+    def n_streams(self) -> int:
+        """Number of stream slots in the buffer."""
+        return self._n_streams
+
+    @property
+    def n_features(self) -> int:
+        """Feature width of each frame."""
+        return self._n_features
+
+    @property
+    def frames_seen(self) -> np.ndarray:
+        """Per-stream count of frames pushed since the last reset (copy)."""
+        return self._seen.copy()
+
+    def push(
+        self, frames: np.ndarray, stream_ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance a set of streams by one frame each.
+
+        Parameters
+        ----------
+        frames:
+            Array of shape ``(n_pushed, n_features)``: one new frame per
+            pushed stream, aligned with ``stream_ids``.
+        stream_ids:
+            Slot indices receiving a frame; defaults to all streams.  Must
+            not contain duplicates (each stream advances by exactly one
+            frame per call).
+
+        Returns
+        -------
+        ready, windows
+            ``ready`` is a boolean mask aligned with ``stream_ids`` marking
+            streams that completed a window on this push; ``windows`` has
+            shape ``(ready.sum(), window, n_features)`` with rows in
+            ``stream_ids`` order, each window's frames in time order.
+        """
+        frames = np.asarray(frames, dtype=float)
+        ids = self._check_ids(stream_ids)
+        if frames.shape != (ids.size, self._n_features):
+            raise ShapeError(
+                f"frames must have shape ({ids.size}, {self._n_features}), "
+                f"got {frames.shape}"
+            )
+        window = self._config.window
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool), np.empty((0, window, self._n_features))
+
+        self._buffer[ids, self._seen[ids] % window] = frames
+        self._seen[ids] += 1
+        seen = self._seen[ids]
+        first = seen == window
+        follow = seen > window
+        self._since_emit[ids[follow]] += 1
+        ready = first | (follow & (self._since_emit[ids] >= self._config.stride))
+        self._since_emit[ids[ready]] = 0
+
+        ready_ids = ids[ready]
+        if ready_ids.size == 0:
+            return ready, np.empty((0, window, self._n_features))
+        # The oldest frame of stream s lives at ring slot seen[s] % window,
+        # so rotating the slot axis restores time order.
+        order = (self._seen[ready_ids, None] + self._window_offsets) % window
+        return ready, self._buffer[ready_ids[:, None], order]
+
+    def reset(self, stream_ids: np.ndarray | None = None) -> None:
+        """Restore fresh-stream state for some (default: all) streams."""
+        ids = self._check_ids(stream_ids)
+        self._seen[ids] = 0
+        self._since_emit[ids] = 0
+
+    def _check_ids(self, stream_ids: np.ndarray | None) -> np.ndarray:
+        """Validate stream indices: 1-D, in range, no duplicates."""
+        if stream_ids is None:
+            return np.arange(self._n_streams)
+        ids = np.asarray(stream_ids, dtype=int)
+        if ids.ndim != 1:
+            raise ShapeError(f"stream_ids must be 1-D, got shape {ids.shape}")
+        if ids.size and (ids.min() < 0 or ids.max() >= self._n_streams):
+            raise ShapeError(
+                f"stream_ids must lie in [0, {self._n_streams}), got "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        if np.unique(ids).size != ids.size:
+            raise ShapeError("stream_ids must not contain duplicates")
+        return ids
+
+
+class StreamingWindow:
+    """Incrementally maintained sliding window for one online stream.
+
+    A thin single-stream wrapper over :class:`StreamingWindowBatch`: push
+    frames one at a time with :meth:`push`; once ``window`` frames have
+    accumulated every subsequent push (at multiples of ``stride``) yields
+    a ready window.
 
     Example
     -------
@@ -104,21 +243,17 @@ class StreamingWindow:
     """
 
     def __init__(self, config: WindowConfig, n_features: int) -> None:
-        self._config = config
-        self._n_features = int(n_features)
-        self._buffer: deque[np.ndarray] = deque(maxlen=config.window)
-        self._frames_seen = 0
-        self._since_last_emit = 0
+        self._batch = StreamingWindowBatch(config, 1, n_features)
 
     @property
     def config(self) -> WindowConfig:
         """The window configuration this stream was built with."""
-        return self._config
+        return self._batch.config
 
     @property
     def frames_seen(self) -> int:
         """Total number of frames pushed so far."""
-        return self._frames_seen
+        return int(self._batch.frames_seen[0])
 
     def push(self, frame: np.ndarray) -> np.ndarray | None:
         """Append a frame; return the current window when one is due.
@@ -126,28 +261,16 @@ class StreamingWindow:
         Returns ``None`` while the buffer is warming up or between strides.
         """
         frame = np.asarray(frame, dtype=float)
-        if frame.shape != (self._n_features,):
+        if frame.shape != (self._batch.n_features,):
             raise ShapeError(
-                f"frame must have shape ({self._n_features},), got {frame.shape}"
+                f"frame must have shape ({self._batch.n_features},), got {frame.shape}"
             )
-        self._buffer.append(frame)
-        self._frames_seen += 1
-        if len(self._buffer) < self._config.window:
-            return None
-        if self._frames_seen == self._config.window:
-            self._since_last_emit = 0
-            return np.stack(self._buffer)
-        self._since_last_emit += 1
-        if self._since_last_emit >= self._config.stride:
-            self._since_last_emit = 0
-            return np.stack(self._buffer)
-        return None
+        ready, windows = self._batch.push(frame[None, :])
+        return windows[0] if ready[0] else None
 
     def reset(self) -> None:
         """Clear the buffer (e.g. at a trajectory boundary)."""
-        self._buffer.clear()
-        self._frames_seen = 0
-        self._since_last_emit = 0
+        self._batch.reset()
 
     def iter_windows(self, frames: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
         """Yield ``(end_frame_index, window)`` pairs for a whole sequence.

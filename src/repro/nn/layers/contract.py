@@ -1,0 +1,37 @@
+"""Batch-size-invariant matrix contraction for inference.
+
+BLAS dispatches matmuls to different kernels (GEMV for single rows, GEMM
+tile/tail kernels elsewhere) whose accumulation orders round differently,
+so the same sample can produce a result that differs in the last ulp
+depending on how many other samples share its batch.  The online serving
+engine promises the opposite: a window scored alone is bit-identical to
+the same window scored inside any batch (the stream/service parity suite
+asserts this exactly).
+
+``np.einsum`` with the default ``optimize=False`` never calls BLAS — it
+accumulates each output element independently over the contracted axis in
+a fixed order — so its per-row results cannot depend on batch size or row
+position.  Inference forwards route through it; training forwards keep
+the (faster) BLAS path, where bit-reproducibility across batch layouts is
+not needed.
+
+The offline ``process()`` path must share this contraction — it is one
+side of the asserted stream/process/service equality — so every
+inference matmul pays the einsum cost (roughly 4-8x a BLAS GEMM at this
+repo's layer sizes, a few percent of end-to-end pipeline time, which is
+dominated by Python-level orchestration).  If a future workload needs
+BLAS-speed bulk scoring without the parity guarantee, gate this helper
+rather than bypassing it ad hoc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def contract(a: np.ndarray, w: np.ndarray, training: bool) -> np.ndarray:
+    """``a @ w`` over the last axis of ``a``: BLAS when training, the
+    batch-invariant einsum path at inference."""
+    if training:
+        return a @ w
+    return np.einsum("...j,jk->...k", a, w)

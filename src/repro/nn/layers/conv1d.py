@@ -13,6 +13,7 @@ import numpy as np
 from ...errors import ConfigurationError, ShapeError
 from ..initializers import glorot_uniform, zeros_init
 from .base import Layer
+from .contract import contract
 
 
 class Conv1D(Layer):
@@ -99,7 +100,7 @@ class Conv1D(Layer):
         idx = np.arange(out_time)[:, None] + np.arange(k)[None, :]
         columns = x_padded[:, idx, :].reshape(batch, out_time, k * in_ch)
         w_flat = self.params["W"].reshape(k * in_ch, self.filters)
-        out = columns @ w_flat + self.params["b"]
+        out = contract(columns, w_flat, training) + self.params["b"]
         if training:
             self._cache = {
                 "columns": columns,

@@ -7,6 +7,7 @@ import numpy as np
 from ...errors import ConfigurationError, ShapeError
 from ..initializers import glorot_uniform, zeros_init
 from .base import Layer
+from .contract import contract
 
 
 class Dense(Layer):
@@ -49,7 +50,7 @@ class Dense(Layer):
             )
         if training:
             self._cache_x = x
-        return x @ self.params["W"] + self.params["b"]
+        return contract(x, self.params["W"], training) + self.params["b"]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         self._check_built()

@@ -14,6 +14,7 @@ from ...errors import ConfigurationError, ShapeError
 from ..initializers import glorot_uniform, orthogonal
 from .activations import sigmoid
 from .base import Layer
+from .contract import contract
 
 
 class LSTM(Layer):
@@ -91,11 +92,11 @@ class LSTM(Layer):
             c_prev = np.empty((batch, time_steps, u))
 
         # Pre-compute the input projection for every step at once.
-        x_proj = x.reshape(-1, features) @ wx
+        x_proj = contract(x.reshape(-1, features), wx, training)
         x_proj = x_proj.reshape(batch, time_steps, 4 * u)
 
         for t in range(time_steps):
-            z = x_proj[:, t, :] + h @ wh + b
+            z = x_proj[:, t, :] + contract(h, wh, training) + b
             i = sigmoid(z[:, :u])
             f = sigmoid(z[:, u : 2 * u])
             g = np.tanh(z[:, 2 * u : 3 * u])

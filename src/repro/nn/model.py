@@ -111,7 +111,13 @@ class Sequential:
         return out
 
     def predict_proba(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Class probabilities (loss's ``predict`` applied to logits)."""
+        """Class probabilities (loss's ``predict`` applied to logits).
+
+        Inference is batch-size invariant: a sample scored alone yields
+        the bit-identical probability it would get inside any larger
+        batch (see :mod:`repro.nn.layers.contract`).  The online serving
+        engine relies on this to reproduce batched results exactly.
+        """
         if self.loss is None:
             raise NotFittedError("call compile() before predict_proba()")
         x = np.asarray(x, dtype=float)

@@ -1,0 +1,26 @@
+"""Multi-stream online serving of the safety-monitoring pipeline.
+
+The architectural seam between the paper's single-demonstration replay
+and a production deployment monitoring many procedures at once:
+
+- :mod:`~repro.serving.service` — :class:`MonitorService`, the tick-based
+  engine that batches ready windows *across* concurrent sessions so each
+  pipeline stage runs once per tick instead of once per stream;
+- :mod:`~repro.serving.synthetic` — instant, deterministic synthetic
+  monitors and trajectories for parity tests and throughput benchmarks.
+
+:meth:`repro.core.SafetyMonitor.stream` is a thin one-session wrapper
+over this engine, so single-stream and fleet serving share one hot path.
+"""
+
+from .service import MonitorService, ServiceStats, SessionEvent, SessionResult
+from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
+
+__all__ = [
+    "MonitorService",
+    "ServiceStats",
+    "SessionEvent",
+    "SessionResult",
+    "make_random_walk_trajectory",
+    "make_synthetic_monitor",
+]

@@ -1,0 +1,405 @@
+"""Multi-stream monitoring service: the batched online serving engine.
+
+The paper frames deployment as continuous runtime monitoring of live
+procedures, which means many simultaneous sessions rather than one
+offline replay.  :class:`MonitorService` manages N concurrent trajectory
+sessions (open / feed / close lifecycle) against a single trained
+:class:`~repro.core.pipeline.SafetyMonitor`.  Each :meth:`MonitorService.tick`
+advances every session with pending frames by one frame and runs each
+pipeline stage **once** on the windows that became ready across all
+sessions — one scaler transform and one model forward per stage per tick,
+instead of one per stream — via the ring-buffered
+:class:`~repro.kinematics.windows.StreamingWindowBatch`.
+
+Because model inference is batch-size invariant (see
+:meth:`repro.nn.Sequential.predict_proba`), a session served here emits
+bit-for-bit the same gestures and scores as an isolated
+:meth:`~repro.core.pipeline.SafetyMonitor.stream` run over the same
+frames — the parity test suite locks this in.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError, DatasetError, ShapeError
+from ..gestures.vocabulary import Gesture
+from ..kinematics.windows import StreamingWindowBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> serving)
+    from ..core.pipeline import SafetyMonitor
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One monitored frame of one session.
+
+    Mirrors the tuple yielded by :meth:`SafetyMonitor.stream`:
+    ``gesture`` is 0 while the gesture stage is warming up, ``score`` the
+    current unsafe probability, ``flag`` the thresholded decision.
+    """
+
+    session_id: str
+    frame_index: int
+    gesture: int
+    score: float
+    flag: bool
+
+
+@dataclass
+class SessionResult:
+    """Full per-frame timeline of a closed session."""
+
+    session_id: str
+    gestures: np.ndarray
+    unsafe_scores: np.ndarray
+    unsafe_flags: np.ndarray
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames the session processed before closing."""
+        return int(self.gestures.shape[0])
+
+
+#: Per-tick latency samples retained for percentile queries.  A service
+#: monitoring live procedures ticks indefinitely (~2.6M/day at 30 Hz), so
+#: the raw history must be bounded; totals keep counting past the window.
+TICK_HISTORY = 65536
+
+
+@dataclass
+class ServiceStats:
+    """Latency accounting across ticks (populated by :meth:`tick`).
+
+    ``tick_ms`` holds the most recent :data:`TICK_HISTORY` per-tick
+    latencies; ``n_ticks`` and ``frames_processed`` count the full
+    service lifetime.
+    """
+
+    tick_ms: deque = field(default_factory=lambda: deque(maxlen=TICK_HISTORY))
+    n_ticks: int = 0
+    frames_processed: int = 0
+
+    def record(self, tick_ms: float, n_frames: int) -> None:
+        """Account one executed tick."""
+        self.tick_ms.append(tick_ms)
+        self.n_ticks += 1
+        self.frames_processed += n_frames
+
+    def percentile_ms(self, q: float) -> float:
+        """``q``-th percentile of recent per-tick latency in milliseconds."""
+        if not self.tick_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.tick_ms), q))
+
+    def mean_ms(self) -> float:
+        """Mean recent per-tick latency in milliseconds."""
+        return float(np.mean(np.asarray(self.tick_ms))) if self.tick_ms else 0.0
+
+
+class _Session:
+    """Internal per-session state: pending input and output timeline."""
+
+    __slots__ = (
+        "id",
+        "slot",
+        "pending",
+        "offset",
+        "frames_done",
+        "record_timeline",
+        "gestures",
+        "scores",
+    )
+
+    def __init__(self, session_id: str, slot: int, record_timeline: bool) -> None:
+        self.id = session_id
+        self.slot = slot
+        self.pending: deque[np.ndarray] = deque()
+        self.offset = 0  # row cursor into the head chunk
+        self.frames_done = 0
+        self.record_timeline = record_timeline
+        self.gestures: list[int] = []
+        self.scores: list[float] = []
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def pending_frames(self) -> int:
+        return sum(chunk.shape[0] for chunk in self.pending) - self.offset
+
+    def pop_frame(self) -> np.ndarray:
+        head = self.pending[0]
+        frame = head[self.offset]
+        self.offset += 1
+        if self.offset >= head.shape[0]:
+            self.pending.popleft()
+            self.offset = 0
+        return frame
+
+
+class MonitorService:
+    """Serve N concurrent monitoring sessions over one trained monitor.
+
+    Parameters
+    ----------
+    monitor:
+        The trained two-stage :class:`SafetyMonitor` shared by all
+        sessions.
+    max_sessions:
+        Number of preallocated stream slots (concurrently open sessions).
+
+    Lifecycle
+    ---------
+    :meth:`open_session` reserves a slot, :meth:`feed` enqueues frames
+    (any number, any cadence), :meth:`tick` advances every session with
+    pending input by exactly one frame and returns the resulting
+    :class:`SessionEvent` per advanced session, :meth:`close_session`
+    frees the slot and returns the session's full :class:`SessionResult`
+    timeline.  :meth:`drain` ticks until no session has pending input.
+    """
+
+    def __init__(self, monitor: "SafetyMonitor", max_sessions: int = 64) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError("max_sessions must be >= 1")
+        self.monitor = monitor
+        self.max_sessions = int(max_sessions)
+        self.stats = ServiceStats()
+        self._sessions: dict[str, _Session] = {}
+        self._free_slots: list[int] = list(range(max_sessions - 1, -1, -1))
+        self._next_id = 0
+        # Window batches are allocated on the first feed, when the
+        # kinematics feature width becomes known.
+        self._gesture_batch: StreamingWindowBatch | None = None
+        self._error_batch: StreamingWindowBatch | None = None
+        self._n_features: int | None = None
+        self._current_gesture = np.zeros(max_sessions, dtype=np.int64)
+        self._current_score = np.zeros(max_sessions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_open_sessions(self) -> int:
+        """Number of currently open sessions."""
+        return len(self._sessions)
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Open session ids in opening order."""
+        return list(self._sessions)
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any open session has unprocessed frames."""
+        return any(s.has_pending for s in self._sessions.values())
+
+    def pending_frames(self, session_id: str) -> int:
+        """Number of fed-but-unprocessed frames of one session."""
+        session = self._get(session_id)
+        return session.pending_frames() if session.has_pending else 0
+
+    def open_session(
+        self, session_id: str | None = None, record_timeline: bool = True
+    ) -> str:
+        """Reserve a stream slot; returns the session id.
+
+        With ``record_timeline=False`` the session skips accumulating its
+        per-frame gesture/score arrays (``close_session`` then returns
+        empty timelines) — use for indefinitely long sessions whose
+        consumers only read the per-tick :class:`SessionEvent` stream,
+        where an unbounded timeline would leak memory.
+        """
+        if session_id is None:
+            session_id = f"session-{self._next_id:04d}"
+            self._next_id += 1
+            while session_id in self._sessions:  # explicit id took the name
+                session_id = f"session-{self._next_id:04d}"
+                self._next_id += 1
+        elif session_id in self._sessions:
+            raise ConfigurationError(f"session {session_id!r} is already open")
+        if not self._free_slots:
+            raise ConfigurationError(
+                f"all {self.max_sessions} session slots are in use"
+            )
+        slot = self._free_slots.pop()
+        self._sessions[session_id] = _Session(session_id, slot, record_timeline)
+        self._current_gesture[slot] = 0
+        self._current_score[slot] = 0.0
+        if self._gesture_batch is not None:
+            self._gesture_batch.reset(np.array([slot]))
+        if self._error_batch is not None:
+            self._error_batch.reset(np.array([slot]))
+        return session_id
+
+    def feed(self, session_id: str, frames: np.ndarray) -> None:
+        """Enqueue kinematics frames for a session.
+
+        ``frames`` is ``(n, n_features)`` (or a single ``(n_features,)``
+        frame); it is consumed one frame per tick.  The array is not
+        copied — callers must not mutate it afterwards.
+        """
+        session = self._get(session_id)
+        frames = np.asarray(frames, dtype=float)
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        if frames.ndim != 2:
+            raise ShapeError(
+                f"frames must be (n, n_features), got shape {frames.shape}"
+            )
+        if frames.shape[0] == 0:
+            return
+        self._ensure_buffers(frames.shape[1])
+        if frames.shape[1] != self._n_features:
+            raise ShapeError(
+                f"service is bound to {self._n_features} features, "
+                f"got frames with {frames.shape[1]}"
+            )
+        session.pending.append(frames)
+
+    def close_session(self, session_id: str) -> SessionResult:
+        """Free the session's slot and return its full timeline.
+
+        Pending (un-ticked) frames are discarded; call :meth:`drain`
+        first to process them.
+        """
+        session = self._get(session_id)
+        del self._sessions[session_id]
+        self._free_slots.append(session.slot)
+        scores = np.asarray(session.scores)
+        return SessionResult(
+            session_id=session_id,
+            gestures=np.asarray(session.gestures, dtype=int),
+            unsafe_scores=scores,
+            unsafe_flags=(scores >= self.monitor.threshold).astype(int),
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def tick(self) -> list[SessionEvent]:
+        """Advance every session with pending input by one frame.
+
+        Runs the gesture stage once over all gesture windows that became
+        ready this tick, then the error stage once per distinct active
+        gesture over the ready error windows, and returns one event per
+        advanced session (opening order).
+        """
+        active = [s for s in self._sessions.values() if s.has_pending]
+        if not active:
+            return []
+        start = time.perf_counter()
+        slots = np.array([s.slot for s in active])
+        frames = np.stack([s.pop_frame() for s in active])
+
+        assert self._gesture_batch is not None and self._error_batch is not None
+        classifier = self.monitor.gesture_classifier
+        feature_idx = classifier.config.feature_indices
+        g_frames = frames if feature_idx is None else frames[:, feature_idx]
+        g_ready, g_windows = self._gesture_batch.push(g_frames, slots)
+        if classifier.model is not None and g_ready.any():
+            x = classifier.scaler.transform(g_windows)
+            self._current_gesture[slots[g_ready]] = classifier.model.predict(x) + 1
+
+        e_ready, e_windows = self._error_batch.push(frames, slots)
+        if e_ready.any():
+            e_slots = slots[e_ready]
+            gestures = self._current_gesture[e_slots]
+            known = gestures > 0
+            # One predict_proba per distinct gesture, over every session
+            # currently in that context.  Gestures without a trained
+            # classifier score 0.0 (safe) — never a stale carry-over.
+            new_scores = np.zeros(e_slots.size)
+            for gesture_number in np.unique(gestures[known]):
+                clf = self.monitor.library.classifiers.get(
+                    Gesture(int(gesture_number))
+                )
+                if clf is None:
+                    continue
+                mask = gestures == gesture_number
+                new_scores[mask] = clf.predict_proba(e_windows[mask])
+            self._current_score[e_slots[known]] = new_scores[known]
+
+        threshold = self.monitor.threshold
+        events = []
+        for session in active:
+            gesture = int(self._current_gesture[session.slot])
+            score = float(self._current_score[session.slot])
+            if session.record_timeline:
+                session.gestures.append(gesture)
+                session.scores.append(score)
+            events.append(
+                SessionEvent(
+                    session_id=session.id,
+                    frame_index=session.frames_done,
+                    gesture=gesture,
+                    score=score,
+                    flag=score >= threshold,
+                )
+            )
+            session.frames_done += 1
+        self.stats.record(1000.0 * (time.perf_counter() - start), len(active))
+        return events
+
+    def drain(self, collect: bool = True) -> list[SessionEvent]:
+        """Tick until no session has pending frames.
+
+        With ``collect=False`` events are discarded as they are produced
+        (throughput benchmarking); per-session timelines still accumulate.
+        """
+        events: list[SessionEvent] = []
+        while self.has_pending:
+            tick_events = self.tick()
+            if collect:
+                events.extend(tick_events)
+        return events
+
+    # ------------------------------------------------------------------
+    def _get(self, session_id: str) -> _Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise DatasetError(f"no open session {session_id!r}")
+        return session
+
+    def _expected_n_features(self) -> int | None:
+        """Kinematics width the monitor was trained for, when derivable.
+
+        The error-stage scalers see full-width frames; the gesture scaler
+        only does when no feature subset is configured.  An untrained
+        monitor constrains nothing.
+        """
+        classifier = self.monitor.gesture_classifier
+        if (
+            classifier.config.feature_indices is None
+            and classifier.scaler.mean_ is not None
+        ):
+            return int(classifier.scaler.mean_.shape[0])
+        for clf in self.monitor.library.classifiers.values():
+            if clf.scaler.mean_ is not None:
+                return int(clf.scaler.mean_.shape[0])
+        return None
+
+    def _ensure_buffers(self, n_features: int) -> None:
+        if self._gesture_batch is not None:
+            return
+        expected = self._expected_n_features()
+        if expected is not None and n_features != expected:
+            raise ShapeError(
+                f"monitor was trained for {expected} kinematics features, "
+                f"got frames with {n_features}"
+            )
+        self._n_features = int(n_features)
+        classifier_cfg = self.monitor.gesture_classifier.config
+        feature_idx = classifier_cfg.feature_indices
+        g_features = n_features if feature_idx is None else len(feature_idx)
+        self._gesture_batch = StreamingWindowBatch(
+            classifier_cfg.window, self.max_sessions, g_features
+        )
+        self._error_batch = StreamingWindowBatch(
+            self.monitor.config.error_window, self.max_sessions, n_features
+        )

@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.config import WindowConfig
-from repro.errors import ShapeError
-from repro.kinematics.windows import StreamingWindow, sliding_windows, window_labels
+from repro.errors import ConfigurationError, ShapeError
+from repro.kinematics.windows import (
+    StreamingWindow,
+    StreamingWindowBatch,
+    sliding_windows,
+    window_labels,
+)
 
 
 def ramp_frames(n: int, d: int = 2) -> np.ndarray:
@@ -50,6 +55,23 @@ class TestWindowLabels:
         out = window_labels(labels, WindowConfig(5, 1), reduce="majority")
         assert out.tolist() == [7]
 
+    def test_majority_tie_breaks_to_lowest_label(self):
+        # Documented contract: exact count ties resolve to the lowest
+        # label, so a half-safe binary window reads safe.
+        labels = np.array([1, 2, 1, 2])
+        out = window_labels(labels, WindowConfig(2, 1), reduce="majority")
+        assert out.tolist() == [1, 1, 1]
+        out = window_labels(np.array([0, 1, 1, 0]), WindowConfig(4, 1), "majority")
+        assert out.tolist() == [0]
+        out = window_labels(np.array([9, 3, 9, 3]), WindowConfig(4, 2), "majority")
+        assert out.tolist() == [3]
+
+    def test_majority_with_stride_and_dtype(self):
+        labels = np.array([4, 4, 4, 6, 6, 6, 6], dtype=np.int32)
+        out = window_labels(labels, WindowConfig(3, 2), reduce="majority")
+        assert out.tolist() == [4, 6, 6]
+        assert out.dtype == labels.dtype
+
     def test_alignment_with_windows(self):
         frames = ramp_frames(20)
         labels = np.arange(20)
@@ -91,3 +113,90 @@ class TestStreamingWindow:
         stream = StreamingWindow(WindowConfig(2, 1), n_features=2)
         with pytest.raises(ShapeError):
             stream.push(np.zeros(3))
+
+
+class TestStreamingWindowBatch:
+    def test_lockstep_matches_batch_extraction(self):
+        cfg = WindowConfig(4, 2)
+        rng = np.random.default_rng(0)
+        sequences = [rng.random((15, 3)) for _ in range(3)]
+        batch = StreamingWindowBatch(cfg, n_streams=3, n_features=3)
+        emitted = {i: [] for i in range(3)}
+        for t in range(15):
+            frames = np.stack([seq[t] for seq in sequences])
+            ready, windows = batch.push(frames)
+            for row, i in enumerate(np.flatnonzero(ready)):
+                emitted[i].append((t, windows[row]))
+        for i, seq in enumerate(sequences):
+            expected_windows, expected_ends = sliding_windows(seq, cfg)
+            assert [t for t, _ in emitted[i]] == expected_ends.tolist()
+            for (_, win), expected in zip(emitted[i], expected_windows):
+                assert np.array_equal(win, expected)
+
+    def test_staggered_subsets(self):
+        # Stream 1 joins three frames late; readiness masks stay aligned
+        # with the pushed subset and each stream keeps its own phase.
+        cfg = WindowConfig(3, 1)
+        batch = StreamingWindowBatch(cfg, n_streams=2, n_features=1)
+        for t in range(3):
+            ready, _ = batch.push(np.array([[float(t)]]), np.array([0]))
+        assert ready[0]  # stream 0 warmed up
+        ready, windows = batch.push(np.array([[3.0], [100.0]]), np.array([0, 1]))
+        assert ready.tolist() == [True, False]
+        assert np.array_equal(windows[0].ravel(), [1.0, 2.0, 3.0])
+        assert batch.frames_seen.tolist() == [4, 1]
+
+    def test_stride_longer_than_window(self):
+        cfg = WindowConfig(2, 5)
+        batch = StreamingWindowBatch(cfg, n_streams=1, n_features=1)
+        emitted = []
+        for t in range(12):
+            ready, windows = batch.push(np.array([[float(t)]]))
+            if ready[0]:
+                emitted.append((t, windows[0].ravel().tolist()))
+        _, ends = sliding_windows(np.arange(12.0)[:, None], cfg)
+        assert [t for t, _ in emitted] == ends.tolist()
+        assert emitted[0] == (1, [0.0, 1.0])
+        assert emitted[1] == (6, [5.0, 6.0])
+
+    def test_reset_subset(self):
+        cfg = WindowConfig(2, 1)
+        batch = StreamingWindowBatch(cfg, n_streams=2, n_features=1)
+        batch.push(np.zeros((2, 1)))
+        batch.push(np.ones((2, 1)))
+        batch.reset(np.array([0]))
+        assert batch.frames_seen.tolist() == [0, 2]
+        ready, _ = batch.push(np.full((2, 1), 2.0))
+        assert ready.tolist() == [False, True]
+
+    def test_empty_push(self):
+        batch = StreamingWindowBatch(WindowConfig(2, 1), n_streams=2, n_features=3)
+        ready, windows = batch.push(np.empty((0, 3)), np.empty(0, dtype=int))
+        assert ready.shape == (0,)
+        assert windows.shape == (0, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingWindowBatch(WindowConfig(2, 1), n_streams=0, n_features=1)
+        batch = StreamingWindowBatch(WindowConfig(2, 1), n_streams=2, n_features=3)
+        with pytest.raises(ShapeError):
+            batch.push(np.zeros((2, 4)))
+        with pytest.raises(ShapeError):
+            batch.push(np.zeros((1, 3)), np.array([5]))
+        with pytest.raises(ShapeError):
+            batch.push(np.zeros((1, 3)), np.array([[0]]))
+        with pytest.raises(ShapeError):
+            batch.push(np.zeros((2, 3)), np.array([0, 0]))  # duplicate stream
+        # reset() enforces the same stream_ids contract as push().
+        with pytest.raises(ShapeError):
+            batch.reset(np.array([-1]))
+        with pytest.raises(ShapeError):
+            batch.reset(np.array([5]))
+
+    def test_windows_are_copies(self):
+        batch = StreamingWindowBatch(WindowConfig(2, 1), n_streams=1, n_features=1)
+        batch.push(np.array([[1.0]]))
+        _, windows = batch.push(np.array([[2.0]]))
+        windows[0, 0, 0] = 99.0
+        _, again = batch.push(np.array([[3.0]]))
+        assert np.array_equal(again[0].ravel(), [2.0, 3.0])

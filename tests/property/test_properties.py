@@ -14,7 +14,12 @@ from repro.kinematics.rotations import (
     rotation_angle_between,
     rotation_from_euler,
 )
-from repro.kinematics.windows import StreamingWindow, sliding_windows, window_labels
+from repro.kinematics.windows import (
+    StreamingWindow,
+    StreamingWindowBatch,
+    sliding_windows,
+    window_labels,
+)
 from repro.nn.layers.activations import sigmoid, softmax
 from repro.nn.preprocessing import StandardScaler, one_hot
 from repro.vision.dtw import dtw_distance
@@ -86,6 +91,91 @@ class TestWindowProperties:
         any_labels = window_labels(labels, cfg, reduce="any")
         last_labels = window_labels(labels, cfg, reduce="last")
         assert np.all(any_labels >= last_labels)
+
+    @given(
+        labels=arrays(np.int64, st.integers(1, 40), elements=st.integers(0, 5)),
+        window=st.integers(1, 7),
+        stride=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_majority_reduce_matches_reference(self, labels, window, stride):
+        """The vectorized majority equals a naive per-window count with
+        the documented lowest-label-wins tie contract."""
+        cfg = WindowConfig(window, stride)
+        n = cfg.n_windows(labels.size)
+        out = window_labels(labels, cfg, reduce="majority")
+        assert out.shape == (n,)
+        for i in range(n):
+            chunk = labels[i * stride : i * stride + window]
+            values, counts = np.unique(chunk, return_counts=True)
+            best = values[counts == counts.max()].min()
+            assert out[i] == best
+
+
+class TestStreamingBatchProperties:
+    @given(
+        n_streams=st.integers(1, 4),
+        window=st.integers(1, 9),
+        stride=st.integers(1, 12),  # includes stride > window
+        base_length=st.integers(0, 30),  # includes shorter than one window
+        n_features=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_streams_match_sliding_windows(
+        self, n_streams, window, stride, base_length, n_features, seed
+    ):
+        """Each stream of a StreamingWindowBatch emits exactly the windows
+        sliding_windows extracts from that stream's own sequence, even
+        with staggered lengths (streams drop out as they end)."""
+        cfg = WindowConfig(window, stride)
+        rng = np.random.default_rng(seed)
+        sequences = [
+            rng.random((base_length + 2 * i, n_features)) for i in range(n_streams)
+        ]
+        batch = StreamingWindowBatch(cfg, n_streams, n_features)
+        emitted = {i: [] for i in range(n_streams)}
+        cursor = [0] * n_streams
+        while True:
+            ids = np.array(
+                [i for i in range(n_streams) if cursor[i] < len(sequences[i])]
+            )
+            if ids.size == 0:
+                break
+            frames = np.stack([sequences[i][cursor[i]] for i in ids])
+            ready, windows = batch.push(frames, ids)
+            for row, i in enumerate(ids[ready]):
+                emitted[i].append((cursor[i], windows[row]))
+            for i in ids:
+                cursor[i] += 1
+        for i, seq in enumerate(sequences):
+            expected_windows, expected_ends = sliding_windows(seq, cfg)
+            assert [t for t, _ in emitted[i]] == expected_ends.tolist()
+            for (_, win), expected in zip(emitted[i], expected_windows):
+                assert np.array_equal(win, expected)
+
+    @given(
+        window=st.integers(1, 6),
+        stride=st.integers(1, 8),
+        n_frames=st.integers(0, 25),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restores_fresh_stream(self, window, stride, n_frames, seed):
+        cfg = WindowConfig(window, stride)
+        rng = np.random.default_rng(seed)
+        frames = rng.random((n_frames, 2))
+        stream = StreamingWindow(cfg, 2)
+        # Pollute with an unrelated prefix, then reset.
+        for row in rng.random((rng.integers(0, 3 * window + 1), 2)):
+            stream.push(row)
+        stream.reset()
+        assert stream.frames_seen == 0
+        replay = list(stream.iter_windows(frames))
+        fresh = list(StreamingWindow(cfg, 2).iter_windows(frames))
+        assert [t for t, _ in replay] == [t for t, _ in fresh]
+        for (_, a), (_, b) in zip(replay, fresh):
+            assert np.array_equal(a, b)
 
 
 class TestMarkovProperties:
