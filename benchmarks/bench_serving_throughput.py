@@ -1,13 +1,22 @@
 """Benchmark: multi-stream serving throughput and per-tick latency.
 
-Measures the batched :class:`repro.serving.MonitorService` against the
-equivalent number of sequential single-stream
+Part 1 measures the batched :class:`repro.serving.MonitorService`
+against the equivalent number of sequential single-stream
 :meth:`~repro.core.SafetyMonitor.stream` loops, at 1 / 8 / 64 concurrent
 sessions: frames per second, speedup, and p50/p99 per-tick latency.
-
 The point of the serving tentpole is that each pipeline stage runs once
 per tick on the window batch stacked *across* sessions, so throughput
 should grow strongly sub-linearly in session count.
+
+Part 2 measures the sharded service
+(:class:`repro.serving.ShardedMonitorService`) at 1 / 2 / 4 worker
+processes over the same 64-session workload: aggregate frames/sec,
+speedup over the 1-shard row, and p50/p99 per-shard tick latency.
+Workers drain their backlogs concurrently, so on a machine with >= 4
+cores the 4-shard row should reach >= 2x the 1-shard aggregate; on
+fewer cores the processes time-slice one CPU and the row mainly shows
+the IPC overhead floor (the report prints the visible core count so the
+numbers can be read honestly).
 
 Run:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--smoke]
 """
@@ -15,6 +24,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--smoke]
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -22,8 +32,10 @@ import numpy as np
 
 from repro.serving import (
     MonitorService,
+    ShardedMonitorService,
     make_random_walk_trajectory,
     make_synthetic_monitor,
+    monitor_to_bytes,
 )
 
 N_FEATURES = 38
@@ -49,6 +61,50 @@ def run_service(monitor, trajectories) -> tuple[float, np.ndarray]:
     service.drain(collect=False)
     elapsed = time.perf_counter() - start
     return elapsed, np.asarray(service.stats.tick_ms)
+
+
+def run_sharded(
+    monitor_bytes: bytes, trajectories, n_shards: int
+) -> tuple[float, np.ndarray]:
+    """Total seconds and per-shard tick latencies for a sharded drain.
+
+    Worker spawn/bootstrap happens outside the timed region (a one-time
+    deployment cost); the measurement covers ingest plus the concurrent
+    drain of every shard's backlog.
+    """
+    with ShardedMonitorService(
+        monitor_bytes=monitor_bytes,
+        n_shards=n_shards,
+        max_sessions_per_shard=len(trajectories),
+    ) as service:
+        start = time.perf_counter()
+        for i, trajectory in enumerate(trajectories):
+            session_id = service.open_session(f"bench-{i:03d}")
+            service.feed(session_id, trajectory.frames)
+        service.drain(collect=False)
+        elapsed = time.perf_counter() - start
+        tick_ms = np.asarray(service.stats().tick_ms)
+    return elapsed, tick_ms
+
+
+def benchmark_sharded(
+    monitor_bytes: bytes, n_sessions: int, n_frames: int, n_shards: int, seed: int = 0
+) -> dict:
+    """One sharded row: ``n_sessions`` sessions over ``n_shards`` workers."""
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=seed + i)
+        for i in range(n_sessions)
+    ]
+    total_frames = n_sessions * n_frames
+    elapsed, tick_ms = run_sharded(monitor_bytes, trajectories, n_shards)
+    return {
+        "shards": n_shards,
+        "sessions": n_sessions,
+        "frames": total_frames,
+        "fps": total_frames / elapsed,
+        "tick_p50_ms": float(np.percentile(tick_ms, 50)) if tick_ms.size else 0.0,
+        "tick_p99_ms": float(np.percentile(tick_ms, 99)) if tick_ms.size else 0.0,
+    }
 
 
 def benchmark(n_sessions: int, n_frames: int, seed: int = 0) -> dict:
@@ -87,6 +143,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero unless the 64-session speedup reaches 3x",
     )
+    parser.add_argument(
+        "--check-sharded",
+        action="store_true",
+        help=(
+            "exit non-zero unless 4 shards reach 2x the 1-shard aggregate "
+            "fps (only enforced when >= 4 CPU cores are visible)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.frames is not None and args.frames < 1:
         parser.error("--frames must be >= 1")
@@ -109,6 +173,37 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n64-session batched speedup over sequential streams: {speedup_64:.1f}x")
     if args.check and speedup_64 < 3.0:
         print("FAIL: expected >= 3x", file=sys.stderr)
+        return 1
+
+    n_cores = os.cpu_count() or 1
+    monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+    monitor_bytes = monitor_to_bytes(monitor)
+    print(
+        f"\nsharded serving — 64 sessions, {n_frames} frames/session, "
+        f"{n_cores} CPU core(s) visible"
+    )
+    print(
+        f"{'shards':>8} {'sessions':>8} {'agg fps':>10} {'vs 1 shard':>10} "
+        f"{'tick p50':>9} {'tick p99':>9}"
+    )
+    sharded_rows = [
+        benchmark_sharded(monitor_bytes, 64, n_frames, n_shards)
+        for n_shards in (1, 2, 4)
+    ]
+    base_fps = sharded_rows[0]["fps"]
+    for r in sharded_rows:
+        print(
+            f"{r['shards']:>8} {r['sessions']:>8} {r['fps']:>10.0f} "
+            f"{r['fps'] / base_fps:>9.1f}x "
+            f"{r['tick_p50_ms']:>7.2f}ms {r['tick_p99_ms']:>7.2f}ms"
+        )
+    sharded_speedup = sharded_rows[-1]["fps"] / base_fps
+    print(
+        f"\n4-shard aggregate over 1 shard: {sharded_speedup:.1f}x "
+        f"({n_cores} core(s); expect >= 2x only with >= 4 cores)"
+    )
+    if args.check_sharded and n_cores >= 4 and sharded_speedup < 2.0:
+        print("FAIL: expected >= 2x at 4 shards", file=sys.stderr)
         return 1
     return 0
 

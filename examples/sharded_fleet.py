@@ -1,0 +1,121 @@
+"""A sharded fleet: procedures spread across worker processes.
+
+Scales the multi-stream demo past one process: a
+:class:`repro.serving.ShardedMonitorService` fans staggered procedure
+sessions out over 4 worker shards (consistent-hash placement on the
+session id), ticks them to completion, and prints where every procedure
+landed plus per-shard throughput and tick-latency accounting — the
+operator's view described in ``docs/serving.md``.
+
+The monitor uses deterministic synthetic weights so the demo starts
+instantly; every worker process bootstraps from the same in-memory
+snapshot (``monitor_to_bytes``), so a procedure produces bit-identical
+events regardless of which shard serves it.
+
+Run:  PYTHONPATH=src python examples/sharded_fleet.py [--shards 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.serving import (
+    ShardedMonitorService,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+    monitor_to_bytes,
+)
+
+N_FEATURES = 38
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--procedures", type=int, default=12)
+    parser.add_argument("--frames", type=int, default=300)
+    args = parser.parse_args()
+    if min(args.shards, args.procedures, args.frames) < 1:
+        parser.error("--shards/--procedures/--frames must all be >= 1")
+
+    monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+    snapshot = monitor_to_bytes(monitor)
+    print(
+        f"Spawning {args.shards} shard worker(s) from one "
+        f"{len(snapshot) / 1024:.0f} KiB monitor snapshot ..."
+    )
+
+    rng = np.random.default_rng(42)
+    # Staggered schedule: procedure i enters the OR at `start_tick`.
+    schedule = {
+        f"OR-{i + 1:02d}": {
+            "start_tick": int(rng.integers(0, 100)),
+            "trajectory": make_random_walk_trajectory(
+                args.frames + int(rng.integers(0, 120)),
+                n_features=N_FEATURES,
+                seed=100 + i,
+            ),
+        }
+        for i in range(args.procedures)
+    }
+
+    start = time.perf_counter()
+    with ShardedMonitorService(
+        monitor_bytes=snapshot,
+        n_shards=args.shards,
+        max_sessions_per_shard=args.procedures,  # headroom for hash skew
+    ) as service:
+        alerts: dict[str, int] = {}
+        tick = 0
+        pending_admissions = dict(schedule)
+        while pending_admissions or service.has_pending:
+            for session_id, proc in list(pending_admissions.items()):
+                if proc["start_tick"] <= tick:
+                    service.open_session(session_id)
+                    service.feed(session_id, proc["trajectory"].frames)
+                    del pending_admissions[session_id]
+                    print(
+                        f"  tick {tick:4d}: {session_id} started on "
+                        f"shard {service.shard_of(session_id)}"
+                    )
+            for event in service.tick():
+                if event.flag:
+                    alerts[event.session_id] = alerts.get(event.session_id, 0) + 1
+            tick += 1
+        elapsed = time.perf_counter() - start
+
+        print("\nPer-procedure placement and alerts:")
+        total_frames = 0
+        for session_id in sorted(schedule):
+            shard = service.shard_of(session_id)
+            result = service.close_session(session_id)
+            total_frames += result.n_frames
+            print(
+                f"  {session_id} -> shard {shard}: {result.n_frames} frames, "
+                f"{alerts.get(session_id, 0)} alert frames"
+            )
+
+        print("\nPer-shard throughput:")
+        shard_stats = service.shard_stats()
+        for index in sorted(shard_stats):
+            stats = shard_stats[index]
+            fps = stats.frames_processed / elapsed if elapsed > 0 else 0.0
+            print(
+                f"  shard {index}: {stats.frames_processed:6d} frames in "
+                f"{stats.n_ticks:5d} ticks — {fps:8.0f} frames/s, "
+                f"tick p50 {stats.percentile_ms(50):.2f} ms, "
+                f"p99 {stats.percentile_ms(99):.2f} ms"
+            )
+        aggregate = service.stats()
+        print(
+            f"\nFleet: {aggregate.frames_processed} frames over "
+            f"{service.n_shards} shards in {elapsed:.2f} s "
+            f"({total_frames / elapsed:.0f} frames/s aggregate)"
+        )
+
+
+if __name__ == "__main__":
+    main()

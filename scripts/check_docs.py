@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Docs consistency checks, run by the CI docs job.
+
+Two guarantees:
+
+1. every ```mermaid block in ``docs/*.md`` (and ``README.md``) parses —
+   a lightweight structural validation: known diagram type on the first
+   line, closed fence, balanced brackets, and well-formed edges for
+   flowcharts / messages for sequence diagrams;
+2. every public name exported from ``repro.serving`` (its ``__all__``)
+   appears in ``docs/api.md``, so the API reference cannot silently rot
+   as the serving surface grows.
+
+Run:  PYTHONPATH=src python scripts/check_docs.py
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Mermaid diagram types we know how to sanity-check.  Anything else in
+#: a mermaid block is flagged (add the type here when docs start using it).
+KNOWN_TYPES = ("flowchart", "graph", "sequenceDiagram", "stateDiagram")
+
+#: Node/edge line of a flowchart: we only require that bracket pairs
+#: balance and arrows are well-formed, not a full grammar.
+_BRACKETS = {"[": "]", "(": ")", "{": "}"}
+
+
+def extract_mermaid_blocks(text: str, path: Path) -> tuple[list[tuple[int, list[str]]], list[str]]:
+    """Return (start_line, block_lines) pairs and any fence errors."""
+    blocks: list[tuple[int, list[str]]] = []
+    errors: list[str] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped.startswith("```mermaid"):
+            start = i + 1
+            body: list[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            if i == len(lines):
+                errors.append(f"{path}:{start}: unclosed ```mermaid fence")
+                break
+            blocks.append((start, body))
+        i += 1
+    return blocks, errors
+
+
+def brackets_balanced(line: str) -> bool:
+    """Check bracket nesting, ignoring quoted label text."""
+    line = re.sub(r'"[^"]*"', '""', line)
+    stack: list[str] = []
+    for char in line:
+        if char in _BRACKETS:
+            stack.append(_BRACKETS[char])
+        elif char in _BRACKETS.values():
+            if not stack or stack.pop() != char:
+                return False
+    return not stack
+
+
+def check_flowchart(body: list[str], path: Path, start: int) -> list[str]:
+    errors = []
+    for offset, raw in enumerate(body[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("%%"):
+            continue
+        if not brackets_balanced(line):
+            errors.append(
+                f"{path}:{start + offset}: unbalanced brackets in {line!r}"
+            )
+        # A malformed half-arrow ("->" in mermaid flowcharts must be
+        # "-->", "-.->", "==>", or a labelled variant) renders as text.
+        # Quoted label text may legitimately contain "->".
+        unquoted = re.sub(r'"[^"]*"', '""', line)
+        if re.search(r"[^-.=>]->", unquoted.replace("-->", "")):
+            errors.append(
+                f"{path}:{start + offset}: suspicious arrow in {line!r} "
+                "(flowchart edges use -->)"
+            )
+    return errors
+
+
+def check_sequence(body: list[str], path: Path, start: int) -> list[str]:
+    errors = []
+    ok_prefixes = ("participant", "actor", "Note", "loop", "alt", "else",
+                   "opt", "end", "par", "and", "activate", "deactivate",
+                   "autonumber", "%%")
+    for offset, raw in enumerate(body[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(ok_prefixes):
+            continue
+        if not re.match(r"^[\w\s]+(-{1,2}>>?|-[x)])[\w\s]+:\s*\S", line):
+            errors.append(
+                f"{path}:{start + offset}: not a valid sequence message: {line!r}"
+            )
+    return errors
+
+
+def check_mermaid(path: Path) -> list[str]:
+    blocks, errors = extract_mermaid_blocks(path.read_text(), path)
+    for start, body in blocks:
+        if not body:
+            errors.append(f"{path}:{start}: empty mermaid block")
+            continue
+        header = body[0].strip()
+        diagram_type = header.split()[0] if header.split() else ""
+        if diagram_type not in KNOWN_TYPES:
+            errors.append(
+                f"{path}:{start}: unknown mermaid diagram type {header!r} "
+                f"(expected one of {', '.join(KNOWN_TYPES)})"
+            )
+        elif diagram_type in ("flowchart", "graph"):
+            errors.extend(check_flowchart(body, path, start))
+        elif diagram_type == "sequenceDiagram":
+            errors.extend(check_sequence(body, path, start))
+    return errors
+
+
+def check_api_coverage() -> list[str]:
+    """Every repro.serving export must be mentioned in docs/api.md."""
+    sys.path.insert(0, str(REPO / "src"))
+    import repro.serving as serving
+
+    api_path = DOCS / "api.md"
+    if not api_path.exists():
+        return [f"{api_path}: missing (docs/api.md is required)"]
+    text = api_path.read_text()
+    return [
+        f"{api_path}: export {name!r} from repro.serving.__all__ is undocumented"
+        for name in serving.__all__
+        if not re.search(rf"`{re.escape(name)}", text)
+    ]
+
+
+def main() -> int:
+    errors: list[str] = []
+    targets = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    if not (DOCS.exists() and list(DOCS.glob("*.md"))):
+        errors.append(f"{DOCS}: docs tree is missing or empty")
+    for path in targets:
+        if path.exists():
+            errors.extend(check_mermaid(path))
+    errors.extend(check_api_coverage())
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\ncheck_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    n_blocks = sum(
+        len(extract_mermaid_blocks(p.read_text(), p)[0])
+        for p in targets
+        if p.exists()
+    )
+    print(f"check_docs: OK ({n_blocks} mermaid block(s), api.md covers __all__)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

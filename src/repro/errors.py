@@ -38,3 +38,7 @@ class FaultInjectionError(ReproError):
 
 class GestureError(ReproError, ValueError):
     """An unknown or out-of-vocabulary surgical gesture was referenced."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A serving worker process died, hung, or rejected a request."""

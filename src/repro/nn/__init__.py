@@ -35,7 +35,12 @@ from .model import Sequential
 from .optimizers import SGD, Adam, Optimizer
 from .preprocessing import StandardScaler, one_hot, train_val_split
 from .schedules import ConstantSchedule, StepDecay
-from .serialization import load_model, save_model
+from .serialization import (
+    load_model,
+    load_model_bytes,
+    save_model,
+    save_model_bytes,
+)
 
 __all__ = [
     "Adam",
@@ -66,9 +71,11 @@ __all__ = [
     "Tanh",
     "glorot_uniform",
     "load_model",
+    "load_model_bytes",
     "one_hot",
     "orthogonal",
     "save_model",
+    "save_model_bytes",
     "train_val_split",
     "zeros_init",
 ]

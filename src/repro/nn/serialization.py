@@ -3,10 +3,19 @@
 The archive stores, per layer: the class name, its ``get_config()``
 key/values and its parameter arrays, plus the model input shape — enough
 to rebuild the architecture and restore weights exactly.
+
+Two surfaces are exposed: file-based :func:`save_model` /
+:func:`load_model` for checkpoints on disk, and bytes-based
+:func:`save_model_bytes` / :func:`load_model_bytes` for shipping a model
+across a process boundary (the sharded serving layer bootstraps every
+worker process from one in-memory snapshot, see
+:mod:`repro.serving.snapshot`).  Both pairs produce the same archive
+format.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
@@ -47,7 +56,33 @@ _LAYER_REGISTRY = {
 
 
 def save_model(model: Sequential, path: str | Path) -> None:
-    """Serialise a built :class:`Sequential` model to ``path`` (.npz)."""
+    """Serialise a built :class:`Sequential` model to ``path`` (.npz).
+
+    As with :func:`numpy.savez`, a ``.npz`` suffix is appended when
+    ``path`` does not already end in one.  The archive is built in
+    memory first, so a failed save (e.g. an unbuilt model) never
+    truncates an existing checkpoint at ``path``.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    data = save_model_bytes(model)
+    path.write_bytes(data)
+
+
+def save_model_bytes(model: Sequential) -> bytes:
+    """Serialise a built :class:`Sequential` model to an in-memory archive.
+
+    The returned bytes are exactly the content :func:`save_model` would
+    write to disk; pass them to :func:`load_model_bytes` (possibly in
+    another process) to rebuild the model.
+    """
+    buffer = io.BytesIO()
+    _write_archive(model, buffer)
+    return buffer.getvalue()
+
+
+def _write_archive(model: Sequential, fh) -> None:
     if not model.built:
         raise NotFittedError("only built models can be saved")
     arrays: dict[str, np.ndarray] = {}
@@ -67,7 +102,7 @@ def save_model(model: Sequential, path: str | Path) -> None:
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
-    np.savez(Path(path), **arrays)
+    np.savez(fh, **arrays)
 
 
 def load_model(path: str | Path) -> Sequential:
@@ -77,20 +112,30 @@ def load_model(path: str | Path) -> Sequential:
     :meth:`~repro.nn.model.Sequential.compile` to continue training.
     """
     with np.load(Path(path)) as archive:
-        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-        layers = []
-        for entry in meta["layers"]:
-            cls = _LAYER_REGISTRY.get(entry["class"])
-            if cls is None:
-                raise ConfigurationError(f"unknown layer class {entry['class']!r}")
-            layers.append(cls(**entry["config"]))
-        model = Sequential(layers, seed=0)
-        model.build(tuple(meta["input_shape"]))
-        for i, layer in enumerate(model.layers):
-            for key in layer.params:
-                layer.params[key][...] = archive[f"layer{i}.{key}"]
-            if isinstance(layer, BatchNorm):
-                assert layer.running_mean is not None and layer.running_var is not None
-                layer.running_mean[...] = archive[f"layer{i}.running_mean"]
-                layer.running_var[...] = archive[f"layer{i}.running_var"]
+        return _model_from_archive(archive)
+
+
+def load_model_bytes(data: bytes) -> Sequential:
+    """Rebuild a model serialised by :func:`save_model_bytes`."""
+    with np.load(io.BytesIO(data)) as archive:
+        return _model_from_archive(archive)
+
+
+def _model_from_archive(archive) -> Sequential:
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    layers = []
+    for entry in meta["layers"]:
+        cls = _LAYER_REGISTRY.get(entry["class"])
+        if cls is None:
+            raise ConfigurationError(f"unknown layer class {entry['class']!r}")
+        layers.append(cls(**entry["config"]))
+    model = Sequential(layers, seed=0)
+    model.build(tuple(meta["input_shape"]))
+    for i, layer in enumerate(model.layers):
+        for key in layer.params:
+            layer.params[key][...] = archive[f"layer{i}.{key}"]
+        if isinstance(layer, BatchNorm):
+            assert layer.running_mean is not None and layer.running_var is not None
+            layer.running_mean[...] = archive[f"layer{i}.running_mean"]
+            layer.running_var[...] = archive[f"layer{i}.running_var"]
     return model

@@ -6,21 +6,39 @@ and a production deployment monitoring many procedures at once:
 - :mod:`~repro.serving.service` — :class:`MonitorService`, the tick-based
   engine that batches ready windows *across* concurrent sessions so each
   pipeline stage runs once per tick instead of once per stream;
+- :mod:`~repro.serving.sharded` — :class:`ShardedMonitorService`, the
+  scale-out layer fanning sessions across worker processes by
+  consistent hashing, each worker running its own ``MonitorService``;
+- :mod:`~repro.serving.async_frontend` — :class:`AsyncShardedMonitor`,
+  the asyncio ingest/egress façade whose ``feed()``/``events()`` never
+  block on a slow shard;
+- :mod:`~repro.serving.snapshot` — :func:`monitor_to_bytes` /
+  :func:`monitor_from_bytes`, the no-pickled-code monitor archive that
+  bootstraps every worker process;
 - :mod:`~repro.serving.synthetic` — instant, deterministic synthetic
   monitors and trajectories for parity tests and throughput benchmarks.
 
 :meth:`repro.core.SafetyMonitor.stream` is a thin one-session wrapper
-over this engine, so single-stream and fleet serving share one hot path.
+over the same engine, so single-stream, fleet and sharded serving share
+one hot path and agree bit for bit.  See ``docs/architecture.md`` and
+``docs/serving.md``.
 """
 
+from .async_frontend import AsyncShardedMonitor
 from .service import MonitorService, ServiceStats, SessionEvent, SessionResult
+from .sharded import ShardedMonitorService
+from .snapshot import monitor_from_bytes, monitor_to_bytes
 from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
 
 __all__ = [
+    "AsyncShardedMonitor",
     "MonitorService",
     "ServiceStats",
     "SessionEvent",
     "SessionResult",
+    "ShardedMonitorService",
     "make_random_walk_trajectory",
     "make_synthetic_monitor",
+    "monitor_from_bytes",
+    "monitor_to_bytes",
 ]

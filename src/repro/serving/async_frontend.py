@@ -1,0 +1,218 @@
+"""Asyncio front-end over the sharded service: non-blocking ingest.
+
+A robot fleet feeds kinematics over the network at its own cadence; the
+serving tier must accept frames and deliver events without ever letting
+one slow or dead shard stall the rest.  :class:`AsyncShardedMonitor`
+wraps a :class:`~repro.serving.sharded.ShardedMonitorService` with that
+contract:
+
+- :meth:`feed` / :meth:`open_session` / :meth:`close_session` are
+  coroutines; the blocking pipe round-trip runs on an executor thread
+  while the event loop keeps serving everything else;
+- one background ticker task per shard advances that shard whenever it
+  has pending frames and pushes the resulting
+  :class:`~repro.serving.service.SessionEvent`\\ s onto a single queue;
+- :meth:`events` is the merged async event stream.  A worker crash
+  surfaces *in the stream* as terminal events with ``error`` set (and
+  ``flag=True``), while the other shards' tickers keep running.
+
+Per-shard ``asyncio.Lock``\\ s serialise access to each worker's pipe
+(one pipe cannot carry two interleaved request/reply exchanges), which
+is also what guarantees a slow shard only ever delays *its own*
+sessions.  Do not mix sync calls (``service.tick()`` etc.) with a
+running front-end — go through the front-end exclusively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterator
+
+import numpy as np
+
+from ..errors import WorkerError
+from .service import SessionEvent, SessionResult
+from .sharded import ShardedMonitorService
+
+#: Sentinel pushed to the event queue when the front-end shuts down.
+_CLOSED = object()
+
+
+class AsyncShardedMonitor:
+    """Async ingest/egress façade over a :class:`ShardedMonitorService`.
+
+    Use as an async context manager::
+
+        service = ShardedMonitorService(monitor, n_shards=4)
+        async with AsyncShardedMonitor(service) as frontend:
+            sid = await frontend.open_session("theatre-7")
+            await frontend.feed(sid, frames)        # returns immediately
+            async for event in frontend.events():   # merged across shards
+                ...
+
+    The front-end does not own the service's worker processes; call
+    ``service.close()`` (or use the service as a context manager) after
+    :meth:`aclose`.
+    """
+
+    def __init__(
+        self, service: ShardedMonitorService, poll_interval_s: float = 1.0
+    ) -> None:
+        self._service = service
+        #: How often a parked (idle-shard) ticker polls worker liveness,
+        #: so a worker dying while nothing is pending still surfaces its
+        #: sessions' fail-safe terminal events within this bound.
+        self.poll_interval_s = poll_interval_s
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._locks: dict[int, asyncio.Lock] = {}
+        self._kick: dict[int, asyncio.Event] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncShardedMonitor":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def start(self) -> None:
+        """Spawn one ticker task per live shard (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in self._service.shard_indices:
+            self._locks[index] = asyncio.Lock()
+            self._kick[index] = asyncio.Event()
+            self._tasks.append(
+                asyncio.create_task(
+                    self._shard_loop(index), name=f"ticker-shard-{index}"
+                )
+            )
+
+    async def aclose(self) -> None:
+        """Stop the tickers and terminate the :meth:`events` stream.
+
+        Pending frames are left un-ticked (use :meth:`drain` first when
+        they must be processed); the underlying service stays open.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for kick in self._kick.values():
+            kick.set()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._queue.put_nowait(_CLOSED)
+
+    # ------------------------------------------------------------------
+    async def _run_on_shard(self, index: int, fn, *args):
+        """Run one blocking pipe exchange for a shard on the executor.
+
+        The shard's lock is held for the duration: a pipe is a strict
+        request/reply channel, so exchanges must not interleave.
+
+        When the exchange discovers a dead worker (``WorkerError``), the
+        lost sessions' terminal events are claimed here and pushed onto
+        the event stream before re-raising — the shard's ticker may
+        already have parked, so a later tick cannot be relied on to
+        deliver them.
+        """
+        lock = self._locks.setdefault(index, asyncio.Lock())
+        async with lock:
+            try:
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, fn, *args
+                )
+            except WorkerError:
+                for event in self._service.take_undelivered_events():
+                    self._queue.put_nowait(event)
+                raise
+
+    async def _shard_loop(self, index: int) -> None:
+        """Tick one shard whenever it has pending frames."""
+        kick = self._kick[index]
+        while not self._closed:
+            kick.clear()
+            if not self._service.shard_maybe_pending(index):
+                if index not in self._service.shard_indices:
+                    break  # shard crashed or was removed; nothing to tick
+                try:
+                    await asyncio.wait_for(
+                        kick.wait(), timeout=self.poll_interval_s
+                    )
+                except asyncio.TimeoutError:
+                    # Nothing woke us: cheap liveness poll so a worker
+                    # that died while idle still fails fast-safe.
+                    for event in self._service.take_undelivered_events():
+                        self._queue.put_nowait(event)
+                continue
+            events = await self._run_on_shard(
+                index, self._service.tick_shard, index
+            )
+            for event in events:
+                self._queue.put_nowait(event)
+            # Let feeds/consumers run between ticks of a busy shard.
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    async def open_session(
+        self, session_id: str | None = None, record_timeline: bool = True
+    ) -> str:
+        """Place and open a session (see
+        :meth:`ShardedMonitorService.open_session`)."""
+        session_id, shard = self._service.resolve_placement(session_id)
+        return await self._run_on_shard(
+            shard,
+            self._service.open_on_shard,
+            session_id,
+            shard,
+            record_timeline,
+        )
+
+    async def feed(self, session_id: str, frames: np.ndarray) -> None:
+        """Enqueue frames for a session without blocking the event loop.
+
+        Waits only on the owning shard's pipe (other shards' ingest and
+        ticking proceed concurrently), then wakes that shard's ticker.
+        """
+        shard = self._service.shard_of(session_id)
+        await self._run_on_shard(shard, self._service.feed, session_id, frames)
+        kick = self._kick.get(shard)
+        if kick is not None:
+            kick.set()
+
+    async def close_session(self, session_id: str) -> SessionResult:
+        """Close a session and return its timeline (see
+        :meth:`ShardedMonitorService.close_session`)."""
+        shard = self._service.shard_of(session_id)
+        return await self._run_on_shard(
+            shard, self._service.close_session, session_id
+        )
+
+    async def drain(self) -> None:
+        """Wait until no live shard has pending frames.
+
+        The tickers do the actual work; this just parks until the
+        backlog is gone (events keep flowing to :meth:`events`).
+        """
+        while any(
+            self._service.shard_maybe_pending(i)
+            for i in self._service.shard_indices
+        ):
+            await asyncio.sleep(0.001)
+
+    async def events(self) -> AsyncIterator[SessionEvent]:
+        """Merged event stream across all shards.
+
+        Yields until :meth:`aclose`; events of one session arrive in
+        frame order, interleaving across sessions follows shard timing.
+        Crash events (``error`` set) are part of the stream.
+        """
+        while True:
+            event = await self._queue.get()
+            if event is _CLOSED:
+                return
+            yield event

@@ -42,6 +42,13 @@ class SessionEvent:
     Mirrors the tuple yielded by :meth:`SafetyMonitor.stream`:
     ``gesture`` is 0 while the gesture stage is warming up, ``score`` the
     current unsafe probability, ``flag`` the thresholded decision.
+
+    ``error`` is ``None`` for ordinary monitoring events.  The sharded
+    service (:class:`~repro.serving.sharded.ShardedMonitorService`) sets
+    it on the single *terminal* event it emits per session lost to a
+    worker crash; such events carry ``flag=True`` — a failed monitor is
+    reported unsafe, never silently safe (fail-safe contract, see
+    ``docs/serving.md``).
     """
 
     session_id: str
@@ -49,6 +56,7 @@ class SessionEvent:
     gesture: int
     score: float
     flag: bool
+    error: str | None = None
 
 
 @dataclass
@@ -204,16 +212,42 @@ class MonitorService:
         session = self._get(session_id)
         return session.pending_frames() if session.has_pending else 0
 
+    def frames_done(self, session_id: str) -> int:
+        """Number of frames one session has processed (ticked) so far."""
+        return self._get(session_id).frames_done
+
     def open_session(
         self, session_id: str | None = None, record_timeline: bool = True
     ) -> str:
         """Reserve a stream slot; returns the session id.
 
-        With ``record_timeline=False`` the session skips accumulating its
-        per-frame gesture/score arrays (``close_session`` then returns
-        empty timelines) — use for indefinitely long sessions whose
-        consumers only read the per-tick :class:`SessionEvent` stream,
-        where an unbounded timeline would leak memory.
+        Parameters
+        ----------
+        session_id:
+            Explicit id (e.g. an operating-theatre identifier), or
+            ``None`` for an auto-generated ``session-NNNN`` id that is
+            guaranteed not to collide with explicitly taken names.
+        record_timeline:
+            With ``record_timeline=False`` the session skips accumulating
+            its per-frame gesture/score arrays (``close_session`` then
+            returns empty timelines) — use for indefinitely long sessions
+            whose consumers only read the per-tick :class:`SessionEvent`
+            stream, where an unbounded timeline would leak memory.
+
+        Returns
+        -------
+        str
+            The session id to use with :meth:`feed` /
+            :meth:`close_session`.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``session_id`` is already open, or all ``max_sessions``
+            slots are in use.
+
+        The slot's ring-buffer window state is reset on reuse, so a new
+        procedure always starts from a fresh stream.
         """
         if session_id is None:
             session_id = f"session-{self._next_id:04d}"
@@ -240,9 +274,27 @@ class MonitorService:
     def feed(self, session_id: str, frames: np.ndarray) -> None:
         """Enqueue kinematics frames for a session.
 
-        ``frames`` is ``(n, n_features)`` (or a single ``(n_features,)``
-        frame); it is consumed one frame per tick.  The array is not
-        copied — callers must not mutate it afterwards.
+        Parameters
+        ----------
+        session_id:
+            An open session (anything else raises ``DatasetError``).
+        frames:
+            ``(n, n_features)`` kinematics rows, or a single
+            ``(n_features,)`` frame; any number, any cadence.  Frames are
+            consumed one per :meth:`tick`, in feed order.  The array is
+            not copied — callers must not mutate it afterwards.
+
+        Raises
+        ------
+        ShapeError
+            If the frame width disagrees with the width the service was
+            bound to on its first feed (or with the monitor's trained
+            width, checked eagerly on that first feed).
+        DatasetError
+            If no session ``session_id`` is open.
+
+        The first successful feed allocates the service's shared ring
+        buffers and permanently binds its feature width.
         """
         session = self._get(session_id)
         frames = np.asarray(frames, dtype=float)
@@ -285,10 +337,22 @@ class MonitorService:
     def tick(self) -> list[SessionEvent]:
         """Advance every session with pending input by one frame.
 
-        Runs the gesture stage once over all gesture windows that became
-        ready this tick, then the error stage once per distinct active
-        gesture over the ready error windows, and returns one event per
-        advanced session (opening order).
+        Runs the gesture stage **once** over all gesture windows that
+        became ready this tick, then the error stage once per distinct
+        active gesture over the ready error windows — one scaler
+        transform and one model forward per stage per tick, regardless of
+        how many sessions advanced.
+
+        Returns
+        -------
+        list[SessionEvent]
+            One event per advanced session, in session opening order;
+            empty when no session had pending frames (an idle tick is a
+            no-op and is not recorded in :attr:`stats`).  Events report
+            gesture 0 and score 0.0 while a session's windows are still
+            warming up.
+
+        Each non-empty tick appends one latency sample to :attr:`stats`.
         """
         active = [s for s in self._sessions.values() if s.has_pending]
         if not active:

@@ -1,0 +1,720 @@
+"""Sharded multi-process serving: fan sessions out across worker processes.
+
+:class:`ShardedMonitorService` scales the single-process
+:class:`~repro.serving.service.MonitorService` past one core and one
+GIL: N worker processes each run their own ``MonitorService`` tick loop
+over a private :func:`multiprocessing.Pipe`, and the router places every
+session on a shard by **consistent hashing** of its session id
+(:class:`_HashRing`), so placement is deterministic, independent of open
+order, and minimally disturbed when a shard leaves the ring.
+
+Parity is the design invariant: because each worker rebuilds the same
+monitor from the same snapshot bytes and inference is batch-size
+invariant (:mod:`repro.nn.layers.contract`), a session served by a
+K-shard service emits bit-identical :class:`SessionEvent` streams to the
+same session on one local ``MonitorService`` — the sharded parity suite
+(``tests/serving/test_sharded.py``, ``tests/core/test_parity.py``)
+locks this in for K ∈ {1, 2, 4}.
+
+Failure semantics are fail-safe: when a worker process dies, its
+sessions are not silently dropped — each one surfaces a terminal
+:class:`SessionEvent` with ``error`` set and ``flag=True`` (a monitoring
+outage on a surgical robot must read as *unsafe*, see
+``docs/serving.md``), the sessions move to :attr:`failed_sessions`, and
+the dead shard leaves the hash ring so new sessions rebalance onto the
+survivors while healthy shards keep ticking.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing as mp
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pipeline import SafetyMonitor
+from ..errors import ConfigurationError, DatasetError, WorkerError
+from .service import ServiceStats, SessionEvent, SessionResult
+from .snapshot import monitor_to_bytes
+from .transport import Reply, Request, raise_remote
+from .worker import worker_main
+
+
+def _stable_hash(key: str) -> int:
+    """Process-independent 128-bit hash (``hash()`` is salted per run)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest(), "big")
+
+
+class _HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each shard contributes ``replicas`` points on the ring; a key lands
+    on the first point clockwise from its own hash.  Removing a shard
+    only re-homes the keys that pointed at it — the property that makes
+    drain-and-rebalance cheap.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ConfigurationError("hash ring needs >= 1 replica per shard")
+        self.replicas = replicas
+        self._points: list[tuple[int, int]] = []  # (hash, shard), sorted
+
+    def add(self, shard: int) -> None:
+        for r in range(self.replicas):
+            point = (_stable_hash(f"shard-{shard}:vnode-{r}"), shard)
+            bisect.insort(self._points, point)
+
+    def remove(self, shard: int) -> None:
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def place(self, key: str) -> int:
+        if not self._points:
+            raise WorkerError("no live shards left in the hash ring")
+        i = bisect.bisect_left(self._points, (_stable_hash(key), -1))
+        if i == len(self._points):
+            i = 0  # wrap around the ring
+        return self._points[i][1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+@dataclass
+class _SessionRecord:
+    """Router-side bookkeeping for one placed session."""
+
+    shard: int
+    order: int  # global opening order; merge key for event streams
+    events_seen: int = 0
+    record_timeline: bool = True
+
+
+class _ShardHandle:
+    """Router-side view of one worker process and its pipe."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.failure: str | None = None
+        #: True while the worker may still have un-ticked frames; updated
+        #: from the ``has_pending`` field piggy-backed on every reply.
+        self.maybe_pending = False
+
+    def send(self, request: Request) -> None:
+        try:
+            self.conn.send(request)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerError(f"shard {self.index} pipe broken: {exc}") from exc
+
+    def recv(self, timeout_s: float | None) -> Reply:
+        try:
+            if timeout_s is not None and not self.conn.poll(timeout_s):
+                raise WorkerError(
+                    f"shard {self.index} unresponsive after {timeout_s}s"
+                )
+            reply: Reply = self.conn.recv()
+        except WorkerError:
+            raise
+        except (EOFError, OSError) as exc:
+            exitcode = self.process.exitcode
+            raise WorkerError(
+                f"shard {self.index} worker died (exitcode {exitcode})"
+            ) from exc
+        self.maybe_pending = reply.has_pending
+        return reply
+
+    def request(self, request: Request, timeout_s: float | None) -> Reply:
+        self.send(request)
+        return self.recv(timeout_s)
+
+    def stop(self, join_timeout_s: float = 5.0) -> None:
+        """Best-effort graceful stop; escalates to terminate, then kill."""
+        if self.alive:
+            try:
+                self.send(Request("stop"))
+                self.recv(join_timeout_s)
+            except WorkerError:
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(join_timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(join_timeout_s)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join()
+        self.alive = False
+
+
+class ShardedMonitorService:
+    """Serve sessions across N worker processes behind one façade.
+
+    Parameters
+    ----------
+    monitor:
+        Trained :class:`SafetyMonitor`; snapshotted once
+        (:func:`~repro.serving.snapshot.monitor_to_bytes`) and shipped to
+        every worker.  Pass ``monitor_bytes`` instead to reuse an
+        existing snapshot (e.g. loaded from disk).
+    n_shards:
+        Number of worker processes.
+    max_sessions_per_shard:
+        Slot capacity of each worker's :class:`MonitorService`.
+        Consistent hashing spreads sessions statistically, not evenly —
+        leave headroom (see ``docs/serving.md``).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` where
+        available (fast) and falls back to ``spawn``.
+    request_timeout_s:
+        Per-request timeout on worker replies.  ``None`` (default) waits
+        indefinitely; set it to surface *hung* workers as crashes.  Dead
+        workers are detected immediately regardless (broken pipe).
+
+    The façade mirrors the :class:`MonitorService` lifecycle —
+    ``open_session`` / ``feed`` / ``tick`` / ``drain`` /
+    ``close_session`` — and adds shard lifecycle: :meth:`remove_shard`
+    (drain-and-rebalance), :attr:`failed_sessions` and :meth:`close`.
+    It also exposes a per-shard sub-surface (:meth:`tick_shard`,
+    :meth:`shard_maybe_pending`, …) used by the asyncio front-end
+    (:class:`~repro.serving.async_frontend.AsyncShardedMonitor`).
+    """
+
+    def __init__(
+        self,
+        monitor: SafetyMonitor | None = None,
+        n_shards: int = 2,
+        max_sessions_per_shard: int = 64,
+        *,
+        monitor_bytes: bytes | None = None,
+        start_method: str | None = None,
+        request_timeout_s: float | None = None,
+        hash_replicas: int = 64,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        if max_sessions_per_shard < 1:
+            raise ConfigurationError("max_sessions_per_shard must be >= 1")
+        if (monitor is None) == (monitor_bytes is None):
+            raise ConfigurationError(
+                "pass exactly one of monitor / monitor_bytes"
+            )
+        if monitor_bytes is None:
+            assert monitor is not None
+            monitor_bytes = monitor_to_bytes(monitor)
+        self.monitor_bytes = monitor_bytes
+        self.max_sessions_per_shard = int(max_sessions_per_shard)
+        self.request_timeout_s = request_timeout_s
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._ring = _HashRing(replicas=hash_replicas)
+        self._shards: dict[int, _ShardHandle] = {}
+        self._sessions: dict[str, _SessionRecord] = {}
+        self.failed_sessions: dict[str, str] = {}
+        self._undelivered: list[tuple[int, SessionEvent]] = []
+        self._order = itertools.count()
+        self._next_id = 0
+        self._closed = False
+        self._lock = threading.Lock()  # guards crash bookkeeping
+        for index in range(n_shards):
+            self._spawn_shard(index)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_shard(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.monitor_bytes, self.max_sessions_per_shard),
+            name=f"monitor-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _ShardHandle(index, process, parent_conn)
+        try:
+            reply = handle.request(Request("ping"), timeout_s=60.0)
+        except WorkerError as exc:
+            handle.stop()
+            raise WorkerError(f"shard {index} failed to start: {exc}") from exc
+        raise_remote(reply)
+        self._shards[index] = handle
+        self._ring.add(index)
+
+    def _fail_shard(
+        self, handle: _ShardHandle, reason: str
+    ) -> list[tuple[int, SessionEvent]]:
+        """Mark a shard dead; fail its sessions; emit terminal events.
+
+        Returns ``(order, event)`` pairs so callers can merge the crash
+        events into whatever stream they are currently delivering.  The
+        events carry ``flag=True``: losing the monitor mid-procedure is
+        treated as unsafe, never as silently safe.
+        """
+        with self._lock:
+            if not handle.alive:
+                return []
+            handle.alive = False
+            handle.failure = reason
+            self._ring.remove(handle.index)
+            out: list[tuple[int, SessionEvent]] = []
+            for session_id in [
+                s for s, r in self._sessions.items() if r.shard == handle.index
+            ]:
+                record = self._sessions.pop(session_id)
+                self.failed_sessions[session_id] = reason
+                out.append(
+                    (
+                        record.order,
+                        SessionEvent(
+                            session_id=session_id,
+                            frame_index=record.events_seen,
+                            gesture=0,
+                            score=0.0,
+                            flag=True,
+                            error=reason,
+                        ),
+                    )
+                )
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        return out
+
+    def _flush_undelivered(self) -> list[tuple[int, SessionEvent]]:
+        with self._lock:
+            flushed = self._undelivered
+            self._undelivered = []
+        return flushed
+
+    def _reap_dead(self) -> list[tuple[int, SessionEvent]]:
+        """Fail shards whose process died while nobody was talking to it.
+
+        A broken pipe only surfaces on the next exchange, and idle
+        shards are never contacted — this cheap liveness poll (no IPC)
+        makes every tick/drain notice such deaths promptly.
+        """
+        pairs: list[tuple[int, SessionEvent]] = []
+        for handle in self._live_shards():
+            if not handle.process.is_alive():
+                pairs.extend(
+                    self._fail_shard(
+                        handle,
+                        f"shard {handle.index} worker died "
+                        f"(exitcode {handle.process.exitcode})",
+                    )
+                )
+        return pairs
+
+    def _live_shards(self) -> list[_ShardHandle]:
+        return [h for h in self._shards.values() if h.alive]
+
+    def remove_shard(self, index: int) -> dict[str, SessionResult]:
+        """Drain one shard, close its sessions and retire the worker.
+
+        The shard's pending frames are fully processed first, then every
+        session on it is closed and its :class:`SessionResult` returned;
+        the shard leaves the hash ring so subsequent ``open_session``
+        calls rebalance onto the remaining workers.  This is the
+        graceful scale-down path (contrast :attr:`failed_sessions`, the
+        crash path).
+
+        The events produced by that final drain are queued and delivered
+        by the next :meth:`tick`/:meth:`drain` (or
+        :meth:`take_undelivered_events`) — so even sessions opened with
+        ``record_timeline=False``, whose returned timelines are empty,
+        lose nothing.
+        """
+        handle = self._shards.get(index)
+        if handle is None:
+            raise ConfigurationError(f"no shard {index}")
+        results: dict[str, SessionResult] = {}
+        if handle.alive:
+            try:
+                reply = handle.request(
+                    Request("drain", collect=True), self.request_timeout_s
+                )
+                raise_remote(reply)
+                ticks, _ = reply.value
+                pairs = [
+                    pair
+                    for tick_events in ticks
+                    for pair in self._account_events(tick_events)
+                ]
+                with self._lock:
+                    self._undelivered.extend(pairs)
+                    on_shard = [
+                        s for s, r in self._sessions.items() if r.shard == index
+                    ]
+                for session_id in on_shard:
+                    reply = handle.request(
+                        Request("close", session_id=session_id),
+                        self.request_timeout_s,
+                    )
+                    raise_remote(reply)
+                    results[session_id] = reply.value
+                    with self._lock:
+                        del self._sessions[session_id]
+                self._ring.remove(index)
+                handle.stop()
+            except WorkerError as exc:
+                self._queue_crash(handle, str(exc))
+        del self._shards[index]
+        return results
+
+    def close(self) -> None:
+        """Stop every worker process (graceful ``stop``, then terminate).
+
+        Does **not** drain: call :meth:`drain` first if un-ticked frames
+        must still be processed, and :meth:`close_session` for the
+        timelines.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._shards.values():
+            handle.stop()
+        self._shards.clear()
+
+    def __enter__(self) -> "ShardedMonitorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of live shards (dead workers are excluded)."""
+        return len(self._live_shards())
+
+    @property
+    def shard_indices(self) -> list[int]:
+        """Indices of live shards."""
+        return [h.index for h in self._live_shards()]
+
+    def shard_of(self, session_id: str) -> int:
+        """Shard index an open session lives on."""
+        return self._record(session_id).shard
+
+    def resolve_placement(self, session_id: str | None = None) -> tuple[str, int]:
+        """Allocate/validate a session id and compute its shard (no IPC).
+
+        Split from :meth:`open_on_shard` so the asyncio front-end can
+        take the target shard's lock *before* the blocking pipe call.
+        """
+        self._check_open()
+        if session_id is None:
+            session_id = f"session-{self._next_id:04d}"
+            self._next_id += 1
+            while session_id in self._sessions or session_id in self.failed_sessions:
+                session_id = f"session-{self._next_id:04d}"
+                self._next_id += 1
+        elif session_id in self._sessions:
+            raise ConfigurationError(f"session {session_id!r} is already open")
+        return session_id, self._ring.place(session_id)
+
+    def open_on_shard(
+        self, session_id: str, shard: int, record_timeline: bool = True
+    ) -> str:
+        """Open a resolved placement on its shard (the IPC half)."""
+        handle = self._shards.get(shard)
+        if handle is None or not handle.alive:
+            raise WorkerError(f"shard {shard} is not live")
+        try:
+            reply = handle.request(
+                Request(
+                    "open", session_id=session_id, record_timeline=record_timeline
+                ),
+                self.request_timeout_s,
+            )
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise
+        raise_remote(reply)
+        with self._lock:  # _fail_shard may iterate from another thread
+            self._sessions[session_id] = _SessionRecord(
+                shard=shard,
+                order=next(self._order),
+                record_timeline=record_timeline,
+            )
+        return session_id
+
+    # ------------------------------------------------------------------
+    # Session lifecycle (MonitorService-mirroring façade)
+    # ------------------------------------------------------------------
+    @property
+    def n_open_sessions(self) -> int:
+        """Number of currently open (non-failed) sessions."""
+        return len(self._sessions)
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Open session ids in global opening order."""
+        with self._lock:  # snapshot; opens/crashes may run concurrently
+            return list(self._sessions)
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any live shard may still have un-ticked frames."""
+        return any(h.maybe_pending for h in self._live_shards())
+
+    def open_session(
+        self, session_id: str | None = None, record_timeline: bool = True
+    ) -> str:
+        """Place a session on its consistent-hash shard and open it there.
+
+        Semantics mirror :meth:`MonitorService.open_session`; capacity is
+        per shard, so a full target shard raises ``ConfigurationError``
+        even when other shards have room (placement is by hash, not by
+        load — see ``docs/serving.md`` for sizing guidance).
+        """
+        session_id, shard = self.resolve_placement(session_id)
+        return self.open_on_shard(session_id, shard, record_timeline)
+
+    def feed(self, session_id: str, frames: np.ndarray) -> None:
+        """Enqueue kinematics frames on the session's shard.
+
+        Raises :class:`~repro.errors.WorkerError` if the session was lost
+        to a worker crash (failed sessions are never silently re-opened).
+        """
+        self._check_open()
+        record = self._record(session_id)
+        handle = self._shards[record.shard]
+        try:
+            reply = handle.request(
+                Request("feed", session_id=session_id, frames=np.asarray(frames)),
+                self.request_timeout_s,
+            )
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise WorkerError(
+                f"session {session_id!r} lost: {exc}"
+            ) from exc
+        raise_remote(reply)
+
+    def tick_shard(self, index: int) -> list[SessionEvent]:
+        """Advance one shard by one frame per pending session.
+
+        Returns that shard's events (session opening order) plus any
+        queued crash events; a crash of *this* shard is converted to its
+        sessions' terminal events rather than an exception, so callers
+        can keep ticking the survivors.
+        """
+        pairs = self._flush_undelivered() + self._reap_dead()
+        handle = self._shards.get(index)
+        if handle is not None and handle.alive:
+            try:
+                reply = handle.request(Request("tick"), self.request_timeout_s)
+                raise_remote(reply)
+                pairs.extend(self._account_events(reply.value))
+            except WorkerError as exc:
+                pairs.extend(self._fail_shard(handle, str(exc)))
+        pairs.sort(key=lambda p: p[0])
+        return [event for _, event in pairs]
+
+    def tick(self) -> list[SessionEvent]:
+        """Advance every live shard by one frame per pending session.
+
+        Requests are broadcast before replies are collected, so shards
+        compute their ticks concurrently; events merge in global session
+        opening order — the same order one :class:`MonitorService` over
+        the same sessions would produce.  Dead shards surface as
+        terminal per-session events, never as an exception.
+        """
+        pairs = self._flush_undelivered() + self._reap_dead()
+        targets = [h for h in self._live_shards() if h.maybe_pending]
+        sent: list[_ShardHandle] = []
+        for handle in targets:
+            try:
+                handle.send(Request("tick"))
+                sent.append(handle)
+            except WorkerError as exc:
+                pairs.extend(self._fail_shard(handle, str(exc)))
+        for handle in sent:
+            try:
+                reply = handle.recv(self.request_timeout_s)
+                raise_remote(reply)
+                pairs.extend(self._account_events(reply.value))
+            except WorkerError as exc:
+                pairs.extend(self._fail_shard(handle, str(exc)))
+        pairs.sort(key=lambda p: p[0])
+        return [event for _, event in pairs]
+
+    def drain(self, collect: bool = True) -> list[SessionEvent]:
+        """Tick every shard until no live shard has pending frames.
+
+        Each worker drains its own backlog in a single round trip, so K
+        shards drain concurrently.  With ``collect=True`` the per-tick
+        event lists are interleaved tick-by-tick across shards (matching
+        a single service's drain order); with ``collect=False`` only
+        crash events (if any) are returned — those are never dropped.
+        """
+        pairs = self._flush_undelivered() + self._reap_dead()
+        tick_lists: dict[int, list[tuple[int, SessionEvent]]] = {}
+        targets = [h for h in self._live_shards() if h.maybe_pending]
+        sent = []
+        for handle in targets:
+            try:
+                handle.send(Request("drain", collect=collect))
+                sent.append(handle)
+            except WorkerError as exc:
+                pairs.extend(self._fail_shard(handle, str(exc)))
+        for handle in sent:
+            try:
+                reply = handle.recv(self.request_timeout_s)
+                raise_remote(reply)
+                ticks, progress = reply.value
+                for k, tick_events in enumerate(ticks):
+                    tick_lists.setdefault(k, []).extend(
+                        self._account_events(tick_events)
+                    )
+                # Authoritative per-session frame counts from the worker:
+                # keeps crash-event frame indices exact even when events
+                # were not collected (collect=False returns no ticks).
+                for session_id, frames_done in progress.items():
+                    record = self._sessions.get(session_id)
+                    if record is not None:
+                        record.events_seen = frames_done
+            except WorkerError as exc:
+                pairs.extend(self._fail_shard(handle, str(exc)))
+        events = [event for _, event in sorted(pairs, key=lambda p: p[0])]
+        for k in sorted(tick_lists):
+            events.extend(
+                event for _, event in sorted(tick_lists[k], key=lambda p: p[0])
+            )
+        return events
+
+    def close_session(self, session_id: str) -> SessionResult:
+        """Free the session's slot on its shard; return its timeline.
+
+        A session lost to a crash raises :class:`WorkerError` naming the
+        failure (its id stays in :attr:`failed_sessions`).
+        """
+        self._check_open()
+        record = self._record(session_id)
+        handle = self._shards[record.shard]
+        try:
+            reply = handle.request(
+                Request("close", session_id=session_id), self.request_timeout_s
+            )
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise WorkerError(f"session {session_id!r} lost: {exc}") from exc
+        raise_remote(reply)
+        with self._lock:
+            del self._sessions[session_id]
+        return reply.value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_maybe_pending(self, index: int) -> bool:
+        """True while shard ``index`` is live and may have pending frames."""
+        handle = self._shards.get(index)
+        return handle is not None and handle.alive and handle.maybe_pending
+
+    def take_undelivered_events(self) -> list[SessionEvent]:
+        """Drain events queued outside a tick (crashes, shard removal).
+
+        Crashes detected outside a tick (e.g. by a failing :meth:`feed`)
+        queue their sessions' terminal events, and :meth:`remove_shard`
+        queues the events of its final drain; both normally deliver on
+        the next :meth:`tick`/:meth:`drain`.  Callers that cannot
+        guarantee a further tick — the asyncio front-end after a
+        ``WorkerError``, or its idle poll — use this to claim them
+        immediately instead; events are only ever delivered once, by
+        whichever path gets there first.
+
+        Also runs the no-IPC liveness poll, so a worker that dies while
+        its shard is idle (nothing to tick, nothing talking to it) still
+        surfaces its sessions' fail-safe terminal events here.
+        """
+        pairs = self._flush_undelivered() + self._reap_dead()
+        pairs.sort(key=lambda p: p[0])
+        return [event for _, event in pairs]
+
+    def shard_stats(self) -> dict[int, ServiceStats]:
+        """Per-live-shard :class:`ServiceStats` (one IPC each)."""
+        out: dict[int, ServiceStats] = {}
+        for handle in self._live_shards():
+            try:
+                reply = handle.request(Request("stats"), self.request_timeout_s)
+                raise_remote(reply)
+                out[handle.index] = reply.value
+            except WorkerError as exc:
+                self._queue_crash(handle, str(exc))
+        return out
+
+    def stats(self) -> ServiceStats:
+        """Aggregate stats: summed counters, merged tick-latency samples.
+
+        Shards tick concurrently, so summed ``n_ticks`` counts worker
+        ticks, not wall-clock rounds; percentiles describe the per-shard
+        tick latency distribution.
+        """
+        merged = ServiceStats()
+        for stats in self.shard_stats().values():
+            merged.n_ticks += stats.n_ticks
+            merged.frames_processed += stats.frames_processed
+            merged.tick_ms.extend(stats.tick_ms)
+        return merged
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "service is closed; no further sessions can be served"
+            )
+
+    def _record(self, session_id: str) -> _SessionRecord:
+        record = self._sessions.get(session_id)
+        if record is None:
+            reason = self.failed_sessions.get(session_id)
+            if reason is not None:
+                raise WorkerError(f"session {session_id!r} failed: {reason}")
+            raise DatasetError(f"no open session {session_id!r}")
+        return record
+
+    def _account_events(
+        self, events: list[SessionEvent]
+    ) -> list[tuple[int, SessionEvent]]:
+        pairs = []
+        for event in events:
+            record = self._sessions.get(event.session_id)
+            if record is None:  # closed concurrently; still deliver
+                pairs.append((-1, event))
+                continue
+            record.events_seen += 1
+            pairs.append((record.order, event))
+        return pairs
+
+    def _queue_crash(self, handle: _ShardHandle, reason: str) -> None:
+        """Fail a shard outside a tick; its events deliver on the next one."""
+        pairs = self._fail_shard(handle, reason)
+        if pairs:
+            with self._lock:
+                self._undelivered.extend(pairs)

@@ -1,0 +1,222 @@
+"""Whole-monitor serialisation for worker bootstrap (no code pickling).
+
+The sharded serving layer starts each worker process from one in-memory
+snapshot of the trained :class:`~repro.core.pipeline.SafetyMonitor`:
+:func:`monitor_to_bytes` packs both pipeline stages — every model via
+:func:`repro.nn.save_model_bytes`, every scaler's statistics, and the
+configuration needed to rebuild them — into a single ``.npz`` archive,
+and :func:`monitor_from_bytes` reconstructs a monitor that is
+bit-identical at inference time.  Only arrays and JSON metadata cross
+the process boundary, mirroring the no-pickled-code policy of
+:mod:`repro.nn.serialization`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from ..config import MonitorConfig, TrainingConfig, WindowConfig
+from ..core.error_classifiers import (
+    ErrorClassifier,
+    ErrorClassifierConfig,
+    ErrorClassifierLibrary,
+)
+from ..core.gesture_classifier import GestureClassifier, GestureClassifierConfig
+from ..core.pipeline import SafetyMonitor
+from ..errors import ConfigurationError, NotFittedError
+from ..gestures.vocabulary import Gesture
+from ..nn import (
+    Adam,
+    SigmoidBinaryCrossEntropy,
+    SoftmaxCrossEntropy,
+    StandardScaler,
+    load_model_bytes,
+    save_model_bytes,
+)
+
+#: Bumped when the archive layout changes; readers reject other versions.
+SNAPSHOT_VERSION = 1
+
+
+def _bytes_to_array(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8).copy()
+
+
+def _scaler_arrays(scaler: StandardScaler, prefix: str, arrays: dict) -> None:
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise NotFittedError(f"{prefix}: scaler must be fitted before snapshot")
+    arrays[f"{prefix}.scaler.mean"] = scaler.mean_
+    arrays[f"{prefix}.scaler.scale"] = scaler.scale_
+
+
+def _restore_scaler(archive, prefix: str) -> StandardScaler:
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(archive[f"{prefix}.scaler.mean"])
+    scaler.scale_ = np.asarray(archive[f"{prefix}.scaler.scale"])
+    return scaler
+
+
+def _window_pair(config: WindowConfig) -> list[int]:
+    return [int(config.window), int(config.stride)]
+
+
+def monitor_to_bytes(monitor: SafetyMonitor) -> bytes:
+    """Serialise a trained monitor into one in-memory ``.npz`` archive.
+
+    Captures everything inference needs — gesture-stage model, scaler and
+    window/feature configuration; every per-gesture error classifier with
+    its model, scaler and decision threshold; constant (always-safe)
+    gestures; monitor windows and unsafe threshold.  Raises
+    :class:`~repro.errors.NotFittedError` when either stage is untrained.
+    """
+    classifier = monitor.gesture_classifier
+    if classifier.model is None:
+        raise NotFittedError("gesture classifier must be trained before snapshot")
+
+    arrays: dict[str, np.ndarray] = {}
+    arrays["gesture.model"] = _bytes_to_array(save_model_bytes(classifier.model))
+    _scaler_arrays(classifier.scaler, "gesture", arrays)
+    g_cfg = classifier.config
+    if g_cfg.feature_indices is not None:
+        arrays["gesture.feature_indices"] = np.asarray(
+            g_cfg.feature_indices, dtype=np.int64
+        )
+
+    error_entries: list[dict] = []
+    for gesture in sorted(monitor.library.classifiers, key=int):
+        clf = monitor.library.classifiers[gesture]
+        if clf.model is None:
+            raise NotFittedError(f"error classifier {gesture!r} is untrained")
+        prefix = f"error.{int(gesture)}"
+        arrays[f"{prefix}.model"] = _bytes_to_array(save_model_bytes(clf.model))
+        _scaler_arrays(clf.scaler, prefix, arrays)
+        error_entries.append(
+            {
+                "gesture": int(gesture),
+                "seed": int(clf.seed),
+                "threshold": float(clf.threshold),
+            }
+        )
+
+    e_cfg = monitor.library.config
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "threshold": float(monitor.threshold),
+        "monitor_config": {
+            "gesture_window": _window_pair(monitor.config.gesture_window),
+            "error_window": _window_pair(monitor.config.error_window),
+            "frame_rate_hz": float(monitor.config.frame_rate_hz),
+            "unsafe_vote_threshold": float(monitor.config.unsafe_vote_threshold),
+        },
+        "gesture": {
+            "seed": int(classifier.seed),
+            "lstm_units": [int(u) for u in g_cfg.lstm_units],
+            "dense_units": int(g_cfg.dense_units),
+            "window": _window_pair(g_cfg.window),
+            "dropout": float(g_cfg.dropout),
+            "use_batch_norm": bool(g_cfg.use_batch_norm),
+            "max_train_windows": g_cfg.max_train_windows,
+            "training": asdict(g_cfg.training),
+        },
+        "library": {
+            "seed": int(monitor.library.seed),
+            "architecture": e_cfg.architecture,
+            "hidden": [int(u) for u in e_cfg.hidden],
+            "dense_units": int(e_cfg.dense_units),
+            "dropout": float(e_cfg.dropout),
+            "use_batch_norm": bool(e_cfg.use_batch_norm),
+            "max_train_windows": e_cfg.max_train_windows,
+            "training": asdict(e_cfg.training),
+            "constant_gestures": sorted(
+                int(g) for g in monitor.library.constant_gestures
+            ),
+            "classifiers": error_entries,
+        },
+    }
+    arrays["__meta__"] = _bytes_to_array(json.dumps(meta).encode("utf-8"))
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def monitor_from_bytes(data: bytes) -> SafetyMonitor:
+    """Rebuild a :class:`SafetyMonitor` from :func:`monitor_to_bytes` output.
+
+    The reconstructed monitor produces bit-identical gestures and unsafe
+    scores: models are restored weight-for-weight and scalers
+    statistic-for-statistic, and inference is batch-size invariant.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported monitor snapshot version {meta.get('version')!r}"
+            )
+
+        g_meta = meta["gesture"]
+        feature_indices = None
+        if "gesture.feature_indices" in archive.files:
+            feature_indices = np.asarray(archive["gesture.feature_indices"])
+        gesture_config = GestureClassifierConfig(
+            lstm_units=tuple(g_meta["lstm_units"]),
+            dense_units=g_meta["dense_units"],
+            window=WindowConfig(*g_meta["window"]),
+            feature_indices=feature_indices,
+            dropout=g_meta["dropout"],
+            use_batch_norm=g_meta["use_batch_norm"],
+            training=TrainingConfig(**g_meta["training"]),
+            max_train_windows=g_meta["max_train_windows"],
+        )
+        classifier = GestureClassifier(gesture_config, seed=g_meta["seed"])
+        classifier.model = load_model_bytes(bytes(archive["gesture.model"]))
+        # Loaded models are weight-complete but uncompiled; inference only
+        # needs the loss's probability head, not the training state.
+        classifier.model.compile(
+            loss=SoftmaxCrossEntropy(),
+            optimizer=Adam(gesture_config.training.learning_rate),
+        )
+        classifier.scaler = _restore_scaler(archive, "gesture")
+        classifier._fitted = True
+
+        l_meta = meta["library"]
+        error_config = ErrorClassifierConfig(
+            architecture=l_meta["architecture"],
+            hidden=tuple(l_meta["hidden"]),
+            dense_units=l_meta["dense_units"],
+            dropout=l_meta["dropout"],
+            use_batch_norm=l_meta["use_batch_norm"],
+            training=TrainingConfig(**l_meta["training"]),
+            max_train_windows=l_meta["max_train_windows"],
+        )
+        library = ErrorClassifierLibrary(error_config, seed=l_meta["seed"])
+        library.constant_gestures = {
+            Gesture(int(g)) for g in l_meta["constant_gestures"]
+        }
+        for entry in l_meta["classifiers"]:
+            gesture = Gesture(int(entry["gesture"]))
+            clf = ErrorClassifier(gesture, error_config, seed=entry["seed"])
+            prefix = f"error.{int(gesture)}"
+            clf.model = load_model_bytes(bytes(archive[f"{prefix}.model"]))
+            clf.model.compile(
+                loss=SigmoidBinaryCrossEntropy(),
+                optimizer=Adam(error_config.training.learning_rate),
+            )
+            clf.scaler = _restore_scaler(archive, prefix)
+            clf.threshold = entry["threshold"]
+            clf._fitted = True
+            library.classifiers[gesture] = clf
+
+        monitor_meta = meta["monitor_config"]
+        config = MonitorConfig(
+            gesture_window=WindowConfig(*monitor_meta["gesture_window"]),
+            error_window=WindowConfig(*monitor_meta["error_window"]),
+            frame_rate_hz=monitor_meta["frame_rate_hz"],
+            unsafe_vote_threshold=monitor_meta["unsafe_vote_threshold"],
+        )
+    return SafetyMonitor(
+        classifier, library, config, threshold=meta["threshold"]
+    )

@@ -1,0 +1,81 @@
+"""Request/reply message protocol between the shard router and workers.
+
+The sharded service talks to each worker process over one duplex
+:func:`multiprocessing.Pipe` connection.  Every interaction is a strict
+request → reply pair: the router sends a :class:`Request`, the worker
+answers with exactly one :class:`Reply`.  Payloads are restricted to
+plain data — numpy arrays, the :class:`~repro.serving.service.SessionEvent`
+/ :class:`~repro.serving.service.SessionResult` dataclasses, numbers and
+strings — so the wire format stays portable across ``fork`` and
+``spawn`` start methods.
+
+Worker-side exceptions never kill the worker: they are caught, reduced
+to ``(error class name, message)`` and re-raised router-side as the
+matching :mod:`repro.errors` type (:func:`raise_remote`), so a
+misrouted ``feed`` on a shard behaves exactly like the same call on a
+local :class:`~repro.serving.service.MonitorService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .. import errors
+
+
+@dataclass(frozen=True)
+class Request:
+    """One command from the router to a worker.
+
+    ``op`` selects the operation; the remaining fields are that
+    operation's arguments (unused ones keep their defaults).
+    """
+
+    op: str
+    session_id: str | None = None
+    frames: Any = None
+    record_timeline: bool = True
+    collect: bool = True
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One worker answer.
+
+    ``ok`` distinguishes results from worker-side exceptions; on failure
+    ``error_type``/``error`` carry the exception's class name and
+    message.  ``has_pending`` piggy-backs the worker's post-operation
+    backlog state on every reply so the router can track which shards
+    still owe ticks without extra round trips.
+    """
+
+    ok: bool
+    value: Any = None
+    error_type: str | None = None
+    error: str | None = None
+    has_pending: bool = False
+
+
+def error_reply(exc: BaseException, has_pending: bool = False) -> Reply:
+    """Reduce a worker-side exception to a wire-format :class:`Reply`."""
+    return Reply(
+        ok=False,
+        error_type=type(exc).__name__,
+        error=str(exc),
+        has_pending=has_pending,
+    )
+
+
+def raise_remote(reply: Reply) -> None:
+    """Re-raise a failed reply as its original :mod:`repro.errors` type.
+
+    Exception classes outside the library's hierarchy degrade to
+    :class:`~repro.errors.WorkerError` carrying the original class name.
+    """
+    if reply.ok:
+        return
+    cls = getattr(errors, reply.error_type or "", None)
+    if isinstance(cls, type) and issubclass(cls, errors.ReproError):
+        raise cls(reply.error or "")
+    raise errors.WorkerError(f"{reply.error_type}: {reply.error}")

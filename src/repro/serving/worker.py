@@ -1,0 +1,93 @@
+"""Shard worker: one process, one :class:`MonitorService`, one pipe.
+
+:func:`worker_main` is the entry point the sharded router spawns for
+every shard.  It rebuilds the trained monitor from the snapshot bytes it
+was handed (:func:`repro.serving.snapshot.monitor_from_bytes` — no code
+or pickled objects cross the process boundary, only arrays and JSON),
+then serves a strict request → reply loop over its
+:func:`multiprocessing.Pipe` connection until told to stop or the router
+side of the pipe disappears.
+
+Worker-side exceptions are converted to error replies (the worker keeps
+serving its other sessions); only a broken pipe or an explicit ``stop``
+ends the process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .service import MonitorService
+from .snapshot import monitor_from_bytes
+from .transport import Reply, Request, error_reply
+
+
+def _dispatch(service: MonitorService, request: Request) -> Reply:
+    """Execute one request against the worker's local service."""
+    op = request.op
+    if op == "open":
+        session_id = service.open_session(
+            request.session_id, record_timeline=request.record_timeline
+        )
+        return Reply(ok=True, value=session_id)
+    if op == "feed":
+        assert request.session_id is not None
+        service.feed(request.session_id, request.frames)
+        return Reply(ok=True)
+    if op == "tick":
+        return Reply(ok=True, value=service.tick())
+    if op == "drain":
+        if request.collect:
+            ticks = []
+            while service.has_pending:
+                ticks.append(service.tick())
+        else:
+            service.drain(collect=False)
+            ticks = []
+        # Per-session progress rides along so the router's frame
+        # accounting stays exact even when events are not collected.
+        progress = {sid: service.frames_done(sid) for sid in service.session_ids}
+        return Reply(ok=True, value=(ticks, progress))
+    if op == "close":
+        assert request.session_id is not None
+        return Reply(ok=True, value=service.close_session(request.session_id))
+    if op == "stats":
+        return Reply(ok=True, value=service.stats)
+    if op in ("ping", "stop"):
+        return Reply(ok=True)
+    return Reply(ok=False, error_type="WorkerError", error=f"unknown op {op!r}")
+
+
+def worker_main(conn, monitor_blob: bytes, max_sessions: int) -> None:
+    """Serve one shard until ``stop`` or the pipe closes.
+
+    Parameters
+    ----------
+    conn:
+        Worker end of the duplex pipe to the router.
+    monitor_blob:
+        :func:`~repro.serving.snapshot.monitor_to_bytes` archive to
+        bootstrap the shard's :class:`SafetyMonitor` from.
+    max_sessions:
+        Slot capacity of this shard's :class:`MonitorService`.
+    """
+    monitor = monitor_from_bytes(monitor_blob)
+    service = MonitorService(monitor, max_sessions=max_sessions)
+    while True:
+        try:
+            request: Request = conn.recv()
+        except (EOFError, OSError):
+            break  # router is gone; nothing left to serve
+        try:
+            reply = _dispatch(service, request)
+        except Exception as exc:  # noqa: BLE001 - reduced to an error reply
+            reply = error_reply(exc, has_pending=service.has_pending)
+        else:
+            reply = dataclasses.replace(reply, has_pending=service.has_pending)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        if request.op == "stop":
+            break
+    conn.close()

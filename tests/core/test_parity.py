@@ -1,12 +1,15 @@
-"""Parity regression tests between the monitor's three execution modes.
+"""Parity regression tests between the monitor's four execution modes.
 
-The same trained weights can be exercised three ways — batched offline
+The same trained weights can be exercised four ways — batched offline
 (:meth:`SafetyMonitor.process`), frame-by-frame
-(:meth:`SafetyMonitor.stream`) and multi-session batched
-(:class:`repro.serving.MonitorService`) — and the serving refactor
-guarantees they agree: gestures and scores are bit-identical wherever the
-modes observe the same information (inference is batch-size invariant,
-see :mod:`repro.nn.layers.contract`).
+(:meth:`SafetyMonitor.stream`), multi-session batched
+(:class:`repro.serving.MonitorService`) and sharded across worker
+processes (:class:`repro.serving.ShardedMonitorService`) — and the
+serving stack guarantees they agree: gestures and scores are
+bit-identical wherever the modes observe the same information (inference
+is batch-size invariant, see :mod:`repro.nn.layers.contract`, and
+workers bootstrap from lossless monitor snapshots, see
+:mod:`repro.serving.snapshot`).
 """
 
 import numpy as np
@@ -17,6 +20,7 @@ from repro.gestures.vocabulary import Gesture
 from repro.kinematics.windows import sliding_windows
 from repro.serving import (
     MonitorService,
+    ShardedMonitorService,
     make_random_walk_trajectory,
     make_synthetic_monitor,
 )
@@ -114,6 +118,32 @@ class TestStreamProcessParity:
             gestures, scores = stream_arrays(monitor, trajectory)
             assert np.array_equal(result.gestures, gestures)
             assert np.array_equal(result.unsafe_scores, scores)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_sharded_service_reproduces_streams_bit_for_bit(self, n_shards):
+        """The scaling invariant: distributing the same session set over
+        K worker processes changes throughput, never a single event —
+        each worker's monitor is rebuilt from snapshot bytes and scores
+        the same windows to the same bits as an isolated stream()."""
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=1)
+        trajectories = [
+            make_random_walk_trajectory(50 + 9 * i, n_features=N_FEATURES, seed=i)
+            for i in range(5)
+        ]
+        with ShardedMonitorService(
+            monitor, n_shards=n_shards, max_sessions_per_shard=8
+        ) as service:
+            ids = []
+            for trajectory in trajectories:
+                session_id = service.open_session()
+                service.feed(session_id, trajectory.frames)
+                ids.append(session_id)
+            service.drain(collect=False)
+            for session_id, trajectory in zip(ids, trajectories):
+                result = service.close_session(session_id)
+                gestures, scores = stream_arrays(monitor, trajectory)
+                assert np.array_equal(result.gestures, gestures)
+                assert np.array_equal(result.unsafe_scores, scores)
 
 
 class TestMonitorOutputEdgeCases:

@@ -118,3 +118,48 @@ class TestSerialization:
         model = nn.Sequential([nn.Dense(2)])
         with pytest.raises(NotFittedError):
             save_model(model, tmp_path / "x.npz")
+
+    def test_bytes_round_trip_matches_file_round_trip(self, tmp_path):
+        """save_model_bytes produces the same archive as save_model, and
+        load_model_bytes restores identical predictions."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((10, 5, 3))
+        model = nn.Sequential([nn.Conv1D(4, 3), nn.Flatten(), nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        model.build((5, 3))
+        blob = nn.save_model_bytes(model)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        assert blob == path.read_bytes()
+        loaded = nn.load_model_bytes(blob)
+        loaded.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        assert np.array_equal(loaded.predict_proba(x), model.predict_proba(x))
+
+    def test_unbuilt_model_rejected_for_bytes(self):
+        with pytest.raises(NotFittedError):
+            nn.save_model_bytes(nn.Sequential([nn.Dense(2)]))
+
+    def test_failed_save_leaves_existing_checkpoint_intact(self, tmp_path):
+        """Saving an unbuilt model must raise without truncating a good
+        checkpoint already at the destination path."""
+        model = nn.Sequential([nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        model.build((3,))
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        good_bytes = path.read_bytes()
+        with pytest.raises(NotFittedError):
+            save_model(nn.Sequential([nn.Dense(2)]), path)
+        assert path.read_bytes() == good_bytes
+        load_model(path)
+
+    def test_suffixless_path_gets_npz_appended(self, tmp_path):
+        """np.savez's suffix behaviour is preserved: a path without .npz
+        writes <path>.npz."""
+        model = nn.Sequential([nn.Dense(2)], seed=0)
+        model.compile(nn.SoftmaxCrossEntropy(), nn.Adam(1e-2))
+        model.build((3,))
+        save_model(model, tmp_path / "checkpoint")
+        assert (tmp_path / "checkpoint.npz").exists()
+        assert not (tmp_path / "checkpoint").exists()
+        load_model(tmp_path / "checkpoint.npz")

@@ -1,0 +1,592 @@
+"""Tests for the sharded multi-process serving layer.
+
+Covers the hard requirement of the sharding tentpole — a K-shard
+service is **bit-identical** to one local :class:`MonitorService` — plus
+worker lifecycle: crash detection (sessions reported failed, survivors
+keep ticking), drain-and-rebalance on shard removal, and the asyncio
+front-end.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError, ShapeError, WorkerError
+from repro.serving import (
+    AsyncShardedMonitor,
+    MonitorService,
+    ShardedMonitorService,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+)
+
+N_FEATURES = 10
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    return make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+
+
+def make_fleet(n_sessions, base_seed=100, frames=40, step=5):
+    """Named trajectories of staggered lengths for a session fleet."""
+    return {
+        f"proc-{i}": make_random_walk_trajectory(
+            frames + step * i, n_features=N_FEATURES, seed=base_seed + i
+        )
+        for i in range(n_sessions)
+    }
+
+
+def single_service_reference(monitor, fleet):
+    """Events and results from one local MonitorService over the fleet."""
+    service = MonitorService(monitor, max_sessions=len(fleet))
+    for session_id, trajectory in fleet.items():
+        service.open_session(session_id)
+        service.feed(session_id, trajectory.frames)
+    events = service.drain()
+    results = {sid: service.close_session(sid) for sid in fleet}
+    return events, results
+
+
+def event_key(event):
+    return (event.session_id, event.frame_index, event.gesture, event.score, event.flag)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_sharded_matches_single_service_bit_for_bit(self, monitor, n_shards):
+        """The tentpole invariant: K workers, same events, same timelines —
+        including the *order* of the merged event stream."""
+        fleet = make_fleet(6)
+        ref_events, ref_results = single_service_reference(monitor, fleet)
+        with ShardedMonitorService(
+            monitor, n_shards=n_shards, max_sessions_per_shard=8
+        ) as service:
+            for session_id, trajectory in fleet.items():
+                service.open_session(session_id)
+                service.feed(session_id, trajectory.frames)
+            events = service.drain()
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in ref_events
+            ]
+            for session_id in fleet:
+                result = service.close_session(session_id)
+                reference = ref_results[session_id]
+                assert np.array_equal(result.gestures, reference.gestures)
+                assert np.array_equal(result.unsafe_scores, reference.unsafe_scores)
+                assert np.array_equal(result.unsafe_flags, reference.unsafe_flags)
+
+    def test_tick_by_tick_matches_single_service(self, monitor):
+        """Interactive ticking (not just drain) merges shard events in the
+        exact order a single service would emit them."""
+        fleet = make_fleet(5, base_seed=200, frames=25)
+        reference = MonitorService(monitor, max_sessions=8)
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=8
+        ) as service:
+            for session_id, trajectory in fleet.items():
+                for target in (service, reference):
+                    target.open_session(session_id)
+                    target.feed(session_id, trajectory.frames)
+            while reference.has_pending:
+                sharded_events = service.tick()
+                local_events = reference.tick()
+                assert [event_key(e) for e in sharded_events] == [
+                    event_key(e) for e in local_events
+                ]
+            assert not service.has_pending
+
+    def test_chunked_feeds_and_staggered_joins(self, monitor):
+        """Sessions fed in chunks and opened mid-flight still reproduce
+        their isolated stream() runs."""
+        early = make_random_walk_trajectory(50, n_features=N_FEATURES, seed=300)
+        late = make_random_walk_trajectory(35, n_features=N_FEATURES, seed=301)
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=4
+        ) as service:
+            service.open_session("early")
+            half = early.n_frames // 2
+            service.feed("early", early.frames[:half])
+            for _ in range(10):
+                service.tick()
+            service.open_session("late")
+            service.feed("late", late.frames)
+            service.feed("early", early.frames[half:])
+            service.drain(collect=False)
+            for session_id, trajectory in (("early", early), ("late", late)):
+                result = service.close_session(session_id)
+                gestures, scores = [], []
+                for _, gesture, score, _ in monitor.stream(trajectory):
+                    gestures.append(gesture)
+                    scores.append(score)
+                assert np.array_equal(result.gestures, np.asarray(gestures))
+                assert np.array_equal(result.unsafe_scores, np.asarray(scores))
+
+
+class TestPlacementAndLifecycle:
+    def test_placement_is_deterministic_and_uses_multiple_shards(self, monitor):
+        with ShardedMonitorService(
+            monitor, n_shards=4, max_sessions_per_shard=16
+        ) as service:
+            ids = [service.open_session(f"theatre-{i}") for i in range(16)]
+            placement = {sid: service.shard_of(sid) for sid in ids}
+            # Consistent hashing: same ids always land on the same shards.
+            assert placement == {
+                sid: service.shard_of(sid) for sid in ids
+            }
+            assert len(set(placement.values())) > 1
+
+    def test_same_key_same_shard_across_services(self, monitor):
+        with ShardedMonitorService(
+            monitor, n_shards=3, max_sessions_per_shard=4
+        ) as a, ShardedMonitorService(
+            monitor, n_shards=3, max_sessions_per_shard=4
+        ) as b:
+            for key in ("alpha", "beta", "gamma"):
+                a.open_session(key)
+                b.open_session(key)
+                assert a.shard_of(key) == b.shard_of(key)
+
+    def test_shard_capacity_errors_propagate(self, monitor):
+        with ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=1
+        ) as service:
+            service.open_session("only")
+            with pytest.raises(ConfigurationError):
+                service.open_session("overflow")
+            with pytest.raises(ConfigurationError):
+                service.open_session("only")  # duplicate id
+
+    def test_remote_errors_keep_their_types(self, monitor):
+        """Worker-side exceptions cross the pipe as their repro.errors
+        classes, and the worker survives them."""
+        with ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=4
+        ) as service:
+            with pytest.raises(DatasetError):
+                service.feed("ghost", np.zeros((2, N_FEATURES)))
+            session_id = service.open_session()
+            with pytest.raises(ShapeError):
+                service.feed(session_id, np.zeros((2, N_FEATURES + 3)))
+            service.feed(session_id, np.zeros((3, N_FEATURES)))
+            assert len(service.drain()) == 3
+
+    def test_remove_shard_drains_and_rebalances(self, monitor):
+        fleet = make_fleet(6, base_seed=400, frames=20)
+        with ShardedMonitorService(
+            monitor, n_shards=3, max_sessions_per_shard=8
+        ) as service:
+            for session_id, trajectory in fleet.items():
+                service.open_session(session_id)
+                service.feed(session_id, trajectory.frames)
+            target = service.shard_of(next(iter(fleet)))
+            on_target = {
+                sid for sid in fleet if service.shard_of(sid) == target
+            }
+            results = service.remove_shard(target)
+            # Every session on the removed shard is drained and returned.
+            assert set(results) == on_target
+            for session_id, result in results.items():
+                assert result.n_frames == fleet[session_id].n_frames
+            assert target not in service.shard_indices
+            # Future placements rebalance onto survivors only.
+            for i in range(8):
+                session_id = service.open_session(f"rebalanced-{i}")
+                assert service.shard_of(session_id) != target
+            # Survivors were not disturbed.
+            service.drain(collect=False)
+            for session_id in fleet:
+                if session_id not in on_target:
+                    result = service.close_session(session_id)
+                    assert result.n_frames == fleet[session_id].n_frames
+            assert not service.failed_sessions
+
+    def test_remove_shard_tail_events_are_not_dropped(self, monitor):
+        """The removed shard's final drain produces events; sessions
+        opened with record_timeline=False have no timeline, so those
+        events must reach the event stream — queued for the next tick."""
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=8
+        ) as service:
+            sids = [
+                service.open_session(f"proc-{i}", record_timeline=False)
+                for i in range(4)
+            ]
+            for i, sid in enumerate(sids):
+                service.feed(
+                    sid,
+                    make_random_walk_trajectory(
+                        15, n_features=N_FEATURES, seed=450 + i
+                    ).frames,
+                )
+            target = service.shard_of(sids[0])
+            on_target = [s for s in sids if service.shard_of(s) == target]
+            results = service.remove_shard(target)
+            assert all(r.n_frames == 0 for r in results.values())  # no timeline
+            events = service.drain()  # delivers the queued tail events too
+            delivered = {}
+            for event in events:
+                delivered.setdefault(event.session_id, []).append(
+                    event.frame_index
+                )
+            for sid in on_target:
+                assert delivered[sid] == list(range(15))
+
+    def test_close_is_idempotent_and_stops_workers(self, monitor):
+        service = ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=2
+        )
+        processes = [h.process for h in service._shards.values()]
+        service.close()
+        service.close()
+        for process in processes:
+            assert not process.is_alive()
+
+    def test_use_after_close_raises_cleanly(self, monitor):
+        service = ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=2
+        )
+        session_id = service.open_session()
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.open_session()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.feed(session_id, np.zeros((1, N_FEATURES)))
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.close_session(session_id)
+
+
+class TestWorkerCrash:
+    def _open_fleet(self, service, n=8, frames=40):
+        sids = []
+        for i in range(n):
+            sid = service.open_session(f"proc-{i}")
+            service.feed(
+                sid,
+                make_random_walk_trajectory(
+                    frames, n_features=N_FEATURES, seed=500 + i
+                ).frames,
+            )
+            sids.append(sid)
+        return sids
+
+    def _kill_shard(self, service, shard):
+        os.kill(service._shards[shard].process.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while service._shards[shard].process.is_alive():
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("SIGKILLed worker did not exit")
+            time.sleep(0.01)
+
+    def test_killed_shard_fails_its_sessions_not_others(self, monitor):
+        """Kill one worker mid-flight: its sessions surface as terminal
+        error events (flag=True, never silently dropped) while every
+        other shard keeps ticking to completion."""
+        with ShardedMonitorService(
+            monitor, n_shards=4, max_sessions_per_shard=8
+        ) as service:
+            sids = self._open_fleet(service)
+            placement = {sid: service.shard_of(sid) for sid in sids}
+            assert len(set(placement.values())) >= 2
+            for _ in range(5):
+                service.tick()
+            victim_shard = placement[sids[0]]
+            victims = {s for s, sh in placement.items() if sh == victim_shard}
+            survivors = set(sids) - victims
+            self._kill_shard(service, victim_shard)
+
+            events = service.tick()
+            crash_events = [e for e in events if e.error is not None]
+            live_events = [e for e in events if e.error is None]
+            # One terminal event per lost session, flagged unsafe.
+            assert {e.session_id for e in crash_events} == victims
+            assert all(e.flag for e in crash_events)
+            assert all(e.frame_index == 5 for e in crash_events)
+            # Healthy shards keep ticking the same tick.
+            assert {e.session_id for e in live_events} == survivors
+            # Failed sessions are tracked, not silently dropped.
+            assert set(service.failed_sessions) == victims
+            for sid in victims:
+                with pytest.raises(WorkerError):
+                    service.feed(sid, np.zeros((1, N_FEATURES)))
+                with pytest.raises(WorkerError):
+                    service.close_session(sid)
+            # Survivors drain and close with full timelines.
+            service.drain(collect=False)
+            for sid in survivors:
+                assert service.close_session(sid).n_frames == 40
+            # New sessions rebalance off the dead shard.
+            replacement = service.open_session("replacement")
+            assert service.shard_of(replacement) in service.shard_indices
+            assert victim_shard not in service.shard_indices
+
+    def test_crash_detected_during_feed_is_not_lost(self, monitor):
+        """A crash first observed by feed() raises for that session and
+        the other lost sessions' terminal events still surface."""
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=8
+        ) as service:
+            sids = self._open_fleet(service, n=6, frames=10)
+            placement = {sid: service.shard_of(sid) for sid in sids}
+            victim_shard = placement[sids[0]]
+            victims = {s for s, sh in placement.items() if sh == victim_shard}
+            self._kill_shard(service, victim_shard)
+            with pytest.raises(WorkerError):
+                service.feed(sids[0], np.zeros((1, N_FEATURES)))
+            events = service.drain()
+            crash_events = [e for e in events if e.error is not None]
+            assert {e.session_id for e in crash_events} == victims
+            assert set(service.failed_sessions) == victims
+
+    def test_crash_frame_index_exact_after_uncollected_drain(self, monitor):
+        """drain(collect=False) returns no events, but the workers'
+        progress reports keep the router's frame accounting exact — a
+        later crash event must report the true number of frames served."""
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=8
+        ) as service:
+            sids = self._open_fleet(service, n=4, frames=30)
+            service.drain(collect=False)
+            victim_shard = service.shard_of(sids[0])
+            victims = {s for s in sids if service.shard_of(s) == victim_shard}
+            self._kill_shard(service, victim_shard)
+            for sid in sids:  # give every session fresh pending input
+                if sid not in victims:
+                    service.feed(sid, np.zeros((1, N_FEATURES)))
+            events = service.tick()
+            crash_events = [e for e in events if e.error is not None]
+            assert {e.session_id for e in crash_events} == victims
+            assert all(e.frame_index == 30 for e in crash_events)
+
+
+class TestAsyncFrontend:
+    def test_feed_events_close_roundtrip(self, monitor):
+        fleet = make_fleet(4, base_seed=600, frames=25, step=0)
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    for session_id, trajectory in fleet.items():
+                        await frontend.open_session(session_id)
+                        await frontend.feed(session_id, trajectory.frames)
+                    expected = sum(t.n_frames for t in fleet.values())
+                    per_session = {}
+                    count = 0
+                    async for event in frontend.events():
+                        per_session.setdefault(event.session_id, []).append(event)
+                        count += 1
+                        if count == expected:
+                            break
+                    results = {
+                        sid: await frontend.close_session(sid) for sid in fleet
+                    }
+                return per_session, results
+
+        per_session, results = asyncio.run(run())
+        for session_id, trajectory in fleet.items():
+            events = per_session[session_id]
+            # Per-session frame order is preserved across the merge.
+            assert [e.frame_index for e in events] == list(
+                range(trajectory.n_frames)
+            )
+            gestures, scores = [], []
+            for _, gesture, score, _ in monitor.stream(trajectory):
+                gestures.append(gesture)
+                scores.append(score)
+            assert [e.gesture for e in events] == gestures
+            assert [e.score for e in events] == scores
+            assert np.array_equal(
+                results[session_id].unsafe_scores, np.asarray(scores)
+            )
+
+    def test_incremental_async_ingest(self, monitor):
+        """Frames fed while the tickers are already running are processed
+        without explicit tick calls, and drain() parks until done."""
+        trajectory = make_random_walk_trajectory(
+            30, n_features=N_FEATURES, seed=700
+        )
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    session_id = await frontend.open_session()
+                    for start in range(0, 30, 10):
+                        await frontend.feed(
+                            session_id, trajectory.frames[start : start + 10]
+                        )
+                        await asyncio.sleep(0)
+                    await frontend.drain()
+                    return await frontend.close_session(session_id)
+
+        result = asyncio.run(run())
+        assert result.n_frames == 30
+        gestures = [g for _, g, _, _ in monitor.stream(trajectory)]
+        assert np.array_equal(result.gestures, np.asarray(gestures))
+
+    def test_async_feed_crash_events_not_stranded(self, monitor):
+        """A crash discovered by feed() (no shard pending, tickers all
+        parked) must still deliver the lost sessions' terminal events to
+        the stream — nothing may depend on a later tick happening."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    sids = []
+                    for i in range(6):
+                        sid = await frontend.open_session(f"proc-{i}")
+                        await frontend.feed(
+                            sid,
+                            make_random_walk_trajectory(
+                                10, n_features=N_FEATURES, seed=850 + i
+                            ).frames,
+                        )
+                        sids.append(sid)
+                    await frontend.drain()  # everything idle, tickers parked
+                    placement = {sid: service.shard_of(sid) for sid in sids}
+                    victim_shard = placement[sids[0]]
+                    victims = {
+                        s for s, sh in placement.items() if sh == victim_shard
+                    }
+                    process = service._shards[victim_shard].process
+                    os.kill(process.pid, signal.SIGKILL)
+                    process.join(5.0)
+                    with pytest.raises(WorkerError):
+                        await frontend.feed(
+                            sids[0], np.zeros((1, N_FEATURES))
+                        )
+                    # The queue still holds the normal events from the
+                    # drain; the crash events must follow them.
+                    crash_events = []
+                    async for event in frontend.events():
+                        if event.error is not None:
+                            crash_events.append(event)
+                            if len(crash_events) == len(victims):
+                                break
+                    return victims, crash_events
+
+        victims, crash_events = asyncio.run(run())
+        assert {e.session_id for e in crash_events} == victims
+        assert all(e.flag for e in crash_events)
+
+    def test_async_idle_shard_crash_surfaces_via_liveness_poll(self, monitor):
+        """A worker dying while its shard is idle (tickers parked, no
+        exchange to break) must still surface terminal events, via the
+        parked tickers' periodic liveness poll."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(
+                    service, poll_interval_s=0.05
+                ) as frontend:
+                    sids = []
+                    for i in range(4):
+                        sid = await frontend.open_session(f"proc-{i}")
+                        await frontend.feed(
+                            sid,
+                            make_random_walk_trajectory(
+                                8, n_features=N_FEATURES, seed=870 + i
+                            ).frames,
+                        )
+                        sids.append(sid)
+                    await frontend.drain()  # fleet idle, tickers parked
+                    placement = {sid: service.shard_of(sid) for sid in sids}
+                    victim_shard = placement[sids[0]]
+                    victims = {
+                        s for s, sh in placement.items() if sh == victim_shard
+                    }
+                    process = service._shards[victim_shard].process
+                    os.kill(process.pid, signal.SIGKILL)
+                    process.join(5.0)
+                    # No feed, no tick — only the liveness poll can act.
+                    crash_events = []
+                    async for event in frontend.events():
+                        if event.error is not None:
+                            crash_events.append(event)
+                            if len(crash_events) == len(victims):
+                                break
+                    return victims, crash_events
+
+        victims, crash_events = asyncio.run(run())
+        assert {e.session_id for e in crash_events} == victims
+        assert all(e.flag for e in crash_events)
+
+    def test_async_crash_surfaces_in_event_stream(self, monitor):
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    sids = []
+                    for i in range(6):
+                        sid = await frontend.open_session(f"proc-{i}")
+                        await frontend.feed(
+                            sid,
+                            make_random_walk_trajectory(
+                                400, n_features=N_FEATURES, seed=800 + i
+                            ).frames,
+                        )
+                        sids.append(sid)
+                    placement = {sid: service.shard_of(sid) for sid in sids}
+                    victim_shard = placement[sids[0]]
+                    victims = {
+                        s for s, sh in placement.items() if sh == victim_shard
+                    }
+                    os.kill(
+                        service._shards[victim_shard].process.pid, signal.SIGKILL
+                    )
+                    crash_events = []
+                    async for event in frontend.events():
+                        if event.error is not None:
+                            crash_events.append(event)
+                            if len(crash_events) == len(victims):
+                                break
+                    return victims, crash_events, set(service.failed_sessions)
+
+        victims, crash_events, failed = asyncio.run(run())
+        assert {e.session_id for e in crash_events} == victims
+        assert all(e.flag and e.error for e in crash_events)
+        assert failed == victims
+
+
+class TestConstruction:
+    def test_rejects_bad_arguments(self, monitor):
+        with pytest.raises(ConfigurationError):
+            ShardedMonitorService(monitor, n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedMonitorService(monitor, n_shards=1, max_sessions_per_shard=0)
+        with pytest.raises(ConfigurationError):
+            ShardedMonitorService()  # neither monitor nor bytes
+        with pytest.raises(ConfigurationError):
+            ShardedMonitorService(monitor, monitor_bytes=b"xx")  # both
+
+    def test_bootstrap_from_snapshot_bytes(self, monitor):
+        """A service built from a pre-serialised snapshot behaves like one
+        built from the live monitor."""
+        from repro.serving import monitor_to_bytes
+
+        blob = monitor_to_bytes(monitor)
+        trajectory = make_random_walk_trajectory(
+            20, n_features=N_FEATURES, seed=900
+        )
+        with ShardedMonitorService(
+            monitor_bytes=blob, n_shards=1, max_sessions_per_shard=2
+        ) as service:
+            session_id = service.open_session()
+            service.feed(session_id, trajectory.frames)
+            service.drain(collect=False)
+            result = service.close_session(session_id)
+        gestures = [g for _, g, _, _ in monitor.stream(trajectory)]
+        assert np.array_equal(result.gestures, np.asarray(gestures))

@@ -1,0 +1,97 @@
+"""Tests for whole-monitor snapshots (worker bootstrap archives)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.errors import ConfigurationError, NotFittedError
+from repro.gestures.vocabulary import Gesture
+from repro.serving import (
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+    monitor_from_bytes,
+    monitor_to_bytes,
+)
+
+N_FEATURES = 10
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_process_parity(self, seed):
+        """A restored monitor is bit-identical at inference time."""
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=seed)
+        restored = monitor_from_bytes(monitor_to_bytes(monitor))
+        trajectory = make_random_walk_trajectory(
+            90, n_features=N_FEATURES, seed=seed + 10
+        )
+        a = monitor.process(trajectory)
+        b = restored.process(trajectory)
+        assert np.array_equal(a.gestures, b.gestures)
+        assert np.array_equal(a.unsafe_scores, b.unsafe_scores)
+        assert np.array_equal(a.unsafe_flags, b.unsafe_flags)
+
+    def test_stream_parity(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=2)
+        restored = monitor_from_bytes(monitor_to_bytes(monitor))
+        trajectory = make_random_walk_trajectory(
+            60, n_features=N_FEATURES, seed=3
+        )
+        for original, copy in zip(
+            monitor.stream(trajectory), restored.stream(trajectory)
+        ):
+            assert original[:3] == copy[:3]  # frame, gesture, score
+
+    def test_configuration_survives(self):
+        monitor = make_synthetic_monitor(
+            n_features=N_FEATURES,
+            seed=0,
+            gesture_window=WindowConfig(4, 1),
+            error_window=WindowConfig(7, 2),
+            missing_gestures=(2, 9),
+            threshold=0.25,
+        )
+        restored = monitor_from_bytes(monitor_to_bytes(monitor))
+        assert restored.threshold == 0.25
+        assert restored.config.gesture_window == WindowConfig(4, 1)
+        assert restored.config.error_window == WindowConfig(7, 2)
+        assert restored.gesture_classifier.config.window == WindowConfig(4, 1)
+        assert Gesture.G2 in restored.library.constant_gestures
+        assert not restored.library.has_classifier(Gesture.G2)
+        assert sorted(map(int, restored.library.classifiers)) == sorted(
+            map(int, monitor.library.classifiers)
+        )
+        for gesture, clf in monitor.library.classifiers.items():
+            assert restored.library.classifiers[gesture].threshold == clf.threshold
+
+    def test_snapshot_is_deterministic(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=4)
+        assert monitor_to_bytes(monitor) == monitor_to_bytes(monitor)
+
+
+class TestValidation:
+    def test_untrained_monitor_rejected(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        monitor.gesture_classifier.model = None
+        with pytest.raises(NotFittedError):
+            monitor_to_bytes(monitor)
+
+    def test_unknown_version_rejected(self):
+        import io
+        import json
+
+        import numpy as np_
+
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        blob = monitor_to_bytes(monitor)
+        with np_.load(io.BytesIO(blob)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+        meta["version"] = 999
+        arrays["__meta__"] = np_.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np_.uint8
+        ).copy()
+        buffer = io.BytesIO()
+        np_.savez(buffer, **arrays)
+        with pytest.raises(ConfigurationError):
+            monitor_from_bytes(buffer.getvalue())
