@@ -8,7 +8,15 @@ The point of the serving tentpole is that each pipeline stage runs once
 per tick on the window batch stacked *across* sessions, so throughput
 should grow strongly sub-linearly in session count.
 
-Part 2 measures the sharded service
+Part 2 compares the inference backends (:mod:`repro.nn.backends`) on
+the same drain workload: the bit-exact ``reference`` path versus the
+``compiled`` folded-scaler zero-allocation plan and its ``compiled-f32``
+float32 variant, per session count, with the speedup over the reference
+at the same count.  The compiled backend's contract is >= 1.5x reference
+drain throughput at 64 sessions (the perf CI smoke gates a relaxed
+>= 1x on shared runners).
+
+Part 3 measures the sharded service
 (:class:`repro.serving.ShardedMonitorService`) at 1 / 2 / 4 worker
 processes over the same 64-session workload: aggregate frames/sec,
 speedup over the 1-shard row, and p50/p99 per-shard tick latency.
@@ -18,18 +26,24 @@ fewer cores the processes time-slice one CPU and the row mainly shows
 the IPC overhead floor (the report prints the visible core count so the
 numbers can be read honestly).
 
+Every run also writes a machine-readable ``BENCH_serving.json``
+(``--json`` overrides the path) so the perf trajectory is tracked
+across PRs; CI uploads it as an artifact.
+
 Run:  PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--smoke]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
 import numpy as np
 
+from repro.nn.backends import BACKEND_NAMES
 from repro.serving import (
     MonitorService,
     ShardedMonitorService,
@@ -51,16 +65,20 @@ def run_sequential(monitor, trajectories) -> tuple[float, np.ndarray]:
     return time.perf_counter() - start, np.asarray(latencies)
 
 
-def run_service(monitor, trajectories) -> tuple[float, np.ndarray]:
+def run_service(
+    monitor, trajectories, backend: str = "reference"
+) -> tuple[float, np.ndarray]:
     """Total seconds and per-tick latencies for one batched service."""
-    service = MonitorService(monitor, max_sessions=len(trajectories))
+    service = MonitorService(
+        monitor, max_sessions=len(trajectories), backend=backend
+    )
     start = time.perf_counter()
     for trajectory in trajectories:
         session_id = service.open_session()
         service.feed(session_id, trajectory.frames)
     service.drain(collect=False)
     elapsed = time.perf_counter() - start
-    return elapsed, np.asarray(service.stats.tick_ms)
+    return elapsed, service.stats.tick_ms
 
 
 def run_sharded(
@@ -83,8 +101,17 @@ def run_sharded(
             service.feed(session_id, trajectory.frames)
         service.drain(collect=False)
         elapsed = time.perf_counter() - start
-        tick_ms = np.asarray(service.stats().tick_ms)
+        tick_ms = service.stats().tick_ms
     return elapsed, tick_ms
+
+
+def _percentiles(tick_ms: np.ndarray) -> tuple[float, float]:
+    if tick_ms.size == 0:
+        return 0.0, 0.0
+    return (
+        float(np.percentile(tick_ms, 50)),
+        float(np.percentile(tick_ms, 99)),
+    )
 
 
 def benchmark_sharded(
@@ -97,18 +124,21 @@ def benchmark_sharded(
     ]
     total_frames = n_sessions * n_frames
     elapsed, tick_ms = run_sharded(monitor_bytes, trajectories, n_shards)
+    p50, p99 = _percentiles(tick_ms)
     return {
         "shards": n_shards,
         "sessions": n_sessions,
+        "backend": "reference",
         "frames": total_frames,
         "fps": total_frames / elapsed,
-        "tick_p50_ms": float(np.percentile(tick_ms, 50)) if tick_ms.size else 0.0,
-        "tick_p99_ms": float(np.percentile(tick_ms, 99)) if tick_ms.size else 0.0,
+        "tick_p50_ms": p50,
+        "tick_p99_ms": p99,
     }
 
 
 def benchmark(n_sessions: int, n_frames: int, seed: int = 0) -> dict:
-    """One row of the report: sequential vs batched at ``n_sessions``."""
+    """One report row: sequential vs batched, and every backend, at
+    ``n_sessions``."""
     monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=seed)
     trajectories = [
         make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=seed + i)
@@ -116,15 +146,31 @@ def benchmark(n_sessions: int, n_frames: int, seed: int = 0) -> dict:
     ]
     total_frames = n_sessions * n_frames
     seq_s, _ = run_sequential(monitor, trajectories)
-    srv_s, tick_ms = run_service(monitor, trajectories)
+    backends = {}
+    for backend in BACKEND_NAMES:
+        srv_s, tick_ms = run_service(monitor, trajectories, backend=backend)
+        p50, p99 = _percentiles(tick_ms)
+        backends[backend] = {
+            "sessions": n_sessions,
+            "backend": backend,
+            "frames": total_frames,
+            "fps": total_frames / srv_s,
+            "tick_p50_ms": p50,
+            "tick_p99_ms": p99,
+        }
+    reference_fps = backends["reference"]["fps"]
+    for row in backends.values():
+        row["speedup_vs_reference"] = row["fps"] / reference_fps
+    seq_fps = total_frames / seq_s
     return {
         "sessions": n_sessions,
         "frames": total_frames,
-        "seq_fps": total_frames / seq_s,
-        "srv_fps": total_frames / srv_s,
-        "speedup": seq_s / srv_s,
-        "tick_p50_ms": float(np.percentile(tick_ms, 50)),
-        "tick_p99_ms": float(np.percentile(tick_ms, 99)),
+        "seq_fps": seq_fps,
+        "srv_fps": reference_fps,
+        "speedup": reference_fps / seq_fps,
+        "tick_p50_ms": backends["reference"]["tick_p50_ms"],
+        "tick_p99_ms": backends["reference"]["tick_p99_ms"],
+        "backends": backends,
     }
 
 
@@ -139,9 +185,24 @@ def main(argv: list[str] | None = None) -> int:
         "--frames", type=int, default=None, help="frames per session (override)"
     )
     parser.add_argument(
+        "--json",
+        default="BENCH_serving.json",
+        help="where to write the machine-readable report (default: %(default)s)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero unless the 64-session speedup reaches 3x",
+    )
+    parser.add_argument(
+        "--check-backend",
+        action="store_true",
+        help=(
+            "exit non-zero unless the compiled backend's 64-session drain "
+            "throughput reaches the reference backend's (only enforced "
+            "when >= 2 CPU cores are visible; shared 1-core runners are "
+            "too noisy)"
+        ),
     )
     parser.add_argument(
         "--check-sharded",
@@ -155,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.frames is not None and args.frames < 1:
         parser.error("--frames must be >= 1")
     n_frames = args.frames if args.frames is not None else (120 if args.smoke else 600)
+    n_cores = os.cpu_count() or 1
 
     print(f"serving throughput — {n_frames} frames/session, {N_FEATURES} features")
     print(
@@ -171,11 +233,28 @@ def main(argv: list[str] | None = None) -> int:
 
     speedup_64 = rows[-1]["speedup"]
     print(f"\n64-session batched speedup over sequential streams: {speedup_64:.1f}x")
-    if args.check and speedup_64 < 3.0:
-        print("FAIL: expected >= 3x", file=sys.stderr)
-        return 1
 
-    n_cores = os.cpu_count() or 1
+    print("\ninference backends — same drain workload, per session count")
+    print(
+        f"{'sessions':>8} {'backend':>14} {'fps':>10} {'vs reference':>12} "
+        f"{'tick p50':>9} {'tick p99':>9}"
+    )
+    backend_rows = []
+    for r in rows:
+        for backend in BACKEND_NAMES:
+            b = r["backends"][backend]
+            backend_rows.append(b)
+            print(
+                f"{b['sessions']:>8} {b['backend']:>14} {b['fps']:>10.0f} "
+                f"{b['speedup_vs_reference']:>11.2f}x "
+                f"{b['tick_p50_ms']:>7.2f}ms {b['tick_p99_ms']:>7.2f}ms"
+            )
+    compiled_64 = rows[-1]["backends"]["compiled"]["speedup_vs_reference"]
+    print(
+        f"\ncompiled over reference at 64 sessions: {compiled_64:.2f}x "
+        f"(contract: >= 1.5x on a quiet machine)"
+    )
+
     monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
     monitor_bytes = monitor_to_bytes(monitor)
     print(
@@ -202,10 +281,52 @@ def main(argv: list[str] | None = None) -> int:
         f"\n4-shard aggregate over 1 shard: {sharded_speedup:.1f}x "
         f"({n_cores} core(s); expect >= 2x only with >= 4 cores)"
     )
+
+    report = {
+        "meta": {
+            "n_frames_per_session": n_frames,
+            "n_features": N_FEATURES,
+            "smoke": bool(args.smoke),
+            "cpu_count": n_cores,
+            "backend_names": list(BACKEND_NAMES),
+        },
+        "service": [
+            {k: v for k, v in r.items() if k != "backends"} for r in rows
+        ],
+        "backends": backend_rows,
+        "sharded": sharded_rows,
+        "summary": {
+            "batched_speedup_64": speedup_64,
+            "compiled_vs_reference_64": compiled_64,
+            "sharded_speedup_4": sharded_speedup,
+        },
+    }
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+
+    status = 0
+    if args.check and speedup_64 < 3.0:
+        print("FAIL: expected >= 3x batched speedup", file=sys.stderr)
+        status = 1
+    if args.check_backend:
+        if n_cores < 2:
+            print(
+                "check-backend: skipped (needs >= 2 cores for a stable "
+                "measurement)",
+            )
+        elif compiled_64 < 1.0:
+            print(
+                f"FAIL: compiled backend slower than reference at 64 "
+                f"sessions ({compiled_64:.2f}x)",
+                file=sys.stderr,
+            )
+            status = 1
     if args.check_sharded and n_cores >= 4 and sharded_speedup < 2.0:
         print("FAIL: expected >= 2x at 4 shards", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

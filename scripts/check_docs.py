@@ -7,9 +7,10 @@ Two guarantees:
    a lightweight structural validation: known diagram type on the first
    line, closed fence, balanced brackets, and well-formed edges for
    flowcharts / messages for sequence diagrams;
-2. every public name exported from ``repro.serving`` (its ``__all__``)
-   appears in ``docs/api.md``, so the API reference cannot silently rot
-   as the serving surface grows.
+2. every public name exported from the documented modules (their
+   ``__all__``: ``repro.serving`` and ``repro.nn.backends``) appears in
+   ``docs/api.md``, so the API reference cannot silently rot as the
+   serving surface grows.
 
 Run:  PYTHONPATH=src python scripts/check_docs.py
 Exits non-zero with one line per problem.
@@ -129,20 +130,31 @@ def check_mermaid(path: Path) -> list[str]:
     return errors
 
 
-def check_api_coverage() -> list[str]:
-    """Every repro.serving export must be mentioned in docs/api.md."""
-    sys.path.insert(0, str(REPO / "src"))
-    import repro.serving as serving
+#: Modules whose ``__all__`` must be fully covered by docs/api.md.
+#: Add an entry when a new public surface grows an API-reference
+#: section.
+DOCUMENTED_MODULES = ("repro.serving", "repro.nn.backends")
 
+
+def check_api_coverage() -> list[str]:
+    """Every documented module's export must be mentioned in docs/api.md."""
+    import importlib
+
+    sys.path.insert(0, str(REPO / "src"))
     api_path = DOCS / "api.md"
     if not api_path.exists():
         return [f"{api_path}: missing (docs/api.md is required)"]
     text = api_path.read_text()
-    return [
-        f"{api_path}: export {name!r} from repro.serving.__all__ is undocumented"
-        for name in serving.__all__
-        if not re.search(rf"`{re.escape(name)}", text)
-    ]
+    errors = []
+    for module_name in DOCUMENTED_MODULES:
+        module = importlib.import_module(module_name)
+        errors.extend(
+            f"{api_path}: export {name!r} from {module_name}.__all__ "
+            "is undocumented"
+            for name in module.__all__
+            if not re.search(rf"`{re.escape(name)}", text)
+        )
+    return errors
 
 
 def main() -> int:

@@ -151,7 +151,7 @@ class SafetyMonitor:
         )
 
     # ------------------------------------------------------------------
-    def stream(self, trajectory: Trajectory):
+    def stream(self, trajectory: Trajectory, backend: str = "reference"):
         """Frame-by-frame streaming inference (generator).
 
         Yields ``(frame_index, gesture_number, unsafe_probability,
@@ -161,11 +161,15 @@ class SafetyMonitor:
         This is a thin one-session wrapper over the batched serving
         engine (:class:`repro.serving.MonitorService`), so a standalone
         stream and a session inside a multi-stream service produce
-        bit-identical gestures and scores.
+        bit-identical gestures and scores.  ``backend`` selects the
+        inference backend (see :data:`repro.nn.backends.BACKEND_NAMES`);
+        the default ``"reference"`` carries the bit-exact parity
+        contract, the compiled backends trade it for speed
+        (``atol=1e-6``).
         """
         from ..serving.service import MonitorService
 
-        service = MonitorService(self, max_sessions=1)
+        service = MonitorService(self, max_sessions=1, backend=backend)
         # Consumers read the yielded events; skip the per-frame timeline.
         session_id = service.open_session(record_timeline=False)
         service.feed(session_id, trajectory.frames)

@@ -42,6 +42,11 @@ from .serialization import (
     save_model_bytes,
 )
 
+# Imported last: the backends package consumes the layer/model modules
+# above, and binding it here makes ``nn.backends`` reachable without a
+# separate import.
+from . import backends  # noqa: E402
+
 __all__ = [
     "Adam",
     "BatchNorm",

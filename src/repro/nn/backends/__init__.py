@@ -1,0 +1,28 @@
+"""Pluggable inference backends behind the serving tick engine.
+
+See :mod:`repro.nn.backends.base` for the protocol and the design
+contract, :mod:`repro.nn.backends.compiled` for the compiled-plan
+internals.  The serving stack selects a backend by name
+(``"reference"`` / ``"compiled"`` / ``"compiled-f32"``) via
+:func:`make_backend`; ``docs/serving.md`` has the operator guidance.
+"""
+
+from .base import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    InferenceBackend,
+    make_backend,
+    validate_backend_name,
+)
+from .compiled import CompiledBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CompiledBackend",
+    "DEFAULT_BACKEND",
+    "InferenceBackend",
+    "ReferenceBackend",
+    "make_backend",
+    "validate_backend_name",
+]

@@ -1,0 +1,103 @@
+"""The inference-backend protocol behind the serving tick engine.
+
+Every model invocation on the serving hot path — the gesture stage's
+``predict`` and each error classifier's ``predict_proba`` inside
+:meth:`repro.serving.MonitorService.tick` — goes through an
+:class:`InferenceBackend` bound to one trained ``(scaler, model)`` pair.
+Two implementations exist:
+
+- :class:`~repro.nn.backends.reference.ReferenceBackend` — wraps
+  ``scaler.transform`` + ``Sequential.predict_proba`` exactly as the
+  engine called them before backends existed.  Bit-exact, batch-size
+  invariant, the default: every existing parity guarantee
+  (stream ≡ process ≡ service ≡ sharded) holds under it unchanged.
+- :class:`~repro.nn.backends.compiled.CompiledBackend` — compiles the
+  pair into a flat inference plan: the scaler's affine folded into the
+  first layer's weights, preallocated scratch buffers so steady-state
+  calls allocate no array data, fused LSTM gates, no training branches
+  or dtype coercions, optional float32 execution.  Matches the
+  reference within ``atol=1e-6`` in float64 mode (it trades the
+  bit-exact einsum contraction for BLAS throughput).
+
+Backends hold per-call scratch state and are **not** thread-safe; a
+:class:`~repro.serving.MonitorService` owns one backend per model and
+ticks from a single thread (one per worker process when sharded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ..model import Sequential
+from ..preprocessing import StandardScaler
+
+#: Names accepted wherever a backend choice is wired through the serving
+#: stack (``MonitorService``, ``SafetyMonitor.stream``,
+#: ``ShardedMonitorService``, monitor snapshots).
+BACKEND_NAMES = ("reference", "compiled", "compiled-f32")
+
+#: The backend used when none is chosen: bit-exact and batch-invariant.
+DEFAULT_BACKEND = "reference"
+
+
+def validate_backend_name(name: str) -> str:
+    """Return ``name`` if it is a known backend, raise otherwise."""
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown inference backend {name!r}; choose one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+class InferenceBackend:
+    """One trained ``(scaler, model)`` pair behind a uniform predict API.
+
+    ``windows`` arguments are **raw** (unscaled) kinematics windows of
+    shape ``(batch, window, n_features)``; standardisation is the
+    backend's job (folded into the weights, for the compiled plan).
+
+    Returned arrays may alias internal scratch buffers: they are valid
+    until the next call on the same backend — consume or copy first.
+    """
+
+    #: The :data:`BACKEND_NAMES` entry this implementation answers to.
+    name: str = "abstract"
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of raw windows."""
+        raise NotImplementedError
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Hard predictions: argmax (multi-class) or 0.5 threshold."""
+        raise NotImplementedError
+
+
+def make_backend(
+    name: str,
+    scaler: StandardScaler,
+    model: Sequential,
+    max_batch: int = 64,
+) -> InferenceBackend:
+    """Build the named backend for one trained ``(scaler, model)`` pair.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BACKEND_NAMES`.
+    scaler / model:
+        The fitted scaler and built, compiled model to serve.
+    max_batch:
+        Scratch-buffer batch capacity for compiled backends (the serving
+        engine passes its ``max_sessions``).  Larger inputs are served
+        in chunks — correct, but off the zero-allocation fast path.
+    """
+    from .compiled import CompiledBackend
+    from .reference import ReferenceBackend
+
+    validate_backend_name(name)
+    if name == "reference":
+        return ReferenceBackend(scaler, model)
+    dtype = np.float32 if name == "compiled-f32" else np.float64
+    return CompiledBackend(scaler, model, max_batch=max_batch, dtype=dtype)

@@ -20,14 +20,17 @@ and a production deployment monitoring many procedures at once:
 
 :meth:`repro.core.SafetyMonitor.stream` is a thin one-session wrapper
 over the same engine, so single-stream, fleet and sharded serving share
-one hot path and agree bit for bit.  See ``docs/architecture.md`` and
+one hot path and agree bit for bit.  Every entry point takes a
+``backend`` choice (:mod:`repro.nn.backends`): ``"reference"`` keeps
+the bit-exact contract, ``"compiled"``/``"compiled-f32"`` run the
+folded zero-allocation plans.  See ``docs/architecture.md`` and
 ``docs/serving.md``.
 """
 
 from .async_frontend import AsyncShardedMonitor
 from .service import MonitorService, ServiceStats, SessionEvent, SessionResult
 from .sharded import ShardedMonitorService
-from .snapshot import monitor_from_bytes, monitor_to_bytes
+from .snapshot import monitor_from_bytes, monitor_to_bytes, snapshot_backend
 from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
 
 __all__ = [
@@ -41,4 +44,5 @@ __all__ = [
     "make_synthetic_monitor",
     "monitor_from_bytes",
     "monitor_to_bytes",
+    "snapshot_backend",
 ]

@@ -7,15 +7,22 @@ sessions (open / feed / close lifecycle) against a single trained
 :class:`~repro.core.pipeline.SafetyMonitor`.  Each :meth:`MonitorService.tick`
 advances every session with pending frames by one frame and runs each
 pipeline stage **once** on the windows that became ready across all
-sessions — one scaler transform and one model forward per stage per tick,
-instead of one per stream — via the ring-buffered
+sessions — one model invocation per stage per tick, instead of one per
+stream — via the ring-buffered
 :class:`~repro.kinematics.windows.StreamingWindowBatch`.
 
-Because model inference is batch-size invariant (see
-:meth:`repro.nn.Sequential.predict_proba`), a session served here emits
-bit-for-bit the same gestures and scores as an isolated
+Model invocations go through a pluggable
+:class:`~repro.nn.backends.InferenceBackend` (the ``backend``
+constructor argument).  The default ``"reference"`` backend is
+bit-exact and batch-size invariant (see
+:meth:`repro.nn.Sequential.predict_proba`), so a session served here
+emits bit-for-bit the same gestures and scores as an isolated
 :meth:`~repro.core.pipeline.SafetyMonitor.stream` run over the same
-frames — the parity test suite locks this in.
+frames — the parity test suite locks this in.  The ``"compiled"`` /
+``"compiled-f32"`` backends trade that bit-exactness (they agree within
+``atol=1e-6``) for roughly half the tick cost: folded scalers, BLAS
+contractions and zero steady-state allocations (see
+:mod:`repro.nn.backends` and ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +37,12 @@ import numpy as np
 from ..errors import ConfigurationError, DatasetError, ShapeError
 from ..gestures.vocabulary import Gesture
 from ..kinematics.windows import StreamingWindowBatch
+from ..nn.backends import (
+    DEFAULT_BACKEND,
+    InferenceBackend,
+    make_backend,
+    validate_backend_name,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> serving)
     from ..core.pipeline import SafetyMonitor
@@ -84,30 +97,100 @@ TICK_HISTORY = 65536
 class ServiceStats:
     """Latency accounting across ticks (populated by :meth:`tick`).
 
-    ``tick_ms`` holds the most recent :data:`TICK_HISTORY` per-tick
-    latencies; ``n_ticks`` and ``frames_processed`` count the full
-    service lifetime.
+    The most recent ``capacity`` per-tick latencies live in a
+    preallocated ring ndarray, so :meth:`record` is one scalar store and
+    the reductions (:meth:`percentile_ms`, :meth:`mean_ms`) slice the
+    ring in place instead of re-materialising the history per query.
+    ``n_ticks`` and ``frames_processed`` count the full service
+    lifetime, past the retained window.
     """
 
-    tick_ms: deque = field(default_factory=lambda: deque(maxlen=TICK_HISTORY))
+    capacity: int = TICK_HISTORY
     n_ticks: int = 0
     frames_processed: int = 0
+    _ring: np.ndarray = field(init=False, repr=False, compare=False)
+    _cursor: int = field(default=0, init=False, repr=False)
+    _filled: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("stats capacity must be >= 1")
+        self.capacity = int(self.capacity)
+        self._ring = np.zeros(self.capacity)
 
     def record(self, tick_ms: float, n_frames: int) -> None:
         """Account one executed tick."""
-        self.tick_ms.append(tick_ms)
+        self._ring[self._cursor] = tick_ms
+        self._cursor = (self._cursor + 1) % self.capacity
+        if self._filled < self.capacity:
+            self._filled += 1
         self.n_ticks += 1
         self.frames_processed += n_frames
 
+    @property
+    def tick_ms(self) -> np.ndarray:
+        """Retained per-tick latencies in chronological order (copy)."""
+        if self._filled < self.capacity:
+            return self._ring[: self._filled].copy()
+        return np.concatenate(
+            [self._ring[self._cursor :], self._ring[: self._cursor]]
+        )
+
+    def extend_ms(self, values: np.ndarray) -> None:
+        """Bulk-append latency samples (chronologically ordered).
+
+        Counters are untouched — this merges *retained windows*, e.g.
+        when :meth:`ShardedMonitorService.stats` folds per-shard stats
+        into one aggregate.
+        """
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if values.size >= self.capacity:
+            self._ring[:] = values[-self.capacity :]
+            self._cursor = 0
+            self._filled = self.capacity
+            return
+        first = min(self.capacity - self._cursor, values.size)
+        self._ring[self._cursor : self._cursor + first] = values[:first]
+        rest = values.size - first
+        if rest:
+            self._ring[:rest] = values[first:]
+        self._cursor = (self._cursor + values.size) % self.capacity
+        self._filled = min(self._filled + values.size, self.capacity)
+
+    def __getstate__(self) -> dict:
+        """Pickle only the recorded samples, not the preallocated ring.
+
+        Stats cross the worker pipe on every ``stats`` request; shipping
+        the full ``capacity``-sized ring (512 KB at the default) for a
+        handful of recorded ticks would tax every poll.
+        """
+        return {
+            "capacity": self.capacity,
+            "n_ticks": self.n_ticks,
+            "frames_processed": self.frames_processed,
+            "tick_ms": self.tick_ms,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.n_ticks = state["n_ticks"]
+        self.frames_processed = state["frames_processed"]
+        self._ring = np.zeros(self.capacity)
+        self._cursor = 0
+        self._filled = 0
+        self.extend_ms(state["tick_ms"])
+
     def percentile_ms(self, q: float) -> float:
         """``q``-th percentile of recent per-tick latency in milliseconds."""
-        if not self.tick_ms:
+        if not self._filled:
             return 0.0
-        return float(np.percentile(np.asarray(self.tick_ms), q))
+        return float(np.percentile(self._ring[: self._filled], q))
 
     def mean_ms(self) -> float:
         """Mean recent per-tick latency in milliseconds."""
-        return float(np.mean(np.asarray(self.tick_ms))) if self.tick_ms else 0.0
+        if not self._filled:
+            return 0.0
+        return float(np.mean(self._ring[: self._filled]))
 
 
 class _Session:
@@ -141,14 +224,19 @@ class _Session:
     def pending_frames(self) -> int:
         return sum(chunk.shape[0] for chunk in self.pending) - self.offset
 
-    def pop_frame(self) -> np.ndarray:
+    def pop_frame_into(self, out: np.ndarray) -> None:
+        """Copy the next pending frame straight into ``out``.
+
+        Reads the contiguous head-chunk row in place — no intermediate
+        per-frame array, so the tick loop fills its preallocated frame
+        scratch with one row copy per advanced session.
+        """
         head = self.pending[0]
-        frame = head[self.offset]
+        out[...] = head[self.offset]
         self.offset += 1
         if self.offset >= head.shape[0]:
             self.pending.popleft()
             self.offset = 0
-        return frame
 
 
 class MonitorService:
@@ -161,6 +249,14 @@ class MonitorService:
         sessions.
     max_sessions:
         Number of preallocated stream slots (concurrently open sessions).
+    backend:
+        Inference backend name (see
+        :data:`repro.nn.backends.BACKEND_NAMES`): ``"reference"``
+        (default — bit-exact, batch-invariant), ``"compiled"``
+        (folded-scaler zero-allocation plan, ``atol=1e-6`` vs the
+        reference) or ``"compiled-f32"`` (additionally float32
+        execution).  One backend instance is built per trained model at
+        construction, with scratch sized to ``max_sessions``.
 
     Lifecycle
     ---------
@@ -172,22 +268,90 @@ class MonitorService:
     timeline.  :meth:`drain` ticks until no session has pending input.
     """
 
-    def __init__(self, monitor: "SafetyMonitor", max_sessions: int = 64) -> None:
+    def __init__(
+        self,
+        monitor: "SafetyMonitor",
+        max_sessions: int = 64,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
         if max_sessions < 1:
             raise ConfigurationError("max_sessions must be >= 1")
         self.monitor = monitor
         self.max_sessions = int(max_sessions)
+        self.backend = validate_backend_name(backend)
         self.stats = ServiceStats()
         self._sessions: dict[str, _Session] = {}
         self._free_slots: list[int] = list(range(max_sessions - 1, -1, -1))
         self._next_id = 0
-        # Window batches are allocated on the first feed, when the
-        # kinematics feature width becomes known.
+        # Window batches and per-tick scratch are allocated on the first
+        # feed, when the kinematics feature width becomes known.
         self._gesture_batch: StreamingWindowBatch | None = None
         self._error_batch: StreamingWindowBatch | None = None
         self._n_features: int | None = None
+        self._slots_scratch: np.ndarray | None = None
+        self._frames_scratch: np.ndarray | None = None
+        self._g_frames_scratch: np.ndarray | None = None
+        self._feature_idx: np.ndarray | None = None
         self._current_gesture = np.zeros(max_sessions, dtype=np.int64)
         self._current_score = np.zeros(max_sessions)
+        #: Backend cache per pipeline stage, keyed by the *model object*
+        #: the backend was built from — fit() rebinds ``.model`` to a new
+        #: object, so identity is the retrain signal.
+        self._gesture_backend: tuple[object, InferenceBackend] | None = None
+        self._error_backends: dict[Gesture, tuple[object, InferenceBackend]] = {}
+        self._build_backends()
+
+    def _make_backend(self, classifier) -> InferenceBackend:
+        """One backend for a classifier's (scaler, model), scratch sized
+        to the slot count."""
+        return make_backend(
+            self.backend,
+            classifier.scaler,
+            classifier.model,
+            max_batch=self.max_sessions,
+        )
+
+    def _build_backends(self) -> None:
+        """Compile every already-trained stage's backend up front."""
+        classifier = self.monitor.gesture_classifier
+        if classifier.model is not None:
+            self._gesture_backend = (classifier.model, self._make_backend(classifier))
+        for gesture, clf in self.monitor.library.classifiers.items():
+            if clf.model is not None:
+                self._error_backends[gesture] = (clf.model, self._make_backend(clf))
+
+    def _gesture_backend_or_none(self) -> InferenceBackend | None:
+        """The gesture-stage backend, tracking the classifier's model.
+
+        Backends are normally built at construction, but the pre-backend
+        engine looked the model up on every tick — so a stage trained
+        *after* the service was created must not be served as silently
+        all-safe, and a *retrained* stage (``fit`` rebinds ``.model`` to
+        a new object) must not keep serving stale weights.  Both are
+        caught here by comparing model identity.
+        """
+        classifier = self.monitor.gesture_classifier
+        model = classifier.model
+        if model is None:
+            self._gesture_backend = None
+            return None
+        if self._gesture_backend is None or self._gesture_backend[0] is not model:
+            self._gesture_backend = (model, self._make_backend(classifier))
+        return self._gesture_backend[1]
+
+    def _error_backend_or_none(
+        self, gesture: Gesture
+    ) -> InferenceBackend | None:
+        """The gesture's error-stage backend (same contract as above)."""
+        clf = self.monitor.library.classifiers.get(gesture)
+        if clf is None or clf.model is None:
+            self._error_backends.pop(gesture, None)
+            return None
+        cached = self._error_backends.get(gesture)
+        if cached is None or cached[0] is not clf.model:
+            cached = (clf.model, self._make_backend(clf))
+            self._error_backends[gesture] = cached
+        return cached[1]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -339,9 +503,10 @@ class MonitorService:
 
         Runs the gesture stage **once** over all gesture windows that
         became ready this tick, then the error stage once per distinct
-        active gesture over the ready error windows — one scaler
-        transform and one model forward per stage per tick, regardless of
-        how many sessions advanced.
+        active gesture over the ready error windows — one model forward
+        per stage per tick, regardless of how many sessions advanced.
+        The advanced slots and their popped frames are staged in
+        preallocated scratch (no per-tick slot/stack arrays).
 
         Returns
         -------
@@ -358,17 +523,32 @@ class MonitorService:
         if not active:
             return []
         start = time.perf_counter()
-        slots = np.array([s.slot for s in active])
-        frames = np.stack([s.pop_frame() for s in active])
+        assert (
+            self._gesture_batch is not None
+            and self._error_batch is not None
+            and self._slots_scratch is not None
+            and self._frames_scratch is not None
+        )
+        n_active = len(active)
+        slots = self._slots_scratch[:n_active]
+        frames = self._frames_scratch[:n_active]
+        for i, session in enumerate(active):
+            slots[i] = session.slot
+            session.pop_frame_into(frames[i])
 
-        assert self._gesture_batch is not None and self._error_batch is not None
-        classifier = self.monitor.gesture_classifier
-        feature_idx = classifier.config.feature_indices
-        g_frames = frames if feature_idx is None else frames[:, feature_idx]
+        if self._feature_idx is None:
+            g_frames = frames
+        else:
+            assert self._g_frames_scratch is not None
+            g_frames = self._g_frames_scratch[:n_active]
+            np.take(frames, self._feature_idx, axis=1, out=g_frames)
         g_ready, g_windows = self._gesture_batch.push(g_frames, slots)
-        if classifier.model is not None and g_ready.any():
-            x = classifier.scaler.transform(g_windows)
-            self._current_gesture[slots[g_ready]] = classifier.model.predict(x) + 1
+        if g_ready.any():
+            gesture_backend = self._gesture_backend_or_none()
+            if gesture_backend is not None:
+                self._current_gesture[slots[g_ready]] = (
+                    gesture_backend.predict(g_windows) + 1
+                )
 
         e_ready, e_windows = self._error_batch.push(frames, slots)
         if e_ready.any():
@@ -380,13 +560,15 @@ class MonitorService:
             # classifier score 0.0 (safe) — never a stale carry-over.
             new_scores = np.zeros(e_slots.size)
             for gesture_number in np.unique(gestures[known]):
-                clf = self.monitor.library.classifiers.get(
+                backend = self._error_backend_or_none(
                     Gesture(int(gesture_number))
                 )
-                if clf is None:
+                if backend is None:
                     continue
                 mask = gestures == gesture_number
-                new_scores[mask] = clf.predict_proba(e_windows[mask])
+                new_scores[mask] = backend.predict_proba(
+                    e_windows[mask]
+                ).reshape(-1)
             self._current_score[e_slots[known]] = new_scores[known]
 
         threshold = self.monitor.threshold
@@ -467,3 +649,10 @@ class MonitorService:
         self._error_batch = StreamingWindowBatch(
             self.monitor.config.error_window, self.max_sessions, n_features
         )
+        # Per-tick staging scratch: slot ids and one popped frame per
+        # advanced session, reused across every tick.
+        self._slots_scratch = np.empty(self.max_sessions, dtype=np.int64)
+        self._frames_scratch = np.empty((self.max_sessions, n_features))
+        if feature_idx is not None:
+            self._feature_idx = np.asarray(feature_idx, dtype=np.intp)
+            self._g_frames_scratch = np.empty((self.max_sessions, g_features))

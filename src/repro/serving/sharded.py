@@ -38,8 +38,9 @@ import numpy as np
 
 from ..core.pipeline import SafetyMonitor
 from ..errors import ConfigurationError, DatasetError, WorkerError
+from ..nn.backends import DEFAULT_BACKEND, validate_backend_name
 from .service import ServiceStats, SessionEvent, SessionResult
-from .snapshot import monitor_to_bytes
+from .snapshot import monitor_to_bytes, snapshot_backend
 from .transport import Reply, Request, raise_remote
 from .worker import worker_main
 
@@ -179,6 +180,17 @@ class ShardedMonitorService:
         Per-request timeout on worker replies.  ``None`` (default) waits
         indefinitely; set it to surface *hung* workers as crashes.  Dead
         workers are detected immediately regardless (broken pipe).
+    backend:
+        Inference backend every worker's engine runs (see
+        :data:`repro.nn.backends.BACKEND_NAMES`).  ``None`` resolves to
+        the choice embedded in ``monitor_bytes`` (see
+        :func:`~repro.serving.snapshot.monitor_to_bytes`), falling back
+        to ``"reference"``.  All K shards of this service — including
+        any spawned later — run the resolved plan, which is also
+        embedded in the snapshot when the service serialises a live
+        ``monitor`` itself.  Caller-supplied ``monitor_bytes`` are
+        shipped verbatim: an explicit ``backend`` override applies to
+        this fleet without rewriting the archive's own metadata.
 
     The façade mirrors the :class:`MonitorService` lifecycle —
     ``open_session`` / ``feed`` / ``tick`` / ``drain`` /
@@ -199,6 +211,7 @@ class ShardedMonitorService:
         start_method: str | None = None,
         request_timeout_s: float | None = None,
         hash_replicas: int = 64,
+        backend: str | None = None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("n_shards must be >= 1")
@@ -208,9 +221,21 @@ class ShardedMonitorService:
             raise ConfigurationError(
                 "pass exactly one of monitor / monitor_bytes"
             )
+        if backend is not None:
+            backend = validate_backend_name(backend)
         if monitor_bytes is None:
             assert monitor is not None
-            monitor_bytes = monitor_to_bytes(monitor)
+            self.backend = backend or DEFAULT_BACKEND
+            # Embed the resolved choice so this snapshot — and anything
+            # bootstrapped from it later — keeps running the same plan.
+            monitor_bytes = monitor_to_bytes(monitor, backend=self.backend)
+        else:
+            # A snapshot written by a newer (or tampered) producer may
+            # carry a name this version does not know — fail here with a
+            # clear error rather than letting every worker die at spawn.
+            self.backend = validate_backend_name(
+                backend or snapshot_backend(monitor_bytes) or DEFAULT_BACKEND
+            )
         self.monitor_bytes = monitor_bytes
         self.max_sessions_per_shard = int(max_sessions_per_shard)
         self.request_timeout_s = request_timeout_s
@@ -237,7 +262,12 @@ class ShardedMonitorService:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self.monitor_bytes, self.max_sessions_per_shard),
+            args=(
+                child_conn,
+                self.monitor_bytes,
+                self.max_sessions_per_shard,
+                self.backend,
+            ),
             name=f"monitor-shard-{index}",
             daemon=True,
         )
@@ -680,7 +710,7 @@ class ShardedMonitorService:
         for stats in self.shard_stats().values():
             merged.n_ticks += stats.n_ticks
             merged.frames_processed += stats.frames_processed
-            merged.tick_ms.extend(stats.tick_ms)
+            merged.extend_ms(stats.tick_ms)
         return merged
 
     # ------------------------------------------------------------------

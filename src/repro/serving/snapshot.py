@@ -37,6 +37,7 @@ from ..nn import (
     load_model_bytes,
     save_model_bytes,
 )
+from ..nn.backends import validate_backend_name
 
 #: Bumped when the archive layout changes; readers reject other versions.
 SNAPSHOT_VERSION = 1
@@ -64,7 +65,7 @@ def _window_pair(config: WindowConfig) -> list[int]:
     return [int(config.window), int(config.stride)]
 
 
-def monitor_to_bytes(monitor: SafetyMonitor) -> bytes:
+def monitor_to_bytes(monitor: SafetyMonitor, backend: str | None = None) -> bytes:
     """Serialise a trained monitor into one in-memory ``.npz`` archive.
 
     Captures everything inference needs — gesture-stage model, scaler and
@@ -72,6 +73,12 @@ def monitor_to_bytes(monitor: SafetyMonitor) -> bytes:
     its model, scaler and decision threshold; constant (always-safe)
     gestures; monitor windows and unsafe threshold.  Raises
     :class:`~repro.errors.NotFittedError` when either stage is untrained.
+
+    ``backend`` optionally embeds an inference-backend choice (one of
+    :data:`repro.nn.backends.BACKEND_NAMES`) in the archive, so every
+    worker bootstrapped from this snapshot runs the same plan —
+    :class:`~repro.serving.sharded.ShardedMonitorService` reads it via
+    :func:`snapshot_backend` when no explicit backend is passed.
     """
     classifier = monitor.gesture_classifier
     if classifier.model is None:
@@ -106,6 +113,13 @@ def monitor_to_bytes(monitor: SafetyMonitor) -> bytes:
     meta = {
         "version": SNAPSHOT_VERSION,
         "threshold": float(monitor.threshold),
+        # Optional serving preferences; readers tolerate their absence,
+        # so older archives stay loadable under SNAPSHOT_VERSION 1.
+        "serving": (
+            {"backend": validate_backend_name(backend)}
+            if backend is not None
+            else {}
+        ),
         "monitor_config": {
             "gesture_window": _window_pair(monitor.config.gesture_window),
             "error_window": _window_pair(monitor.config.error_window),
@@ -143,6 +157,33 @@ def monitor_to_bytes(monitor: SafetyMonitor) -> bytes:
     return buffer.getvalue()
 
 
+def _read_meta(archive) -> dict:
+    """Parse and version-check an open archive's ``__meta__`` entry.
+
+    Shared by every reader so a future ``SNAPSHOT_VERSION`` bump or
+    layout change cannot make :func:`snapshot_backend` and
+    :func:`monitor_from_bytes` disagree on which archives load.
+    """
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported monitor snapshot version {meta.get('version')!r}"
+        )
+    return meta
+
+
+def snapshot_backend(data: bytes) -> str | None:
+    """Inference-backend choice embedded in a snapshot, or ``None``.
+
+    Reads only the archive's metadata — no models are rebuilt, so the
+    sharded router can resolve its fleet-wide backend before any worker
+    spawns.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        meta = _read_meta(archive)
+    return meta.get("serving", {}).get("backend")
+
+
 def monitor_from_bytes(data: bytes) -> SafetyMonitor:
     """Rebuild a :class:`SafetyMonitor` from :func:`monitor_to_bytes` output.
 
@@ -151,11 +192,7 @@ def monitor_from_bytes(data: bytes) -> SafetyMonitor:
     statistic-for-statistic, and inference is batch-size invariant.
     """
     with np.load(io.BytesIO(data)) as archive:
-        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-        if meta.get("version") != SNAPSHOT_VERSION:
-            raise ConfigurationError(
-                f"unsupported monitor snapshot version {meta.get('version')!r}"
-            )
+        meta = _read_meta(archive)
 
         g_meta = meta["gesture"]
         feature_indices = None

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..nn.backends import DEFAULT_BACKEND
 from .service import MonitorService
 from .snapshot import monitor_from_bytes
 from .transport import Reply, Request, error_reply
@@ -58,7 +59,9 @@ def _dispatch(service: MonitorService, request: Request) -> Reply:
     return Reply(ok=False, error_type="WorkerError", error=f"unknown op {op!r}")
 
 
-def worker_main(conn, monitor_blob: bytes, max_sessions: int) -> None:
+def worker_main(
+    conn, monitor_blob: bytes, max_sessions: int, backend: str = DEFAULT_BACKEND
+) -> None:
     """Serve one shard until ``stop`` or the pipe closes.
 
     Parameters
@@ -70,9 +73,13 @@ def worker_main(conn, monitor_blob: bytes, max_sessions: int) -> None:
         bootstrap the shard's :class:`SafetyMonitor` from.
     max_sessions:
         Slot capacity of this shard's :class:`MonitorService`.
+    backend:
+        Inference backend name for this shard's engine.  The router
+        passes every shard the same resolved choice so a K-shard fleet
+        runs one plan (see :data:`repro.nn.backends.BACKEND_NAMES`).
     """
     monitor = monitor_from_bytes(monitor_blob)
-    service = MonitorService(monitor, max_sessions=max_sessions)
+    service = MonitorService(monitor, max_sessions=max_sessions, backend=backend)
     while True:
         try:
             request: Request = conn.recv()

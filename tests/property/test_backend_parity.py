@@ -1,0 +1,82 @@
+"""Property test: compiled plans match the reference on random models.
+
+Sweeps randomised trained models — conv / LSTM / dense mixes, random
+widths and windows, both probability heads, scalers fitted on random
+data — and asserts the float64 :class:`CompiledBackend` reproduces
+:class:`ReferenceBackend` probabilities within the documented
+``atol=1e-6`` contract (including the chunked oversize-batch path), for
+every architecture the serving engine can host.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.backends import CompiledBackend, ReferenceBackend
+
+MAX_BATCH = 8
+
+
+def build_model(arch, window, features, widths, n_out, use_bn, seed):
+    layers = []
+    if arch == "conv":
+        for filters in widths:
+            layers.append(nn.Conv1D(filters, kernel_size=3, padding="same"))
+            layers.append(nn.ReLU())
+        if use_bn:
+            layers.append(nn.BatchNorm())
+        layers.append(nn.GlobalAveragePool1D())
+    elif arch == "lstm":
+        for i, units in enumerate(widths):
+            layers.append(nn.LSTM(units, return_sequences=i < len(widths) - 1))
+        if use_bn:
+            layers.append(nn.BatchNorm())
+    else:  # dense-first time-distributed head
+        layers.append(nn.Dense(widths[0]))
+        layers.append(nn.Tanh())
+        layers.append(nn.Flatten())
+    layers.append(nn.Dense(4))
+    layers.append(nn.ReLU())
+    layers.append(nn.Dropout(0.25))
+    layers.append(nn.Dense(n_out))
+    model = nn.Sequential(layers, seed=seed)
+    model.build((window, features))
+    loss = (
+        nn.SigmoidBinaryCrossEntropy() if n_out == 1 else nn.SoftmaxCrossEntropy()
+    )
+    model.compile(loss, nn.Adam(1e-3))
+    return model
+
+
+@given(
+    arch=st.sampled_from(["conv", "lstm", "dense"]),
+    window=st.integers(3, 8),
+    features=st.integers(2, 8),
+    widths=st.lists(st.integers(2, 10), min_size=1, max_size=2),
+    n_out=st.sampled_from([1, 3, 7]),
+    use_bn=st.booleans(),
+    seed=st.integers(0, 2**16),
+    batch=st.integers(1, 2 * MAX_BATCH + 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_compiled_matches_reference_within_contract(
+    arch, window, features, widths, n_out, use_bn, seed, batch
+):
+    model = build_model(arch, window, features, widths, n_out, use_bn, seed)
+    rng = np.random.default_rng(seed)
+    scaler = nn.StandardScaler().fit(
+        rng.standard_normal((32, window, features)) * 1.5 + 0.5
+    )
+    bn = next((l for l in model.layers if isinstance(l, nn.BatchNorm)), None)
+    if bn is not None:
+        # Trained-looking running statistics, not the build-time 0/1.
+        bn.running_mean[...] = rng.standard_normal(bn.running_mean.shape)
+        bn.running_var[...] = rng.random(bn.running_var.shape) + 0.1
+    x = rng.standard_normal((batch, window, features)) * 2.0
+
+    reference = ReferenceBackend(scaler, model)
+    compiled = CompiledBackend(scaler, model, max_batch=MAX_BATCH)
+    np.testing.assert_allclose(
+        compiled.predict_proba(x), reference.predict_proba(x), atol=1e-6
+    )

@@ -218,17 +218,54 @@ class TestWarmupAndStats:
         assert result.unsafe_scores.size == 0
 
     def test_tick_history_is_bounded_but_totals_keep_counting(self):
-        from collections import deque
-
         from repro.serving import ServiceStats
 
-        stats = ServiceStats(tick_ms=deque(maxlen=4))
+        stats = ServiceStats(capacity=4)
         for i in range(10):
             stats.record(float(i), 2)
         assert stats.n_ticks == 10
         assert stats.frames_processed == 20
-        assert list(stats.tick_ms) == [6.0, 7.0, 8.0, 9.0]
+        # The ring keeps the most recent window, chronologically ordered.
+        assert stats.tick_ms.tolist() == [6.0, 7.0, 8.0, 9.0]
         assert stats.percentile_ms(50) == 7.5
+        assert stats.mean_ms() == 7.5
+
+    def test_stats_pickle_ships_samples_not_the_ring(self):
+        """Stats cross the worker pipe; the payload must scale with the
+        recorded samples, not the 65536-slot preallocated ring."""
+        import pickle
+
+        from repro.serving import ServiceStats
+
+        stats = ServiceStats()
+        for i in range(5):
+            stats.record(float(i), 1)
+        payload = pickle.dumps(stats)
+        assert len(payload) < 4096  # full ring would be ~512 KB
+        restored = pickle.loads(payload)
+        assert restored.capacity == stats.capacity
+        assert restored.n_ticks == 5
+        assert restored.frames_processed == 5
+        assert restored.tick_ms.tolist() == stats.tick_ms.tolist()
+        assert restored.percentile_ms(50) == stats.percentile_ms(50)
+        restored.record(99.0, 1)  # ring is functional after restore
+        assert restored.tick_ms.tolist()[-1] == 99.0
+
+    def test_stats_merge_preserves_recent_window(self):
+        """extend_ms folds another window in without touching counters —
+        the sharded stats() aggregation path."""
+        from repro.serving import ServiceStats
+
+        stats = ServiceStats(capacity=4)
+        stats.record(1.0, 1)
+        stats.extend_ms([2.0, 3.0])
+        assert stats.tick_ms.tolist() == [1.0, 2.0, 3.0]
+        assert stats.n_ticks == 1  # counters are record()'s job
+        stats.extend_ms(np.arange(10.0))  # overflow keeps the tail
+        assert stats.tick_ms.tolist() == [6.0, 7.0, 8.0, 9.0]
+        # Wrap-around split write.
+        stats.extend_ms([20.0, 21.0, 22.0])
+        assert stats.tick_ms.tolist() == [9.0, 20.0, 21.0, 22.0]
 
     def test_events_match_timeline(self, monitor):
         trajectory = make_random_walk_trajectory(25, n_features=N_FEATURES, seed=50)
@@ -240,6 +277,175 @@ class TestWarmupAndStats:
         assert [e.gesture for e in events] == result.gestures.tolist()
         assert [e.score for e in events] == result.unsafe_scores.tolist()
         assert [int(e.flag) for e in events] == result.unsafe_flags.tolist()
+
+
+class TestBackendSelection:
+    """The serving parity matrix under the compiled backends.
+
+    The reference backend carries the existing bit-exact contract (every
+    other test in this file runs it); the compiled plans must agree with
+    it within atol=1e-6 on scores with identical gesture streams, across
+    multi-session fleets, staggered joins and chunked feeds.
+    """
+
+    def _fleet_results(self, monitor, trajectories, backend):
+        service = MonitorService(
+            monitor, max_sessions=len(trajectories), backend=backend
+        )
+        ids = []
+        for trajectory in trajectories:
+            session_id = service.open_session()
+            half = trajectory.n_frames // 2
+            service.feed(session_id, trajectory.frames[:half])
+            service.feed(session_id, trajectory.frames[half:])
+            ids.append(session_id)
+        service.drain(collect=False)
+        return [service.close_session(session_id) for session_id in ids]
+
+    @pytest.mark.parametrize("backend", ["compiled", "compiled-f32"])
+    def test_fleet_matches_reference_within_tolerance(self, monitor, backend):
+        trajectories = [
+            make_random_walk_trajectory(50 + 7 * i, n_features=N_FEATURES, seed=70 + i)
+            for i in range(5)
+        ]
+        reference = self._fleet_results(monitor, trajectories, "reference")
+        compiled = self._fleet_results(monitor, trajectories, backend)
+        atol = 1e-6 if backend == "compiled" else 5e-4
+        for ref, comp in zip(reference, compiled):
+            assert np.array_equal(ref.gestures, comp.gestures)
+            np.testing.assert_allclose(
+                comp.unsafe_scores, ref.unsafe_scores, atol=atol
+            )
+
+    def test_stream_backend_selection(self, monitor):
+        trajectory = make_random_walk_trajectory(40, n_features=N_FEATURES, seed=77)
+        reference = list(monitor.stream(trajectory))
+        compiled = list(monitor.stream(trajectory, backend="compiled"))
+        assert [e[1] for e in reference] == [e[1] for e in compiled]
+        np.testing.assert_allclose(
+            [e[2] for e in compiled], [e[2] for e in reference], atol=1e-6
+        )
+
+    def test_unknown_backend_rejected(self, monitor):
+        with pytest.raises(ConfigurationError, match="unknown inference backend"):
+            MonitorService(monitor, max_sessions=1, backend="turbo")
+
+    def test_retrained_models_are_picked_up(self):
+        """fit() rebinds .model to a new object; the service must serve
+        the new weights on the next tick, never a stale backend — the
+        pre-backend engine looked the model up every tick."""
+        monitor_a = make_synthetic_monitor(n_features=N_FEATURES, seed=7)
+        monitor_b = make_synthetic_monitor(n_features=N_FEATURES, seed=8)
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=7)
+        service = MonitorService(monitor, max_sessions=1)
+        trajectory = make_random_walk_trajectory(40, n_features=N_FEATURES, seed=9)
+
+        def run_session():
+            session_id = service.open_session()
+            service.feed(session_id, trajectory.frames)
+            service.drain(collect=False)
+            return service.close_session(session_id)
+
+        first = run_session()
+        # "Retrain" both stages: swap in differently-seeded models (and
+        # their scalers, as fit() refits those in place).
+        monitor.gesture_classifier.model = monitor_b.gesture_classifier.model
+        monitor.gesture_classifier.scaler = monitor_b.gesture_classifier.scaler
+        monitor.library.classifiers = monitor_b.library.classifiers
+        second = run_session()
+        ref_a = stream_reference(monitor_a, trajectory)
+        ref_b = stream_reference(monitor_b, trajectory)
+        assert np.array_equal(first.gestures, ref_a[0])
+        assert np.array_equal(first.unsafe_scores, ref_a[1])
+        assert np.array_equal(second.gestures, ref_b[0])
+        assert np.array_equal(second.unsafe_scores, ref_b[1])
+
+    def test_models_trained_after_construction_are_served(self):
+        """A service created before the monitor's stages were trained
+        must pick the models up on their first tick — never silently
+        stream all-safe events for a now-trained monitor."""
+        trained = make_synthetic_monitor(n_features=N_FEATURES, seed=5)
+        untrained = make_synthetic_monitor(n_features=N_FEATURES, seed=5)
+        untrained.gesture_classifier.model = None
+        untrained.library.classifiers = {}
+        service = MonitorService(untrained, max_sessions=1)
+        # Stages arrive after construction (e.g. trained in place).
+        untrained.gesture_classifier.model = trained.gesture_classifier.model
+        untrained.library.classifiers = trained.library.classifiers
+        trajectory = make_random_walk_trajectory(40, n_features=N_FEATURES, seed=6)
+        session_id = service.open_session()
+        service.feed(session_id, trajectory.frames)
+        service.drain(collect=False)
+        result = service.close_session(session_id)
+        ref_gestures, ref_scores = stream_reference(trained, trajectory)
+        assert np.array_equal(result.gestures, ref_gestures)
+        assert np.array_equal(result.unsafe_scores, ref_scores)
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_gesture_feature_subset_path(self, backend):
+        """A gesture stage configured with feature_indices sees exactly
+        the selected columns (the preallocated np.take scratch path),
+        under both backends."""
+        from repro import nn
+        from repro.kinematics.windows import sliding_windows
+
+        idx = np.array([1, 4, 8])
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=3)
+        classifier = monitor.gesture_classifier
+        classifier.config.feature_indices = idx
+        classifier.model = classifier._build_model()
+        window = classifier.config.window
+        classifier.model.build((window.window, idx.size))
+        rng = np.random.default_rng(99)
+        classifier.scaler = nn.StandardScaler()
+        classifier.scaler.fit(
+            rng.standard_normal((64, window.window, idx.size))
+        )
+
+        trajectory = make_random_walk_trajectory(
+            40, n_features=N_FEATURES, seed=4
+        )
+        service = MonitorService(monitor, max_sessions=1, backend=backend)
+        session_id = service.open_session()
+        service.feed(session_id, trajectory.frames)
+        events = service.drain()
+
+        windows, ends = sliding_windows(trajectory.frames[:, idx], window)
+        expected = (
+            classifier.model.predict(classifier.scaler.transform(windows)) + 1
+        )
+        got = [e.gesture for e in events]
+        assert got[: window.window - 1] == [0] * (window.window - 1)
+        assert got[window.window - 1 :] == expected.tolist()
+
+    def test_compiled_tick_reuses_backend_scratch(self, monitor):
+        """Steady-state ticks drive every model forward through the same
+        preallocated plan buffers — the no-per-tick-allocation contract
+        at the service level."""
+        service = MonitorService(monitor, max_sessions=4, backend="compiled")
+        for i in range(4):
+            session_id = service.open_session()
+            service.feed(
+                session_id,
+                make_random_walk_trajectory(
+                    30, n_features=N_FEATURES, seed=90 + i
+                ).frames,
+            )
+        for _ in range(10):  # warm up past both stages' windows
+            service.tick()
+        backends = [
+            service._gesture_backend[1],
+            *(backend for _, backend in service._error_backends.values()),
+        ]
+        pointers = {
+            id(b): [buf.__array_interface__["data"][0] for buf in b.scratch_arrays()]
+            for b in backends
+        }
+        service.drain(collect=False)
+        for b in backends:
+            assert [
+                buf.__array_interface__["data"][0] for buf in b.scratch_arrays()
+            ] == pointers[id(b)]
 
 
 class TestSyntheticMonitor:

@@ -128,6 +128,97 @@ class TestShardedParity:
                 assert np.array_equal(result.unsafe_scores, np.asarray(scores))
 
 
+class TestBackendSelection:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_sharded_compiled_matches_local_compiled(self, monitor, n_shards):
+        """The parity matrix under the compiled backend: K shards
+        reproduce one local compiled MonitorService — gestures, event
+        order and flags exactly, scores bit-for-bit, because every
+        worker compiles the identical plan from the same snapshot and
+        sees the same per-shard batches."""
+        fleet = make_fleet(5, base_seed=950, frames=30)
+        local = MonitorService(monitor, max_sessions=8, backend="compiled")
+        with ShardedMonitorService(
+            monitor,
+            n_shards=n_shards,
+            max_sessions_per_shard=8,
+            backend="compiled",
+        ) as service:
+            assert service.backend == "compiled"
+            for session_id, trajectory in fleet.items():
+                for target in (service, local):
+                    target.open_session(session_id)
+                    target.feed(session_id, trajectory.frames)
+            sharded_events = service.drain()
+            local_events = local.drain()
+        assert [
+            (e.session_id, e.frame_index, e.gesture, e.flag)
+            for e in sharded_events
+        ] == [
+            (e.session_id, e.frame_index, e.gesture, e.flag)
+            for e in local_events
+        ]
+        if n_shards == 1:
+            # One shard sees the exact batches the local engine saw, so
+            # even the BLAS path reproduces scores bit for bit.
+            assert [e.score for e in sharded_events] == [
+                e.score for e in local_events
+            ]
+        else:
+            np.testing.assert_allclose(
+                [e.score for e in sharded_events],
+                [e.score for e in local_events],
+                atol=1e-6,
+            )
+
+    def test_backend_resolves_from_snapshot(self, monitor):
+        """A snapshot carrying a backend choice configures the whole
+        fleet; an explicit argument overrides it."""
+        from repro.serving import monitor_to_bytes
+
+        blob = monitor_to_bytes(monitor, backend="compiled")
+        with ShardedMonitorService(
+            monitor_bytes=blob, n_shards=1, max_sessions_per_shard=2
+        ) as service:
+            assert service.backend == "compiled"
+        with ShardedMonitorService(
+            monitor_bytes=blob,
+            n_shards=1,
+            max_sessions_per_shard=2,
+            backend="reference",
+        ) as service:
+            assert service.backend == "reference"
+
+    def test_unknown_backend_rejected_before_spawning(self, monitor):
+        with pytest.raises(ConfigurationError, match="unknown inference backend"):
+            ShardedMonitorService(monitor, n_shards=1, backend="turbo")
+
+    def test_tampered_snapshot_backend_rejected_before_spawning(self, monitor):
+        """An unknown backend name inside the snapshot must fail at
+        construction, not as opaque worker crashes at spawn."""
+        import io
+        import json
+
+        from repro.serving import monitor_to_bytes
+
+        blob = monitor_to_bytes(monitor)
+        with np.load(io.BytesIO(blob)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+        meta["serving"] = {"backend": "turbo"}
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        with pytest.raises(ConfigurationError, match="unknown inference backend"):
+            ShardedMonitorService(
+                monitor_bytes=buffer.getvalue(),
+                n_shards=1,
+                max_sessions_per_shard=2,
+            )
+
+
 class TestPlacementAndLifecycle:
     def test_placement_is_deterministic_and_uses_multiple_shards(self, monitor):
         with ShardedMonitorService(

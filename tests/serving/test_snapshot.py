@@ -11,6 +11,7 @@ from repro.serving import (
     make_synthetic_monitor,
     monitor_from_bytes,
     monitor_to_bytes,
+    snapshot_backend,
 )
 
 N_FEATURES = 10
@@ -67,6 +68,27 @@ class TestRoundTrip:
     def test_snapshot_is_deterministic(self):
         monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=4)
         assert monitor_to_bytes(monitor) == monitor_to_bytes(monitor)
+
+
+class TestBackendChoice:
+    def test_backend_round_trips(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        blob = monitor_to_bytes(monitor, backend="compiled-f32")
+        assert snapshot_backend(blob) == "compiled-f32"
+        # The embedded choice does not disturb the model payload.
+        restored = monitor_from_bytes(blob)
+        trajectory = make_random_walk_trajectory(40, n_features=N_FEATURES, seed=1)
+        a, b = monitor.process(trajectory), restored.process(trajectory)
+        assert np.array_equal(a.unsafe_scores, b.unsafe_scores)
+
+    def test_backend_defaults_to_none(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        assert snapshot_backend(monitor_to_bytes(monitor)) is None
+
+    def test_unknown_backend_rejected_at_serialisation(self):
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        with pytest.raises(ConfigurationError, match="unknown inference backend"):
+            monitor_to_bytes(monitor, backend="turbo")
 
 
 class TestValidation:
