@@ -1,0 +1,266 @@
+"""Benchmark: remote ingest — concurrent socket sessions into the gateway.
+
+Drives a :class:`repro.serving.MonitorGateway` over **real TCP
+sockets**: N concurrent :class:`AsyncRemoteMonitorClient` connections
+(one session each) open in a barrier, stream their synthetic
+trajectories in chunks, and consume their event streams to completion.
+One row per gateway topology (1 embedded engine / 2 shard workers):
+aggregate frames per second over the wire, p50/p99 engine tick latency,
+the peak number of concurrently open socket sessions, and the fail-safe
+counters (which must stay at zero on a healthy run).
+
+The contract rows exercise ``--sessions 64`` (default): the gateway
+must *sustain* 64 concurrent socket sessions — all opened before the
+first frame, all completing with their full event streams — which
+``--check-remote`` gates in the perf CI job (core-gated like the other
+wall-clock gates; single-core runners still print the rows).
+
+Results merge into the same ``BENCH_serving.json`` the serving
+throughput benchmark writes (under the ``"remote"`` key), so one
+artifact tracks the whole serving perf trajectory.
+
+Run:  PYTHONPATH=src python benchmarks/bench_remote_ingest.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.serving import (
+    AsyncRemoteMonitorClient,
+    MonitorGateway,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+    monitor_to_bytes,
+)
+
+N_FEATURES = 38
+CHUNK = 30  # frames per FRAME message: one second of 30 Hz kinematics
+
+
+async def drive_session(
+    host: str,
+    port: int,
+    session_id: str,
+    frames: np.ndarray,
+    barrier: asyncio.Barrier,
+) -> int:
+    """One client connection: open, sync on the barrier, stream, close."""
+    try:
+        client = await AsyncRemoteMonitorClient.connect(host, port)
+        await client.open_session(session_id)
+    except BaseException:
+        # A party that never reaches the barrier would deadlock every
+        # other waiter; break the barrier so the failure surfaces.
+        await barrier.abort()
+        raise
+    try:
+        # Every session is open before any frame flows: the gateway
+        # provably holds all N sessions concurrently.
+        await barrier.wait()
+        n_frames = frames.shape[0]
+        received = 0
+
+        async def consume():
+            nonlocal received
+            async for event in client.events():
+                assert event.error is None, f"fail-safe event: {event.error}"
+                received += 1
+                if received == n_frames:
+                    return
+
+        consumer = asyncio.create_task(consume())
+        for start in range(0, n_frames, CHUNK):
+            await client.feed(session_id, frames[start : start + CHUNK])
+        await consumer
+        summary = await client.close_session(session_id)
+        assert summary["n_frames"] == n_frames
+        return received
+    finally:
+        await client.aclose()
+
+
+async def run_remote(
+    monitor_bytes: bytes, n_sessions: int, n_frames: int, n_shards: int
+) -> dict:
+    """One row: ``n_sessions`` socket sessions against one gateway."""
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=i)
+        for i in range(n_sessions)
+    ]
+    async with MonitorGateway(
+        monitor_bytes=monitor_bytes,
+        n_shards=n_shards,
+        max_sessions=n_sessions,  # headroom: hash placement is uneven
+    ) as gateway:
+        barrier = asyncio.Barrier(n_sessions + 1)
+        tasks = [
+            asyncio.create_task(
+                drive_session(
+                    gateway.host,
+                    gateway.port,
+                    f"bench-{i:03d}",
+                    trajectories[i].frames,
+                    barrier,
+                )
+            )
+            for i in range(n_sessions)
+        ]
+        try:
+            await barrier.wait()  # every session is open; start the clock
+        except asyncio.BrokenBarrierError:
+            pass  # a client failed pre-barrier; gather reports the cause
+        start = time.perf_counter()
+        received = await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - start
+        stats = await gateway.gateway_stats()
+        shard_stats = await gateway.shard_stats()
+    tick_ms = (
+        np.concatenate([s.tick_ms for s in shard_stats.values()])
+        if shard_stats
+        else np.zeros(0)
+    )
+    total_frames = int(sum(received))
+    return {
+        "sessions": n_sessions,
+        "shards": n_shards,
+        "backend": "reference",
+        "frames": total_frames,
+        "fps": total_frames / elapsed,
+        "tick_p50_ms": float(np.percentile(tick_ms, 50)) if tick_ms.size else 0.0,
+        "tick_p99_ms": float(np.percentile(tick_ms, 99)) if tick_ms.size else 0.0,
+        "peak_concurrent_sessions": stats["sessions"]["peak_open"],
+        "failed_sessions": stats["sessions"]["failed_total"],
+        "overflow_disconnects": stats["connections"]["overflow_disconnects"],
+    }
+
+
+def merge_report(path: str, rows: list[dict], summary: dict) -> None:
+    """Fold the remote rows into the shared ``BENCH_serving.json``."""
+    report: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            report = {}
+    report["remote"] = rows
+    report.setdefault("summary", {}).update(summary)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short trajectories for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=64,
+        help="concurrent socket sessions per row (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, help="frames per session (override)"
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_serving.json",
+        help="report to merge the remote rows into (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-remote",
+        action="store_true",
+        help=(
+            "exit non-zero unless every row sustained all --sessions "
+            "concurrent socket sessions with zero fail-safe closures "
+            "(only enforced when >= 2 CPU cores are visible; 1-core "
+            "runners still print the rows)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.sessions < 1:
+        parser.error("--sessions must be >= 1")
+    if args.frames is not None and args.frames < 1:
+        parser.error("--frames must be >= 1")
+    n_frames = args.frames if args.frames is not None else (120 if args.smoke else 600)
+    n_cores = os.cpu_count() or 1
+
+    monitor_bytes = monitor_to_bytes(
+        make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+    )
+    print(
+        f"remote ingest — {args.sessions} socket sessions, "
+        f"{n_frames} frames/session, {N_FEATURES} features, "
+        f"{n_cores} CPU core(s) visible"
+    )
+    print(
+        f"{'shards':>8} {'sessions':>8} {'peak open':>9} {'fps':>10} "
+        f"{'tick p50':>9} {'tick p99':>9} {'failed':>7}"
+    )
+    rows = []
+    for n_shards in (1, 2):
+        row = asyncio.run(
+            run_remote(monitor_bytes, args.sessions, n_frames, n_shards)
+        )
+        rows.append(row)
+        print(
+            f"{row['shards']:>8} {row['sessions']:>8} "
+            f"{row['peak_concurrent_sessions']:>9} {row['fps']:>10.0f} "
+            f"{row['tick_p50_ms']:>7.2f}ms {row['tick_p99_ms']:>7.2f}ms "
+            f"{row['failed_sessions']:>7}"
+        )
+
+    sustained = min(row["peak_concurrent_sessions"] for row in rows)
+    summary = {
+        "remote_sessions_sustained": sustained,
+        "remote_fps_1shard": rows[0]["fps"],
+    }
+    print(
+        f"\nsustained {sustained} concurrent socket sessions "
+        f"(contract: >= 64); 1-shard wire throughput {rows[0]['fps']:.0f} "
+        f"frames/s"
+    )
+    merge_report(args.json, rows, summary)
+    print(f"merged remote rows into {args.json}")
+
+    if args.check_remote:
+        if n_cores < 2:
+            print(
+                "check-remote: skipped (needs >= 2 cores for a stable "
+                "measurement)"
+            )
+            return 0
+        for row in rows:
+            if row["peak_concurrent_sessions"] < args.sessions:
+                print(
+                    f"FAIL: {row['shards']}-shard row peaked at "
+                    f"{row['peak_concurrent_sessions']} concurrent sessions "
+                    f"(< {args.sessions})",
+                    file=sys.stderr,
+                )
+                return 1
+            if row["failed_sessions"] or row["overflow_disconnects"]:
+                print(
+                    f"FAIL: {row['shards']}-shard row had "
+                    f"{row['failed_sessions']} fail-safe closures / "
+                    f"{row['overflow_disconnects']} overflow disconnects",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

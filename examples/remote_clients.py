@@ -1,0 +1,141 @@
+"""Remote ingest demo: a gateway serving N concurrent socket clients.
+
+Boots a :class:`repro.serving.MonitorGateway` (choose the embedded
+engine with ``--shards 1`` or a sharded worker fleet with ``--shards 2+``)
+and drives it the way a robot fleet would: one
+:class:`AsyncRemoteMonitorClient` TCP connection per operating theatre,
+each streaming its synthetic procedure in ~1-second kinematics chunks
+while consuming its own live event stream.  Flagged (unsafe) events are
+printed as they arrive; the run ends with each session's close summary
+and the ``gateway_stats()`` aggregate — connections, frames over the
+wire, per-shard tick latency — i.e. the operator's view described in
+``docs/remote.md``.
+
+The monitor uses deterministic synthetic weights so the demo starts
+instantly; because serving is parity-locked, each theatre's event
+stream is bit-identical to what a local ``MonitorService`` (or the
+paper's ``stream()`` replay) would produce for the same frames.
+
+Run:  PYTHONPATH=src python examples/remote_clients.py [--clients 6] [--shards 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+from repro.serving import (
+    AsyncRemoteMonitorClient,
+    MonitorGateway,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+)
+
+N_FEATURES = 38
+CHUNK = 30  # one second of 30 Hz kinematics per FRAME message
+
+
+async def theatre(
+    host: str, port: int, session_id: str, frames, quiet_until: int = 5
+) -> dict:
+    """One operating theatre: its own connection, session and stream."""
+    client = await AsyncRemoteMonitorClient.connect(host, port)
+    try:
+        await client.open_session(session_id)
+        n_frames = frames.shape[0]
+        alerts = 0
+
+        async def consume() -> None:
+            nonlocal alerts
+            received = 0
+            async for event in client.events():
+                received += 1
+                if event.flag:
+                    alerts += 1
+                    if alerts <= quiet_until:  # don't flood the console
+                        print(
+                            f"  ALERT {event.session_id} frame "
+                            f"{event.frame_index}: gesture G{event.gesture}, "
+                            f"unsafe score {event.score:.3f}"
+                        )
+                if received == n_frames:
+                    return
+
+        consumer = asyncio.create_task(consume())
+        for start in range(0, n_frames, CHUNK):
+            await client.feed(session_id, frames[start : start + CHUNK])
+            await asyncio.sleep(0)  # interleave with the other theatres
+        await consumer
+        summary = await client.close_session(session_id)
+        summary["alerts"] = alerts
+        return summary
+    finally:
+        await client.aclose()
+
+
+async def main_async(args: argparse.Namespace) -> None:
+    monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+    async with MonitorGateway(
+        monitor, n_shards=args.shards, max_sessions=args.clients
+    ) as gateway:
+        print(
+            f"Gateway on {gateway.host}:{gateway.port} — "
+            f"{args.shards} shard(s), backend {gateway.backend!r}"
+        )
+        trajectories = {
+            f"OR-{i + 1:02d}": make_random_walk_trajectory(
+                args.frames, n_features=N_FEATURES, seed=100 + i
+            )
+            for i in range(args.clients)
+        }
+        start = time.perf_counter()
+        summaries = await asyncio.gather(
+            *(
+                theatre(gateway.host, gateway.port, sid, t.frames)
+                for sid, t in trajectories.items()
+            )
+        )
+        elapsed = time.perf_counter() - start
+
+        print("\nPer-theatre summaries:")
+        for summary in sorted(summaries, key=lambda s: s["session_id"]):
+            print(
+                f"  {summary['session_id']}: {summary['n_frames']} frames, "
+                f"{summary['n_flagged']} flagged, "
+                f"{summary['alerts']} alerts seen live"
+            )
+
+        stats = await gateway.gateway_stats()
+        total = stats["frames_received"]
+        print(
+            f"\nGateway: {stats['connections']['total']} connection(s), "
+            f"{total} frames over the wire in {elapsed:.2f} s "
+            f"({total / elapsed:.0f} frames/s), "
+            f"{stats['events_sent']} events returned, "
+            f"peak {stats['sessions']['peak_open']} concurrent sessions"
+        )
+        for index in sorted(stats["shards"], key=int):
+            shard = stats["shards"][index]
+            print(
+                f"  shard {index}: {shard['frames_processed']:6d} frames in "
+                f"{shard['n_ticks']:5d} ticks — "
+                f"tick p50 {shard['tick_p50_ms']:.2f} ms, "
+                f"p99 {shard['tick_p99_ms']:.2f} ms"
+            )
+        assert not gateway.failed_sessions, "clean run must not fail-safe"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--frames", type=int, default=300)
+    args = parser.parse_args()
+    if min(args.clients, args.shards, args.frames) < 1:
+        parser.error("--clients/--shards/--frames must all be >= 1")
+    asyncio.run(main_async(args))
+
+
+if __name__ == "__main__":
+    main()

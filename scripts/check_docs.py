@@ -133,7 +133,11 @@ def check_mermaid(path: Path) -> list[str]:
 #: Modules whose ``__all__`` must be fully covered by docs/api.md.
 #: Add an entry when a new public surface grows an API-reference
 #: section.
-DOCUMENTED_MODULES = ("repro.serving", "repro.nn.backends")
+DOCUMENTED_MODULES = (
+    "repro.serving",
+    "repro.serving.remote",
+    "repro.nn.backends",
+)
 
 
 def check_api_coverage() -> list[str]:

@@ -42,3 +42,8 @@ class GestureError(ReproError, ValueError):
 
 class WorkerError(ReproError, RuntimeError):
     """A serving worker process died, hung, or rejected a request."""
+
+
+class ProtocolError(ReproError):
+    """A remote-ingest wire message was malformed, truncated, or of an
+    unsupported protocol version."""

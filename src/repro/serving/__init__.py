@@ -8,10 +8,18 @@ and a production deployment monitoring many procedures at once:
   pipeline stage runs once per tick instead of once per stream;
 - :mod:`~repro.serving.sharded` — :class:`ShardedMonitorService`, the
   scale-out layer fanning sessions across worker processes by
-  consistent hashing, each worker running its own ``MonitorService``;
+  consistent hashing, each worker running its own ``MonitorService``,
+  plus :func:`suggest_shard_count`, the autoscaling policy over
+  ``shard_stats()``;
 - :mod:`~repro.serving.async_frontend` — :class:`AsyncShardedMonitor`,
   the asyncio ingest/egress façade whose ``feed()``/``events()`` never
   block on a slow shard;
+- :mod:`~repro.serving.remote` — the network front door:
+  :class:`MonitorGateway` serves the engines over TCP with a compact
+  binary wire protocol, bounded per-connection send queues
+  (backpressure) and fail-safe disconnect semantics;
+  :class:`RemoteMonitorClient` / :class:`AsyncRemoteMonitorClient` are
+  the SDKs and :class:`GatewayRunner` the sync-world bridge;
 - :mod:`~repro.serving.snapshot` — :func:`monitor_to_bytes` /
   :func:`monitor_from_bytes`, the no-pickled-code monitor archive that
   bootstraps every worker process;
@@ -19,23 +27,33 @@ and a production deployment monitoring many procedures at once:
   monitors and trajectories for parity tests and throughput benchmarks.
 
 :meth:`repro.core.SafetyMonitor.stream` is a thin one-session wrapper
-over the same engine, so single-stream, fleet and sharded serving share
-one hot path and agree bit for bit.  Every entry point takes a
-``backend`` choice (:mod:`repro.nn.backends`): ``"reference"`` keeps
-the bit-exact contract, ``"compiled"``/``"compiled-f32"`` run the
-folded zero-allocation plans.  See ``docs/architecture.md`` and
-``docs/serving.md``.
+over the same engine, so single-stream, fleet, sharded and remote
+serving share one hot path and agree bit for bit.  Every entry point
+takes a ``backend`` choice (:mod:`repro.nn.backends`): ``"reference"``
+keeps the bit-exact contract, ``"compiled"``/``"compiled-f32"`` run the
+folded zero-allocation plans.  See ``docs/architecture.md``,
+``docs/serving.md`` and ``docs/remote.md``.
 """
 
 from .async_frontend import AsyncShardedMonitor
+from .remote import (
+    AsyncRemoteMonitorClient,
+    GatewayRunner,
+    MonitorGateway,
+    RemoteMonitorClient,
+)
 from .service import MonitorService, ServiceStats, SessionEvent, SessionResult
-from .sharded import ShardedMonitorService
+from .sharded import ShardedMonitorService, suggest_shard_count
 from .snapshot import monitor_from_bytes, monitor_to_bytes, snapshot_backend
 from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
 
 __all__ = [
+    "AsyncRemoteMonitorClient",
     "AsyncShardedMonitor",
+    "GatewayRunner",
+    "MonitorGateway",
     "MonitorService",
+    "RemoteMonitorClient",
     "ServiceStats",
     "SessionEvent",
     "SessionResult",
@@ -45,4 +63,5 @@ __all__ = [
     "monitor_from_bytes",
     "monitor_to_bytes",
     "snapshot_backend",
+    "suggest_shard_count",
 ]

@@ -31,7 +31,7 @@ from collections.abc import AsyncIterator
 import numpy as np
 
 from ..errors import WorkerError
-from .service import SessionEvent, SessionResult
+from .service import ServiceStats, SessionEvent, SessionResult
 from .sharded import ShardedMonitorService
 
 #: Sentinel pushed to the event queue when the front-end shuts down.
@@ -203,6 +203,27 @@ class AsyncShardedMonitor:
             for i in self._service.shard_indices
         ):
             await asyncio.sleep(0.001)
+
+    async def shard_stats(self) -> dict[int, "ServiceStats"]:
+        """Per-shard :class:`ServiceStats` without disturbing the tickers.
+
+        Each shard is polled under its own pipe lock — the same lock the
+        ticker and ``feed`` take — so the strict request/reply pipe
+        protocol is preserved while the fleet keeps serving.  Shards
+        that die under the poll are skipped (their crash events surface
+        through the usual fail-safe paths).  The remote gateway's
+        ``gateway_stats()`` aggregates this, and the dict feeds
+        :func:`~repro.serving.sharded.suggest_shard_count` directly.
+        """
+        out: dict[int, "ServiceStats"] = {}
+        for index in list(self._service.shard_indices):
+            try:
+                out[index] = await self._run_on_shard(
+                    index, self._service.stats_of, index
+                )
+            except WorkerError:
+                continue
+        return out
 
     async def events(self) -> AsyncIterator[SessionEvent]:
         """Merged event stream across all shards.

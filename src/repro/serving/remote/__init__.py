@@ -1,0 +1,62 @@
+"""Remote ingest: the network serving layer in front of the engines.
+
+The paper's monitor only helps in an operating room if live kinematics
+can reach it over a network with bounded latency.  This package is that
+front door:
+
+- :mod:`~repro.serving.remote.protocol` — the compact length-prefixed
+  binary wire protocol (struct-packed headers, float64 frame payloads,
+  OPEN/FRAME/CLOSE/EVENT/ERROR/HEARTBEAT/STATS message types);
+- :mod:`~repro.serving.remote.gateway` — :class:`MonitorGateway`, the
+  asyncio TCP server routing wire sessions into an embedded
+  :class:`~repro.serving.service.MonitorService` (K=1) or sharded
+  fleet, with per-connection bounded send queues (backpressure),
+  heartbeat/idle timeouts and fail-safe drain-and-close disconnect
+  semantics; :class:`GatewayRunner` bridges it into sync programs;
+- :mod:`~repro.serving.remote.client` — the SDKs:
+  :class:`RemoteMonitorClient` (blocking sockets) and
+  :class:`AsyncRemoteMonitorClient` (asyncio).
+
+The headline guarantee mirrors the rest of the serving stack: a session
+fed over a real socket reproduces the local engine's event stream bit
+for bit, order included (``tests/serving/test_remote.py``).  Protocol
+spec and operator guide: ``docs/remote.md``.
+"""
+
+from .client import AsyncRemoteMonitorClient, RemoteMonitorClient
+from .gateway import GatewayRunner, MonitorGateway
+from .protocol import (
+    HEADER_SIZE,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    MessageReader,
+    MessageType,
+    decode_events,
+    decode_frames,
+    decode_header,
+    decode_json,
+    encode_events,
+    encode_frames,
+    encode_json,
+    encode_message,
+)
+
+__all__ = [
+    "AsyncRemoteMonitorClient",
+    "GatewayRunner",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "MessageReader",
+    "MessageType",
+    "MonitorGateway",
+    "PROTOCOL_VERSION",
+    "RemoteMonitorClient",
+    "decode_events",
+    "decode_frames",
+    "decode_header",
+    "decode_json",
+    "encode_events",
+    "encode_frames",
+    "encode_json",
+    "encode_message",
+]

@@ -1,0 +1,551 @@
+"""Client SDKs for the remote ingest gateway: sync sockets and asyncio.
+
+Two clients over the same wire protocol
+(:mod:`~repro.serving.remote.protocol`):
+
+- :class:`RemoteMonitorClient` — blocking sockets, for robot-side
+  integrations, scripts and tests that live in synchronous code.  Every
+  read transparently answers gateway heartbeats and buffers event
+  messages, so control calls (``open_session``, ``close_session``,
+  ``gateway_stats``) and the event reader (``next_event``) can
+  interleave freely on one connection.
+- :class:`AsyncRemoteMonitorClient` — asyncio streams, for
+  fleet-scale ingest (the load benchmark drives 64+ of these
+  concurrently).  A background reader task demultiplexes the stream:
+  events flow to the ``events()`` async iterator, control replies
+  resolve the awaiting call, heartbeats are echoed.
+
+Shared semantics:
+
+- ``feed`` is **unacknowledged** — frames stream at full rate and
+  backpressure is TCP itself (``sendall`` / ``writer.drain()`` block
+  when the gateway falls behind).  A feed the gateway rejects (wrong
+  width, unknown session) arrives as an ERROR message and is raised by
+  the *next* call that reads the stream.
+- gateway-side failures re-raise as their original
+  :mod:`repro.errors` types (same mapping as the shard transport), so
+  remote and local engines fail identically at the call site.
+- an event with ``error`` set is a terminal fail-safe notice for its
+  session (worker crash at the gateway), carrying ``flag=True``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from collections import deque
+from collections.abc import AsyncIterator
+
+import numpy as np
+
+from ... import errors
+from ...errors import ProtocolError, WorkerError
+from ..service import SessionEvent
+from .protocol import (
+    HEADER_SIZE,
+    MessageReader,
+    MessageType,
+    decode_events,
+    decode_header,
+    decode_json,
+    encode_frames,
+    encode_json,
+    encode_message,
+)
+
+
+def _gateway_exception(info: dict) -> Exception:
+    """Rebuild a gateway ERROR payload as its original exception type.
+
+    Mirrors :func:`repro.serving.transport.raise_remote`: names inside
+    the :mod:`repro.errors` hierarchy come back as that class, anything
+    else degrades to :class:`WorkerError` carrying the original name.
+    """
+    error_type = info.get("error_type") or ""
+    message = info.get("error") or ""
+    cls = getattr(errors, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, errors.ReproError):
+        return cls(message)
+    return WorkerError(f"{error_type}: {message}")
+
+
+class RemoteMonitorClient:
+    """Synchronous gateway client over one blocking TCP connection.
+
+    ::
+
+        with RemoteMonitorClient(host, port) as client:
+            sid = client.open_session("theatre-7")
+            client.feed(sid, frames)                # (n, n_features) float64
+            for event in client.events_for(sid, n_frames):
+                ...
+            summary = client.close_session(sid)     # {"n_frames", "n_flagged"}
+
+    One connection can multiplex many sessions.  All methods may raise
+    the gateway's re-mapped :mod:`repro.errors` exceptions; a dead
+    gateway surfaces as :class:`WorkerError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self.timeout_s = timeout_s
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = MessageReader()
+        self._events: deque[SessionEvent] = deque()
+        #: Reply types still owed by the gateway for requests that were
+        #: answered by an *asynchronous* ERROR instead (e.g. a rejected
+        #: feed raising out of a stats call); swallowed when they arrive.
+        self._stale: deque[MessageType] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "RemoteMonitorClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection.  Sessions still open on it are ended
+        fail-safe by the gateway (drain-and-close, ``error`` set)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, msg_type: MessageType, payload: bytes = b"") -> None:
+        if self._closed:
+            raise WorkerError("client is closed")
+        try:
+            self._sock.sendall(encode_message(msg_type, payload))
+        except OSError as exc:
+            raise WorkerError(f"gateway connection lost: {exc}") from exc
+
+    def _read_next(self) -> tuple[MessageType, bytes]:
+        """One complete message off the stream (blocking)."""
+        while True:
+            message = self._reader.next_message()
+            if message is not None:
+                return message
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise TimeoutError(
+                    f"no gateway message within {self._sock.gettimeout()}s"
+                ) from exc
+            except OSError as exc:
+                raise WorkerError(f"gateway connection lost: {exc}") from exc
+            if not data:
+                raise WorkerError("gateway closed the connection")
+            self._reader.feed(data)
+
+    def _read_until(self, expected: MessageType | None) -> bytes | None:
+        """The one demux loop: read until ``expected`` arrives, or —
+        with ``expected=None`` — until at least one event is buffered.
+
+        Along the way: heartbeats are echoed, events buffered, and
+        mapped ERRORs raised.  An ERROR not attributed to this request
+        (``in_reply_to``) is an asynchronous failure — e.g. a rejected
+        unacked feed; it is raised here while the still-owed
+        ``expected`` reply is marked *stale* so a later read swallows it
+        (reply or attributed ERROR alike, FIFO) instead of
+        desynchronising the stream.  A read timeout likewise marks the
+        owed reply stale before propagating.
+        """
+        while True:
+            if expected is None and self._events:
+                return None
+            try:
+                msg_type, payload = self._read_next()
+            except TimeoutError:
+                if expected is not None:
+                    self._stale.append(expected)
+                raise
+            if msg_type is MessageType.HEARTBEAT:
+                self._send(MessageType.HEARTBEAT)
+                continue
+            if msg_type is MessageType.EVENT:
+                self._events.extend(decode_events(payload))
+                continue
+            if self._stale and msg_type is self._stale[0]:
+                self._stale.popleft()
+                continue
+            if msg_type is MessageType.ERROR:
+                info = decode_json(payload)
+                in_reply_to = info.get("in_reply_to")
+                if (
+                    in_reply_to is not None
+                    and self._stale
+                    and in_reply_to == self._stale[0].name
+                ):
+                    # Replies arrive in request order, so an attributed
+                    # ERROR matching the oldest owed reply answers that
+                    # abandoned request — swallow it, don't blame the
+                    # current one.
+                    self._stale.popleft()
+                    continue
+                if expected is not None and in_reply_to != expected.name:
+                    self._stale.append(expected)
+                raise _gateway_exception(info)
+            if expected is not None and msg_type is expected:
+                return payload
+            raise ProtocolError(
+                f"expected {expected.name} reply, got {msg_type.name}"
+                if expected is not None
+                else f"unexpected {msg_type.name} while waiting for events"
+            )
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(
+        self, session_id: str | None = None, record_timeline: bool = False
+    ) -> str:
+        """Open a session on the gateway; returns the (possibly
+        gateway-assigned) session id."""
+        self._send(
+            MessageType.OPEN,
+            encode_json(
+                {"session_id": session_id, "record_timeline": record_timeline}
+            ),
+        )
+        return decode_json(self._read_until(MessageType.OPEN))["session_id"]
+
+    def feed(self, session_id: str, frames: np.ndarray) -> None:
+        """Stream kinematics rows (unacknowledged; see the module docs)."""
+        self._send(MessageType.FRAME, encode_frames(session_id, frames))
+
+    def next_event(self) -> SessionEvent:
+        """The next event from any of this connection's sessions."""
+        self._read_until(None)
+        return self._events.popleft()
+
+    def events_for(self, session_id: str, n_events: int) -> list[SessionEvent]:
+        """Collect the next ``n_events`` events of one session (events of
+        other sessions on this connection stay buffered).
+
+        Returns early when the session's *terminal* fail-safe event
+        arrives (``error`` set — a shard crash or gateway-side closure):
+        nothing further will ever come for that session, so waiting for
+        the full count would only time out and bury the reason.
+        """
+        collected: list[SessionEvent] = []
+        requeue: list[SessionEvent] = []
+        try:
+            while len(collected) < n_events:
+                event = self.next_event()
+                if event.session_id == session_id:
+                    collected.append(event)
+                    if event.error is not None:
+                        break
+                else:
+                    requeue.append(event)
+        finally:
+            # Restore other sessions' events even when next_event raises
+            # (async ERROR, timeout) — they were received, not consumed.
+            self._events.extendleft(reversed(requeue))
+        return collected
+
+    def close_session(self, session_id: str) -> dict:
+        """Close a session (the gateway drains it first); returns the
+        summary ``{"session_id", "n_frames", "n_flagged"}``.  Events
+        still in flight are buffered for ``next_event``."""
+        self._send(
+            MessageType.CLOSE, encode_json({"session_id": session_id})
+        )
+        return decode_json(self._read_until(MessageType.CLOSE))
+
+    def gateway_stats(self) -> dict:
+        """Fetch :meth:`MonitorGateway.gateway_stats` over the wire."""
+        self._send(MessageType.STATS)
+        return decode_json(self._read_until(MessageType.STATS))
+
+    def stream_session(
+        self,
+        frames: np.ndarray,
+        session_id: str | None = None,
+        chunk_size: int = 64,
+        max_in_flight: int = 256,
+    ) -> list[SessionEvent]:
+        """Convenience: open, feed in chunks, collect every event, close.
+
+        Returns the session's full event list (one per frame, in frame
+        order) — the remote analogue of
+        :meth:`repro.core.SafetyMonitor.stream` over a whole trajectory.
+        Feeding and reading interleave so at most ``max_in_flight``
+        events are ever outstanding: a long trajectory fed blind would
+        otherwise overflow the gateway's bounded send queue and get
+        this client disconnected as a slow consumer.  Raises
+        :class:`WorkerError` if the session ends fail-safe mid-stream.
+        """
+        frames = np.asarray(frames, dtype=float)
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        sid = self.open_session(session_id)
+        events: list[SessionEvent] = []
+        fed = 0
+        for start in range(0, frames.shape[0], chunk_size):
+            chunk = frames[start : start + chunk_size]
+            self.feed(sid, chunk)
+            fed += chunk.shape[0]
+            outstanding = fed - len(events)
+            if outstanding > max_in_flight:
+                events.extend(self.events_for(sid, outstanding - max_in_flight))
+                if events and events[-1].error is not None:
+                    break
+        if not (events and events[-1].error is not None):
+            events.extend(self.events_for(sid, frames.shape[0] - len(events)))
+        if events and events[-1].error is not None:
+            raise WorkerError(
+                f"session {sid!r} ended fail-safe: {events[-1].error}"
+            )
+        self.close_session(sid)
+        return events
+
+
+class AsyncRemoteMonitorClient:
+    """Asyncio gateway client: concurrent ingest and a live event stream.
+
+    ::
+
+        client = await AsyncRemoteMonitorClient.connect(host, port)
+        sid = await client.open_session("theatre-7")
+        await client.feed(sid, frames)
+        async for event in client.events():
+            ...
+        await client.close_session(sid)
+        await client.aclose()
+
+    A background reader task demultiplexes the connection; control
+    calls are serialised (one in flight at a time), feeds and event
+    consumption run freely alongside them.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.timeout_s = timeout_s
+        self._events: asyncio.Queue = asyncio.Queue()
+        self._control_lock = asyncio.Lock()
+        self._pending: tuple[MessageType, asyncio.Future] | None = None
+        self._conn_error: Exception | None = None
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="remote-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, timeout_s: float = 60.0
+    ) -> "AsyncRemoteMonitorClient":
+        """Open a gateway connection; raises :class:`WorkerError` when the
+        gateway is unreachable within ``timeout_s``."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout_s
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise WorkerError(
+                f"cannot reach gateway at {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer, timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(HEADER_SIZE)
+                msg_type, length = decode_header(header)
+                payload = (
+                    await self._reader.readexactly(length) if length else b""
+                )
+                if msg_type is MessageType.HEARTBEAT:
+                    self._writer.write(encode_message(MessageType.HEARTBEAT))
+                    continue
+                if msg_type is MessageType.EVENT:
+                    for event in decode_events(payload):
+                        self._events.put_nowait(event)
+                    continue
+                if msg_type is MessageType.ERROR:
+                    info = decode_json(payload)
+                    exc = _gateway_exception(info)
+                    pending = self._pending
+                    if (
+                        pending is not None
+                        and info.get("in_reply_to") == pending[0].name
+                        and not pending[1].done()
+                    ):
+                        self._pending = None
+                        pending[1].set_exception(exc)
+                    else:
+                        # Asynchronous failure (e.g. a rejected unacked
+                        # feed): surfaced through the event stream.
+                        self._events.put_nowait(exc)
+                    continue
+                pending = self._pending
+                if pending is not None and pending[0] is msg_type:
+                    self._pending = None
+                    if not pending[1].done():
+                        pending[1].set_result(payload)
+                    continue
+                raise ProtocolError(f"unsolicited {msg_type.name} message")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            if isinstance(exc, (asyncio.IncompleteReadError, ConnectionError, OSError)):
+                exc = WorkerError(f"gateway connection lost: {exc}")
+            self._conn_error = exc
+            self._resolve_pending_error(exc)
+            self._events.put_nowait(_STREAM_END)
+
+    def _resolve_pending_error(self, exc: Exception) -> bool:
+        pending = self._pending
+        if pending is not None and not pending[1].done():
+            self._pending = None
+            pending[1].set_exception(exc)
+            return True
+        return False
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise WorkerError("client is closed")
+        if self._conn_error is not None:
+            raise self._conn_error
+
+    async def _control(
+        self, msg_type: MessageType, payload: bytes, expect: MessageType
+    ) -> bytes:
+        async with self._control_lock:
+            self._check_alive()
+            future = asyncio.get_running_loop().create_future()
+            self._pending = (expect, future)
+            try:
+                self._writer.write(encode_message(msg_type, payload))
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                # The request never made it out: retire the pending slot
+                # so the reader loop cannot resolve an abandoned future.
+                if self._pending is not None and self._pending[1] is future:
+                    self._pending = None
+                future.cancel()
+                raise WorkerError(f"gateway connection lost: {exc}") from exc
+            try:
+                # Bound the wait like the sync client's socket timeout:
+                # a live-but-wedged gateway must not hang callers.
+                return await asyncio.wait_for(future, self.timeout_s)
+            except asyncio.TimeoutError:
+                # The reply may still arrive later; rather than risk
+                # attributing it to a future request, declare the
+                # connection dead (the gateway fail-safes our sessions).
+                self._conn_error = WorkerError(
+                    f"no {expect.name} reply within {self.timeout_s}s; "
+                    "connection abandoned"
+                )
+                if self._pending is not None and self._pending[1] is future:
+                    self._pending = None
+                self._reader_task.cancel()
+                self._events.put_nowait(_STREAM_END)
+                raise TimeoutError(
+                    f"no {expect.name} reply within {self.timeout_s}s"
+                ) from None
+
+    # ------------------------------------------------------------------
+    async def open_session(
+        self, session_id: str | None = None, record_timeline: bool = False
+    ) -> str:
+        """Open a session; returns the (possibly assigned) session id."""
+        payload = await self._control(
+            MessageType.OPEN,
+            encode_json(
+                {"session_id": session_id, "record_timeline": record_timeline}
+            ),
+            MessageType.OPEN,
+        )
+        return decode_json(payload)["session_id"]
+
+    async def feed(self, session_id: str, frames: np.ndarray) -> None:
+        """Stream kinematics rows; ``await`` applies TCP backpressure
+        when the gateway is behind (unacknowledged otherwise)."""
+        self._check_alive()
+        try:
+            self._writer.write(
+                encode_message(
+                    MessageType.FRAME, encode_frames(session_id, frames)
+                )
+            )
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise WorkerError(f"gateway connection lost: {exc}") from exc
+
+    async def close_session(self, session_id: str) -> dict:
+        """Drain-and-close one session; returns the gateway's summary."""
+        payload = await self._control(
+            MessageType.CLOSE,
+            encode_json({"session_id": session_id}),
+            MessageType.CLOSE,
+        )
+        return decode_json(payload)
+
+    async def gateway_stats(self) -> dict:
+        """Fetch :meth:`MonitorGateway.gateway_stats` over the wire."""
+        payload = await self._control(
+            MessageType.STATS, b"", MessageType.STATS
+        )
+        return decode_json(payload)
+
+    async def next_event(self) -> SessionEvent:
+        """The next event from any of this connection's sessions."""
+        self._check_alive()
+        item = await self._events.get()
+        if item is _STREAM_END:
+            raise self._conn_error or WorkerError("gateway connection lost")
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    async def events(self) -> AsyncIterator[SessionEvent]:
+        """Yield events until the connection ends.  Asynchronous gateway
+        ERRORs (e.g. a rejected feed) raise out of the iterator."""
+        while True:
+            try:
+                yield await self.next_event()
+            except WorkerError:
+                if self._closed or self._conn_error is not None:
+                    return
+                raise
+
+    async def aclose(self) -> None:
+        """Close the connection (gateway fail-safes any open sessions)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncRemoteMonitorClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+#: Sentinel the reader task pushes when the connection ends.
+_STREAM_END = object()

@@ -1,0 +1,1009 @@
+"""The network front door: an asyncio TCP gateway over the serving stack.
+
+:class:`MonitorGateway` accepts client connections speaking the
+length-prefixed binary protocol (:mod:`~repro.serving.remote.protocol`)
+and routes their sessions into an embedded serving engine — a single
+in-process :class:`~repro.serving.service.MonitorService` for
+``n_shards=1``, or a :class:`~repro.serving.sharded.ShardedMonitorService`
+behind an :class:`~repro.serving.async_frontend.AsyncShardedMonitor` for
+a multi-worker fleet.  Either way a session fed over the wire reproduces
+the local engine's :class:`SessionEvent` stream bit for bit, frame order
+included (``tests/serving/test_remote.py`` locks this in for K ∈ {1, 2}
+under both inference backends).
+
+Flow control and failure semantics:
+
+- **Backpressure** — every connection owns a bounded send queue drained
+  by one writer task (which coalesces queued messages into single
+  socket writes).  A consumer that stops reading fills the TCP window,
+  then the queue; on overflow the gateway disconnects that client (one
+  slow dashboard must never stall the monitoring of every theatre) and
+  fails its sessions safe.  Ingest-side backpressure is TCP itself:
+  clients feeding faster than the engine drains block in
+  ``writer.drain()`` / ``socket.sendall``.
+- **Heartbeats and idle timeouts** — the gateway pings every
+  ``heartbeat_interval_s``; clients echo (both SDKs do automatically).
+  A connection silent past ``idle_timeout_s`` is treated as dead.
+- **Fail-safe disconnects** — when a client vanishes (EOF, reset, idle
+  timeout, queue overflow), its sessions are *drained* (already-fed
+  frames are processed, never dropped) and closed, and one terminal
+  :class:`SessionEvent` per session with ``error`` set and ``flag=True``
+  is recorded at the gateway (:attr:`MonitorGateway.failsafe_events`,
+  :attr:`MonitorGateway.failed_sessions`) — the PR 2 contract: a lost
+  monitor reads as unsafe, never as silently safe.  A shard worker
+  crash surfaces the same way *and* is pushed to the owning client as
+  an EVENT with ``error`` set.
+
+``gateway_stats()`` aggregates the engine's per-shard
+:meth:`shard_stats` with connection/session/queue-depth counters; the
+STATS wire message returns it to any client.  See ``docs/remote.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+from collections.abc import AsyncIterator
+
+from ...errors import ConfigurationError, ProtocolError, ReproError, WorkerError
+from ...nn.backends import DEFAULT_BACKEND, validate_backend_name
+from ..async_frontend import AsyncShardedMonitor
+from ..service import MonitorService, ServiceStats, SessionEvent
+from ..sharded import ShardedMonitorService
+from ..snapshot import monitor_from_bytes, snapshot_backend
+from .protocol import (
+    HEADER_SIZE,
+    PROTOCOL_VERSION,
+    MessageType,
+    decode_frames,
+    decode_header,
+    decode_json,
+    encode_events,
+    encode_json,
+    encode_message,
+)
+
+#: Sentinel ending an engine's event stream / a connection's writer task.
+_CLOSED = object()
+
+#: Messages a writer task coalesces into one socket write at most.
+_WRITE_BATCH = 64
+
+
+class _LocalEngine:
+    """Async serving engine over one in-process :class:`MonitorService`.
+
+    The K=1 topology: no worker processes, no pipes — one background
+    ticker task advances the service whenever frames are pending (tick
+    compute runs on the executor so the event loop keeps accepting
+    ingest), mirroring the surface of :class:`AsyncShardedMonitor` that
+    the gateway routes through.
+    """
+
+    def __init__(
+        self, service: MonitorService, poll_interval_s: float = 0.2
+    ) -> None:
+        self.service = service
+        self.poll_interval_s = poll_interval_s
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._lock = asyncio.Lock()
+        self._kick = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self._failure: str | None = None
+
+    async def start(self) -> None:
+        self._task = asyncio.create_task(
+            self._tick_loop(), name="gateway-local-ticker"
+        )
+
+    async def _call(self, fn, *args):
+        async with self._lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, fn, *args
+            )
+
+    async def _tick_loop(self) -> None:
+        try:
+            while not self._closed:
+                self._kick.clear()
+                # Read the backlog state under the same lock the executor
+                # calls mutate the session registry under — an unlocked
+                # has_pending would iterate the dict mid-open/close.
+                async with self._lock:
+                    pending = self.service.has_pending
+                if not pending:
+                    try:
+                        await asyncio.wait_for(
+                            self._kick.wait(), timeout=self.poll_interval_s
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+                events = await self._call(self.service.tick)
+                for event in events:
+                    self._queue.put_nowait(event)
+                # Let ingest and the event pump run between busy ticks.
+                await asyncio.sleep(0)
+        except Exception as exc:  # noqa: BLE001 - a dead ticker must fail safe
+            # The sharded path converts a broken worker into fail-safe
+            # crash events; the embedded engine owes its sessions the
+            # same — a monitor that silently stops flagging is the one
+            # outcome the serving contract forbids.
+            self._failure = (
+                f"local engine tick failed: {type(exc).__name__}: {exc}"
+            )
+            async with self._lock:
+                for session_id in self.service.session_ids:
+                    self._queue.put_nowait(
+                        SessionEvent(
+                            session_id=session_id,
+                            frame_index=self.service.frames_done(session_id),
+                            gesture=0,
+                            score=0.0,
+                            flag=True,
+                            error=self._failure,
+                        )
+                    )
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise WorkerError(self._failure)
+
+    async def open_session(self, session_id: str | None, record_timeline: bool) -> str:
+        self._check_failure()
+        return await self._call(
+            self.service.open_session, session_id, record_timeline
+        )
+
+    async def feed(self, session_id: str, frames) -> None:
+        self._check_failure()
+        await self._call(self.service.feed, session_id, frames)
+        self._kick.set()
+
+    async def close_session(self, session_id: str):
+        self._check_failure()
+        return await self._call(self.service.close_session, session_id)
+
+    async def events(self) -> AsyncIterator[SessionEvent]:
+        while True:
+            event = await self._queue.get()
+            if event is _CLOSED:
+                return
+            yield event
+
+    async def shard_stats(self) -> dict[int, ServiceStats]:
+        return {0: self.service.stats}
+
+    async def aclose(self) -> None:
+        self._closed = True
+        self._kick.set()
+        if self._task is not None:
+            await self._task
+        self._queue.put_nowait(_CLOSED)
+
+    def shutdown_blocking(self) -> None:
+        """Nothing to terminate: the engine lives in this process."""
+
+
+class _ShardedEngine:
+    """Async serving engine over a sharded fleet (K >= 2 topology)."""
+
+    def __init__(
+        self, service: ShardedMonitorService, frontend: AsyncShardedMonitor
+    ) -> None:
+        self.service = service
+        self.frontend = frontend
+
+    async def start(self) -> None:
+        await self.frontend.start()
+
+    async def open_session(self, session_id: str | None, record_timeline: bool) -> str:
+        return await self.frontend.open_session(session_id, record_timeline)
+
+    async def feed(self, session_id: str, frames) -> None:
+        await self.frontend.feed(session_id, frames)
+
+    async def close_session(self, session_id: str):
+        return await self.frontend.close_session(session_id)
+
+    def events(self) -> AsyncIterator[SessionEvent]:
+        return self.frontend.events()
+
+    async def shard_stats(self) -> dict[int, ServiceStats]:
+        return await self.frontend.shard_stats()
+
+    async def aclose(self) -> None:
+        await self.frontend.aclose()
+
+    def shutdown_blocking(self) -> None:
+        """Terminate the fleet's worker processes (no orphans)."""
+        self.service.close()
+
+
+class _RemoteSession:
+    """Gateway-side bookkeeping for one wire-opened session."""
+
+    __slots__ = ("conn", "fed", "delivered", "flagged")
+
+    def __init__(self, conn: "_Connection") -> None:
+        self.conn = conn
+        self.fed = 0  # frames accepted off the wire
+        self.delivered = 0  # events routed back (== frames processed)
+        self.flagged = 0  # events with flag=True
+
+
+class _Connection:
+    """One accepted client connection and its tasks/queues."""
+
+    def __init__(
+        self,
+        conn_id: int,
+        writer: asyncio.StreamWriter,
+        send_queue_max: int,
+    ) -> None:
+        self.id = conn_id
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=send_queue_max)
+        self.sessions: set[str] = set()
+        self.last_recv = 0.0
+        self.closed = False  # no further routing to this connection
+        self.torn_down = False  # teardown ran (idempotence guard)
+        self.heartbeat_task: asyncio.Task | None = None
+        self.writer_task: asyncio.Task | None = None
+        #: Test hook: clearing this parks the writer task, letting the
+        #: backpressure suite fill the send queue deterministically.
+        self.writer_gate = asyncio.Event()
+        self.writer_gate.set()
+
+    def enqueue(self, data: bytes) -> bool:
+        """Queue bytes for the writer task; False on overflow."""
+        if self.closed:
+            return True  # silently dropped; teardown is in flight
+        try:
+            self.queue.put_nowait(data)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+
+class MonitorGateway:
+    """Serve the safety monitor to remote clients over TCP.
+
+    Parameters
+    ----------
+    monitor / monitor_bytes:
+        Exactly one of a live trained :class:`SafetyMonitor` or a
+        :func:`~repro.serving.snapshot.monitor_to_bytes` archive.
+    n_shards:
+        ``1`` embeds a single in-process :class:`MonitorService`;
+        ``>= 2`` spawns a :class:`ShardedMonitorService` fleet behind an
+        :class:`AsyncShardedMonitor`.
+    max_sessions:
+        Slot capacity of the engine — total for ``n_shards=1``, per
+        shard otherwise (consistent hashing needs headroom, see
+        ``docs/serving.md``).
+    backend:
+        Inference backend for the engine; ``None`` resolves to the
+        choice embedded in ``monitor_bytes`` (via
+        :func:`~repro.serving.snapshot.snapshot_backend`), falling back
+        to ``"reference"`` — the same resolution the sharded service
+        applies, so a snapshot's backend choice survives any number of
+        gateway restarts.
+    host / port:
+        Bind address; port ``0`` picks a free port (read
+        :attr:`port` after :meth:`start`).
+    send_queue_max:
+        Per-connection bounded send queue (messages).  Overflow — a
+        consumer that stopped reading — disconnects that client.
+    heartbeat_interval_s / idle_timeout_s:
+        Gateway→client ping cadence, and how long a connection may stay
+        silent before it is declared dead (fail-safe close).
+    drain_timeout_s:
+        How long a disconnect/close waits for a session's already-fed
+        frames to finish processing before closing it anyway.
+
+    Lifecycle: ``await start()`` → serve → ``await stop()`` (or use as
+    an async context manager).  :meth:`serve_in_thread` bridges the
+    gateway into synchronous programs via :class:`GatewayRunner`.
+    """
+
+    def __init__(
+        self,
+        monitor=None,
+        *,
+        monitor_bytes: bytes | None = None,
+        n_shards: int = 1,
+        max_sessions: int = 64,
+        backend: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        send_queue_max: int = 1024,
+        heartbeat_interval_s: float = 10.0,
+        idle_timeout_s: float = 60.0,
+        drain_timeout_s: float = 10.0,
+        start_method: str | None = None,
+    ) -> None:
+        if (monitor is None) == (monitor_bytes is None):
+            raise ConfigurationError("pass exactly one of monitor / monitor_bytes")
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        if max_sessions < 1:
+            raise ConfigurationError("max_sessions must be >= 1")
+        if send_queue_max < 2:
+            raise ConfigurationError("send_queue_max must be >= 2")
+        if heartbeat_interval_s <= 0 or drain_timeout_s <= 0:
+            raise ConfigurationError("intervals/timeouts must be > 0")
+        if idle_timeout_s is not None and idle_timeout_s <= heartbeat_interval_s:
+            # A consumer-only client's sole traffic is echoing our
+            # pings; a tighter idle bound would disconnect every
+            # healthy-but-quiet connection.
+            raise ConfigurationError(
+                "idle_timeout_s must exceed heartbeat_interval_s (or be None)"
+            )
+        if backend is not None:
+            backend = validate_backend_name(backend)
+        if monitor_bytes is None:
+            self.backend = backend or DEFAULT_BACKEND
+        else:
+            self.backend = validate_backend_name(
+                backend or snapshot_backend(monitor_bytes) or DEFAULT_BACKEND
+            )
+        self._monitor = monitor
+        self._monitor_bytes = monitor_bytes
+        self.n_shards = int(n_shards)
+        self.max_sessions = int(max_sessions)
+        self.host = host
+        self.port = int(port)  # rebound to the real port by start()
+        self.send_queue_max = int(send_queue_max)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.idle_timeout_s = idle_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self._start_method = start_method
+
+        self._engine = None
+        self._server: asyncio.Server | None = None
+        self._pump_task: asyncio.Task | None = None
+        #: Strong references to fire-and-forget teardown tasks (the
+        #: event loop only keeps weak ones; a GC'd teardown would leak
+        #: the connection and skip its sessions' fail-safe closure).
+        self._bg_tasks: set[asyncio.Task] = set()
+        self._connections: dict[int, _Connection] = {}
+        self._conn_ids = itertools.count()
+        self._sessions: dict[str, _RemoteSession] = {}
+        self._started = False
+        self._stopped = False
+
+        #: Terminal fail-safe events recorded at the gateway: client
+        #: disconnects, idle timeouts, queue overflows, shard crashes,
+        #: shutdown with live sessions.  ``error`` set, ``flag=True``.
+        self.failsafe_events: list[SessionEvent] = []
+        #: Session id -> reason, for every session that ended fail-safe.
+        self.failed_sessions: dict[str, str] = {}
+
+        # Lifetime counters surfaced by gateway_stats().
+        self._connections_total = 0
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._frames_received = 0
+        self._events_sent = 0
+        self._events_dropped = 0
+        self._heartbeats_sent = 0
+        self._overflow_disconnects = 0
+        self._idle_disconnects = 0
+        self._peak_open_sessions = 0
+        self._peak_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Build the engine, bind the socket; returns ``(host, port)``."""
+        if self._started:
+            raise ConfigurationError("gateway is already started")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self._engine = await loop.run_in_executor(None, self._build_engine)
+        try:
+            await self._engine.start()
+            self._pump_task = asyncio.create_task(
+                self._event_pump(), name="gateway-event-pump"
+            )
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port
+            )
+        except BaseException:
+            # A failed bind (port in use, ...) must not orphan a fleet
+            # of already-spawned shard workers.
+            await self._shutdown_engine()
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def _shutdown_engine(self) -> None:
+        """End the engine's tasks and terminate any worker processes."""
+        if self._engine is None:
+            return
+        await self._engine.aclose()
+        if self._pump_task is not None:
+            await self._pump_task
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._engine.shutdown_blocking
+        )
+
+    def _build_engine(self):
+        """Blocking engine construction (model compile / worker spawn)."""
+        if self.n_shards == 1:
+            monitor = self._monitor
+            if monitor is None:
+                monitor = monitor_from_bytes(self._monitor_bytes)
+            service = MonitorService(
+                monitor, max_sessions=self.max_sessions, backend=self.backend
+            )
+            return _LocalEngine(service)
+        service = ShardedMonitorService(
+            self._monitor,
+            n_shards=self.n_shards,
+            max_sessions_per_shard=self.max_sessions,
+            monitor_bytes=self._monitor_bytes,
+            backend=self.backend,
+            start_method=self._start_method,
+        )
+        return _ShardedEngine(service, AsyncShardedMonitor(service))
+
+    async def stop(self) -> None:
+        """Stop accepting, fail-safe every live connection, drain the
+        engine's tasks and terminate any worker processes.  Idempotent."""
+        if self._stopped or not self._started:
+            self._stopped = True
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections.values()):
+            await self._teardown(conn, "gateway shutting down")
+        if self._bg_tasks:  # overflow teardowns still in flight
+            await asyncio.gather(*list(self._bg_tasks), return_exceptions=True)
+        await self._shutdown_engine()
+
+    async def __aenter__(self) -> "MonitorGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def serve_in_thread(self) -> "GatewayRunner":
+        """Run this gateway on a dedicated event-loop thread (sync bridge)."""
+        return GatewayRunner(self)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(next(self._conn_ids), writer, self.send_queue_max)
+        conn.last_recv = asyncio.get_running_loop().time()
+        self._connections[conn.id] = conn
+        self._connections_total += 1
+        conn.writer_task = asyncio.create_task(
+            self._writer_loop(conn), name=f"gateway-writer-{conn.id}"
+        )
+        conn.heartbeat_task = asyncio.create_task(
+            self._heartbeat_loop(conn), name=f"gateway-heartbeat-{conn.id}"
+        )
+        reason = "client disconnected"
+        try:
+            while not conn.closed:
+                header = await reader.readexactly(HEADER_SIZE)
+                msg_type, length = decode_header(header)
+                payload = await reader.readexactly(length) if length else b""
+                conn.last_recv = asyncio.get_running_loop().time()
+                await self._dispatch(conn, msg_type, payload)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # EOF or reset: the fail-safe teardown below handles it
+        except ProtocolError as exc:
+            reason = f"protocol violation: {exc}"
+            self._send_error(conn, ProtocolError(str(exc)), None)
+        except asyncio.CancelledError:  # pragma: no cover - loop shutdown
+            raise
+        finally:
+            await self._teardown(conn, reason)
+
+    async def _dispatch(
+        self, conn: _Connection, msg_type: MessageType, payload: bytes
+    ) -> None:
+        if msg_type is MessageType.HEARTBEAT:
+            return  # liveness only; last_recv is already refreshed
+        if msg_type is MessageType.FRAME:
+            await self._handle_frames(conn, payload)
+            return
+        if msg_type is MessageType.OPEN:
+            await self._handle_open(conn, payload)
+            return
+        if msg_type is MessageType.CLOSE:
+            await self._handle_close(conn, payload)
+            return
+        if msg_type is MessageType.STATS:
+            stats = await self.gateway_stats()
+            self._enqueue_or_overflow(
+                conn, encode_message(MessageType.STATS, encode_json(stats))
+            )
+            return
+        raise ProtocolError(f"unexpected client message type {msg_type.name}")
+
+    async def _handle_open(self, conn: _Connection, payload: bytes) -> None:
+        request = decode_json(payload)
+        session_id = request.get("session_id")
+        if session_id is not None and not isinstance(session_id, str):
+            raise ProtocolError("OPEN session_id must be a string or null")
+        record_timeline = bool(request.get("record_timeline", False))
+        try:
+            session_id = await self._engine.open_session(
+                session_id, record_timeline
+            )
+        except ReproError as exc:
+            self._send_error(conn, exc, session_id, MessageType.OPEN)
+            return
+        if conn.torn_down or conn.closed:
+            # The connection died while the open was in flight; release
+            # the engine slot instead of registering a zombie session
+            # that no teardown will ever drain or fail safe.
+            with contextlib.suppress(ReproError):
+                await self._engine.close_session(session_id)
+            return
+        self._sessions[session_id] = _RemoteSession(conn)
+        conn.sessions.add(session_id)
+        self._sessions_opened += 1
+        self._peak_open_sessions = max(
+            self._peak_open_sessions, len(self._sessions)
+        )
+        self._enqueue_or_overflow(
+            conn,
+            encode_message(
+                MessageType.OPEN, encode_json({"session_id": session_id})
+            ),
+        )
+
+    async def _handle_frames(self, conn: _Connection, payload: bytes) -> None:
+        session_id, frames = decode_frames(payload)
+        session = self._sessions.get(session_id)
+        if session is None or session.conn is not conn:
+            reason = self.failed_sessions.get(session_id)
+            error = (
+                WorkerError(f"session {session_id!r} failed: {reason}")
+                if reason is not None and session is None
+                else ProtocolError(
+                    f"no session {session_id!r} open on this connection"
+                )
+            )
+            self._send_error(conn, error, session_id)
+            return
+        try:
+            await self._engine.feed(session_id, frames)
+        except ReproError as exc:
+            self._send_error(conn, exc, session_id)
+            return
+        session.fed += frames.shape[0]
+        self._frames_received += frames.shape[0]
+
+    async def _handle_close(self, conn: _Connection, payload: bytes) -> None:
+        request = decode_json(payload)
+        session_id = request.get("session_id")
+        if not isinstance(session_id, str):
+            raise ProtocolError("CLOSE session_id must be a string")
+        session = self._sessions.get(session_id)
+        if session is None or session.conn is not conn:
+            reason = self.failed_sessions.get(session_id)
+            error = (
+                WorkerError(f"session {session_id!r} failed: {reason}")
+                if reason is not None and session is None
+                else ProtocolError(
+                    f"no session {session_id!r} open on this connection"
+                )
+            )
+            self._send_error(conn, error, session_id, MessageType.CLOSE)
+            return
+        await self._drain_session(session_id)
+        try:
+            await self._engine.close_session(session_id)
+        except ReproError as exc:
+            # A crash event for this session is (or will be) routed by
+            # the pump; the close itself reports the failure.
+            self._send_error(conn, exc, session_id, MessageType.CLOSE)
+            return
+        summary = {
+            "session_id": session_id,
+            "n_frames": session.delivered,
+            "n_flagged": session.flagged,
+        }
+        self._unregister(session_id)
+        self._sessions_closed += 1
+        self._enqueue_or_overflow(
+            conn, encode_message(MessageType.CLOSE, encode_json(summary))
+        )
+
+    async def _drain_session(self, session_id: str) -> None:
+        """Park until every accepted frame of a session has produced its
+        event (bounded by ``drain_timeout_s``) — the *drain* half of the
+        drain-and-close disconnect contract."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        deadline = asyncio.get_running_loop().time() + self.drain_timeout_s
+        while (
+            session.delivered < session.fed
+            and self._sessions.get(session_id) is session
+            and asyncio.get_running_loop().time() < deadline
+        ):
+            await asyncio.sleep(0.002)
+
+    async def _teardown(self, conn: _Connection, reason: str) -> None:
+        """Disconnect a client: drain-and-close its sessions fail-safe."""
+        if conn.torn_down:
+            return
+        conn.torn_down = True
+        conn.closed = True  # stop routing/replies to this connection now
+        for session_id in list(conn.sessions):
+            await self._drain_session(session_id)
+            session = self._sessions.get(session_id)
+            if session is None or session.conn is not conn:
+                continue  # already ended (e.g. shard crash event)
+            try:
+                await self._engine.close_session(session_id)
+            except ReproError:
+                pass  # engine-side loss; the fail-safe event below stands
+            self._record_failsafe(
+                SessionEvent(
+                    session_id=session_id,
+                    frame_index=session.delivered,
+                    gesture=0,
+                    score=0.0,
+                    flag=True,
+                    error=reason,
+                )
+            )
+            self._unregister(session_id)
+        conn.sessions.clear()
+        self._connections.pop(conn.id, None)
+        if (
+            conn.heartbeat_task is not None
+            and conn.heartbeat_task is not asyncio.current_task()
+        ):
+            conn.heartbeat_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await conn.heartbeat_task
+        if conn.writer_task is not None:
+            conn.writer_gate.set()
+            try:
+                conn.queue.put_nowait(_CLOSED)
+            except asyncio.QueueFull:
+                conn.writer_task.cancel()  # queue wedged; no orderly flush
+            try:
+                # A writer wedged in drain() against a non-reading peer
+                # must not wedge the teardown with it.
+                await asyncio.wait_for(asyncio.shield(conn.writer_task), 5.0)
+            except asyncio.TimeoutError:
+                conn.writer_task.cancel()
+            except asyncio.CancelledError:
+                pass
+            if not conn.writer_task.done():
+                with contextlib.suppress(asyncio.CancelledError):
+                    await conn.writer_task
+        conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # Per-connection tasks
+    # ------------------------------------------------------------------
+    async def _writer_loop(self, conn: _Connection) -> None:
+        """Drain the send queue, coalescing bursts into single writes."""
+        try:
+            while True:
+                chunk = await conn.queue.get()
+                if chunk is _CLOSED:
+                    return
+                await conn.writer_gate.wait()
+                parts = [chunk]
+                while len(parts) < _WRITE_BATCH:
+                    try:
+                        extra = conn.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is _CLOSED:
+                        conn.queue.put_nowait(_CLOSED)
+                        break
+                    parts.append(extra)
+                conn.writer.write(b"".join(parts))
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            return  # peer is gone; the read loop's teardown handles it
+        except asyncio.CancelledError:  # pragma: no cover - loop shutdown
+            raise
+
+    async def _heartbeat_loop(self, conn: _Connection) -> None:
+        """Ping the client; declare it dead past the idle timeout."""
+        loop = asyncio.get_running_loop()
+        try:
+            while not conn.closed:
+                await asyncio.sleep(self.heartbeat_interval_s)
+                if conn.closed:
+                    return
+                if (
+                    self.idle_timeout_s is not None
+                    and loop.time() - conn.last_recv > self.idle_timeout_s
+                ):
+                    self._idle_disconnects += 1
+                    self._send_error(
+                        conn,
+                        WorkerError(
+                            f"idle timeout: no traffic for "
+                            f"{self.idle_timeout_s}s"
+                        ),
+                        None,
+                    )
+                    await self._teardown(conn, "idle timeout")
+                    return
+                self._enqueue_or_overflow(
+                    conn, encode_message(MessageType.HEARTBEAT)
+                )
+                self._heartbeats_sent += 1
+        except asyncio.CancelledError:
+            return
+
+    # ------------------------------------------------------------------
+    # Event routing
+    # ------------------------------------------------------------------
+    async def _event_pump(self) -> None:
+        """Route the engine's merged event stream to owning connections."""
+        async for event in self._engine.events():
+            self._route_event(event)
+
+    def _route_event(self, event: SessionEvent) -> None:
+        session = self._sessions.get(event.session_id)
+        if session is None:
+            self._events_dropped += 1
+            return
+        session.delivered += 1
+        if event.flag:
+            session.flagged += 1
+        conn = session.conn
+        if not conn.closed:
+            self._enqueue_or_overflow(
+                conn, encode_message(MessageType.EVENT, encode_events([event]))
+            )
+            self._events_sent += 1
+        if event.error is not None:
+            # Terminal: the engine lost this session (worker crash).
+            # Surface it at the gateway too, not only on the wire.
+            self._record_failsafe(event)
+            self._unregister(event.session_id)
+
+    def _enqueue_or_overflow(self, conn: _Connection, data: bytes) -> None:
+        self._peak_queue_depth = max(self._peak_queue_depth, conn.queue.qsize())
+        if not conn.enqueue(data):
+            self._overflow_disconnects += 1
+            conn.closed = True  # stop routing immediately
+            task = asyncio.get_running_loop().create_task(
+                self._teardown(
+                    conn, "send queue overflow (client not reading events)"
+                )
+            )
+            self._bg_tasks.add(task)
+            task.add_done_callback(self._bg_tasks.discard)
+
+    def _send_error(
+        self,
+        conn: _Connection,
+        exc: Exception,
+        session_id: str | None,
+        in_reply_to: MessageType | None = None,
+    ) -> None:
+        """Report a failure to the client.
+
+        ``in_reply_to`` names the control request this error answers
+        (OPEN/CLOSE), letting clients tell a failed request apart from
+        an *asynchronous* error (a rejected unacked FRAME, an idle
+        timeout) that arrives while some other reply is pending.
+        """
+        self._enqueue_or_overflow(
+            conn,
+            encode_message(
+                MessageType.ERROR,
+                encode_json(
+                    {
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                        "session_id": session_id,
+                        "in_reply_to": (
+                            in_reply_to.name if in_reply_to is not None else None
+                        ),
+                    }
+                ),
+            ),
+        )
+
+    def _record_failsafe(self, event: SessionEvent) -> None:
+        self.failsafe_events.append(event)
+        self.failed_sessions[event.session_id] = event.error or "unknown"
+
+    def _unregister(self, session_id: str) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.conn.sessions.discard(session_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_open_sessions(self) -> int:
+        """Number of wire-opened sessions currently live."""
+        return len(self._sessions)
+
+    async def shard_stats(self) -> dict[int, ServiceStats]:
+        """The embedded engine's per-shard :class:`ServiceStats`.
+
+        Raw objects (retained tick-latency samples included), polled
+        without disturbing the engine's pipe protocol — feed the dict to
+        :func:`~repro.serving.sharded.suggest_shard_count` or merge the
+        samples for fleet-wide percentiles.  ``gateway_stats()`` carries
+        the JSON-friendly reduction of the same data.
+        """
+        if self._engine is None:
+            return {}
+        return await self._engine.shard_stats()
+
+    async def gateway_stats(self) -> dict:
+        """Aggregate serving and transport statistics (JSON-serialisable).
+
+        Folds the engine's per-shard :class:`ServiceStats` (tick/frame
+        counters, tick-latency percentiles) together with the gateway's
+        own connection, session, queue-depth and fail-safe counters —
+        also what the STATS wire message returns, and the input half of
+        :func:`~repro.serving.sharded.suggest_shard_count` (pass the
+        engine's ``shard_stats()``).
+        """
+        shard_stats = await self._engine.shard_stats() if self._engine else {}
+        depths = [c.queue.qsize() for c in self._connections.values()]
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "n_shards": self.n_shards,
+            "backend": self.backend,
+            "connections": {
+                "open": len(self._connections),
+                "total": self._connections_total,
+                "overflow_disconnects": self._overflow_disconnects,
+                "idle_disconnects": self._idle_disconnects,
+            },
+            "sessions": {
+                "open": len(self._sessions),
+                "peak_open": self._peak_open_sessions,
+                "opened_total": self._sessions_opened,
+                "closed_total": self._sessions_closed,
+                "failed_total": len(self.failed_sessions),
+            },
+            "queues": {
+                "capacity": self.send_queue_max,
+                "depths": depths,
+                "max_depth": max(depths, default=0),
+                "peak_depth": self._peak_queue_depth,
+            },
+            "frames_received": self._frames_received,
+            "events_sent": self._events_sent,
+            "events_dropped": self._events_dropped,
+            "heartbeats_sent": self._heartbeats_sent,
+            "shards": {
+                str(index): {
+                    "n_ticks": stats.n_ticks,
+                    "frames_processed": stats.frames_processed,
+                    "tick_p50_ms": stats.percentile_ms(50),
+                    "tick_p99_ms": stats.percentile_ms(99),
+                }
+                for index, stats in shard_stats.items()
+            },
+        }
+
+
+class GatewayRunner:
+    """Run a :class:`MonitorGateway` on a dedicated event-loop thread.
+
+    The bridge for synchronous programs (the sync client SDK, pytest,
+    ``examples/remote_clients.py``): the gateway's asyncio machinery
+    lives on a daemon thread; the caller gets ``(host, port)`` plus
+    :meth:`run` to submit coroutines (e.g. ``gateway.gateway_stats()``)
+    from sync code.  Use as a context manager — exit stops the gateway
+    (terminating any shard workers) and joins the loop thread.
+    """
+
+    def __init__(self, gateway: MonitorGateway, startup_timeout_s: float = 120.0):
+        self.gateway = gateway
+        self._startup_timeout_s = startup_timeout_s
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop thread and the gateway; returns ``(host, port)``."""
+        if self._thread is not None:
+            raise ConfigurationError("runner is already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        start_future = asyncio.run_coroutine_threadsafe(
+            self.gateway.start(), self._loop
+        )
+        try:
+            self.host, self.port = start_future.result(
+                self._startup_timeout_s
+            )
+        except BaseException:
+            # The start() coroutine may still be mid-flight (e.g. the
+            # engine build on an executor thread); let it settle and
+            # tear the gateway down before killing the loop, so a slow
+            # startup never orphans already-spawned shard workers.
+            try:
+                start_future.result(self._startup_timeout_s)
+            except BaseException:
+                pass
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.gateway.stop(), self._loop
+                ).result(self._startup_timeout_s)
+            except BaseException:
+                pass
+            self._stop_loop()
+            raise
+        return self.host, self.port
+
+    def run(self, coro, timeout_s: float | None = 60.0):
+        """Execute a coroutine on the gateway's loop; return its result."""
+        if self._loop is None:
+            raise ConfigurationError("runner is not started")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout_s
+        )
+
+    def stats(self) -> dict:
+        """Synchronous :meth:`MonitorGateway.gateway_stats`."""
+        return self.run(self.gateway.gateway_stats())
+
+    def stop(self) -> None:
+        """Stop the gateway and join the loop thread.  Idempotent."""
+        if self._loop is None:
+            return
+        stop_future = asyncio.run_coroutine_threadsafe(
+            self.gateway.stop(), self._loop
+        )
+        try:
+            stop_future.result(self._startup_timeout_s)
+        except BaseException:
+            # A slow shutdown (per-session drains, writer flushes) must
+            # still finish terminating worker processes before the loop
+            # dies — give it one more full timeout, best effort.
+            try:
+                stop_future.result(self._startup_timeout_s)
+            except BaseException:
+                pass
+            raise
+        finally:
+            self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(30.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GatewayRunner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -30,6 +30,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import itertools
+import math
 import multiprocessing as mp
 import threading
 from dataclasses import dataclass
@@ -41,13 +42,86 @@ from ..errors import ConfigurationError, DatasetError, WorkerError
 from ..nn.backends import DEFAULT_BACKEND, validate_backend_name
 from .service import ServiceStats, SessionEvent, SessionResult
 from .snapshot import monitor_to_bytes, snapshot_backend
-from .transport import Reply, Request, raise_remote
+from .transport import Reply, Request, raise_remote, recv_message
 from .worker import worker_main
+
+#: Frame interval of the paper's 30 Hz kinematics stream — the tick
+#: deadline :func:`suggest_shard_count` sizes fleets against.
+FRAME_INTERVAL_MS = 1000.0 / 30.0
 
 
 def _stable_hash(key: str) -> int:
     """Process-independent 128-bit hash (``hash()`` is salted per run)."""
     return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest(), "big")
+
+
+def suggest_shard_count(
+    shard_stats: dict[int, ServiceStats],
+    *,
+    frame_interval_ms: float = FRAME_INTERVAL_MS,
+    high_watermark: float = 0.5,
+    low_watermark: float = 0.1,
+    min_shards: int = 1,
+    max_shards: int | None = None,
+) -> int:
+    """Recommend a shard count from observed per-shard tick latency.
+
+    A pure function over a :meth:`ShardedMonitorService.shard_stats`
+    snapshot (no IPC, no side effects) — the policy half of the ROADMAP
+    autoscaling item, usable from a cron job, the gateway's stats loop,
+    or an operator script:
+
+    - the serving deadline is one frame interval (33.3 ms at the
+      paper's 30 Hz); the *busiest* shard's p99 tick latency is the
+      signal, because consistent hashing makes the hottest shard the
+      first to miss the deadline;
+    - above ``high_watermark`` (fraction of the interval) the fleet
+      scales **up** proportionally to the overshoot — tick cost is
+      roughly linear in resident sessions, so doubling shards roughly
+      halves the hottest shard's batch;
+    - below ``low_watermark`` the fleet scales **down**, but only as far
+      as keeps the *projected* busiest p99 (linear consolidation of
+      today's load onto fewer workers) under half the high watermark, so
+      a scale-down never triggers the next scale-up by itself;
+    - inside the band the current count is kept (hysteresis).
+
+    Shards with no recorded ticks count as idle.  The result is clamped
+    to ``[min_shards, max_shards]``; an empty ``shard_stats`` returns
+    ``min_shards``.
+    """
+    if not 0 < low_watermark < high_watermark <= 1.0:
+        raise ConfigurationError(
+            "need 0 < low_watermark < high_watermark <= 1"
+        )
+    if frame_interval_ms <= 0:
+        raise ConfigurationError("frame_interval_ms must be > 0")
+    if min_shards < 1:
+        raise ConfigurationError("min_shards must be >= 1")
+    if max_shards is not None and max_shards < min_shards:
+        raise ConfigurationError("max_shards must be >= min_shards")
+
+    def clamp(count: int) -> int:
+        count = max(count, min_shards)
+        if max_shards is not None:
+            count = min(count, max_shards)
+        return count
+
+    n_shards = len(shard_stats)
+    if n_shards == 0:
+        return clamp(min_shards)
+    busiest_ms = max(
+        (s.percentile_ms(99) for s in shard_stats.values()), default=0.0
+    )
+    high_ms = high_watermark * frame_interval_ms
+    low_ms = low_watermark * frame_interval_ms
+    if busiest_ms > high_ms:
+        return clamp(int(math.ceil(n_shards * busiest_ms / high_ms)))
+    if busiest_ms < low_ms and n_shards > min_shards:
+        if busiest_ms <= 0.0:
+            return clamp(min_shards)
+        target = int(math.ceil(n_shards * busiest_ms / (0.5 * high_ms)))
+        return clamp(min(n_shards, target))
+    return clamp(n_shards)
 
 
 class _HashRing:
@@ -116,14 +190,17 @@ class _ShardHandle:
 
     def recv(self, timeout_s: float | None) -> Reply:
         try:
-            if timeout_s is not None and not self.conn.poll(timeout_s):
-                raise WorkerError(
-                    f"shard {self.index} unresponsive after {timeout_s}s"
-                )
-            reply: Reply = self.conn.recv()
+            reply: Reply = recv_message(
+                self.conn,
+                Reply,
+                timeout_s=timeout_s,
+                who=f"shard {self.index}",
+            )
         except WorkerError:
+            # Unresponsive, or a corrupt/truncated/foreign reply — the
+            # worker cannot be trusted to stay in protocol either way.
             raise
-        except (EOFError, OSError) as exc:
+        except EOFError as exc:
             exitcode = self.process.exitcode
             raise WorkerError(
                 f"shard {self.index} worker died (exitcode {exitcode})"
@@ -687,16 +764,34 @@ class ShardedMonitorService:
         pairs.sort(key=lambda p: p[0])
         return [event for _, event in pairs]
 
+    def stats_of(self, index: int) -> ServiceStats:
+        """One live shard's :class:`ServiceStats` (one IPC exchange).
+
+        The single-shard primitive behind :meth:`shard_stats`, split out
+        so callers that serialise pipe access per shard — the asyncio
+        front-end's :meth:`AsyncShardedMonitor.shard_stats`, and the
+        remote gateway's ``gateway_stats()`` — can poll one worker under
+        that shard's lock without touching the others' pipes.
+        """
+        handle = self._shards.get(index)
+        if handle is None or not handle.alive:
+            raise WorkerError(f"shard {index} is not live")
+        try:
+            reply = handle.request(Request("stats"), self.request_timeout_s)
+            raise_remote(reply)
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise
+        return reply.value
+
     def shard_stats(self) -> dict[int, ServiceStats]:
         """Per-live-shard :class:`ServiceStats` (one IPC each)."""
         out: dict[int, ServiceStats] = {}
         for handle in self._live_shards():
             try:
-                reply = handle.request(Request("stats"), self.request_timeout_s)
-                raise_remote(reply)
-                out[handle.index] = reply.value
-            except WorkerError as exc:
-                self._queue_crash(handle, str(exc))
+                out[handle.index] = self.stats_of(handle.index)
+            except WorkerError:
+                continue  # crash queued by stats_of; skip the dead shard
         return out
 
     def stats(self) -> ServiceStats:

@@ -14,6 +14,16 @@ to ``(error class name, message)`` and re-raised router-side as the
 matching :mod:`repro.errors` type (:func:`raise_remote`), so a
 misrouted ``feed`` on a shard behaves exactly like the same call on a
 local :class:`~repro.serving.service.MonitorService`.
+
+Receiving goes through :func:`recv_message`, which separates the three
+ways a pipe read can go wrong — end-of-stream (peer gone, possibly mid
+message), a corrupt or truncated payload inside an intact stream, and a
+well-formed object of the wrong type — so both sides of the pipe react
+correctly: a router treats all three as a dead worker, while a worker
+survives corrupt input (error reply, keep serving) and only exits on a
+true end-of-stream.  The remote ingest gateway surfaced these edges:
+its network byte stream can truncate anywhere, and its fail-safe
+contract leans on the router never mistaking garbage for a reply.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from .. import errors
+from ..errors import WorkerError
 
 
 @dataclass(frozen=True)
@@ -65,6 +76,58 @@ def error_reply(exc: BaseException, has_pending: bool = False) -> Reply:
         error=str(exc),
         has_pending=has_pending,
     )
+
+
+def recv_message(
+    conn,
+    expected: type | tuple[type, ...],
+    *,
+    timeout_s: float | None = None,
+    who: str = "peer",
+) -> Any:
+    """Receive one framed object off a :func:`multiprocessing.Pipe` end,
+    validated against the protocol.
+
+    Raises
+    ------
+    EOFError
+        The peer's end is closed — including a message truncated by the
+        peer dying mid-write (the pipe's length-prefixed framing turns
+        that into end-of-file).  The stream is over; a worker should
+        exit its loop, a router should declare the worker dead.
+    WorkerError
+        The stream is intact but this message is unusable: no reply
+        within ``timeout_s``, a payload that does not unpickle (bit
+        corruption, a non-pickle writer on the pipe), or a well-formed
+        object that is not an ``expected`` instance.  A worker may
+        answer with an error reply and keep serving.
+    """
+    try:
+        if timeout_s is not None and not conn.poll(timeout_s):
+            raise WorkerError(f"{who} unresponsive after {timeout_s}s")
+        message = conn.recv()
+    except (WorkerError, EOFError):
+        raise
+    except OSError as exc:
+        # Covers recv() on a broken pipe and poll() on a handle closed
+        # underneath us (e.g. close() racing an in-flight request).
+        raise EOFError(f"{who}: pipe closed: {exc}") from exc
+    except Exception as exc:  # noqa: BLE001
+        # Anything the unpickler throws on garbage bytes: UnpicklingError,
+        # but also AttributeError/ValueError/... from corrupt opcodes.
+        raise WorkerError(
+            f"{who}: corrupt or truncated message: {type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(message, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise WorkerError(
+            f"{who}: expected {names}, got {type(message).__name__}"
+        )
+    return message
 
 
 def raise_remote(reply: Reply) -> None:

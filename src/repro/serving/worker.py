@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..errors import WorkerError
 from ..nn.backends import DEFAULT_BACKEND
 from .service import MonitorService
 from .snapshot import monitor_from_bytes
-from .transport import Reply, Request, error_reply
+from .transport import Reply, Request, error_reply, recv_message
 
 
 def _dispatch(service: MonitorService, request: Request) -> Reply:
@@ -82,9 +83,17 @@ def worker_main(
     service = MonitorService(monitor, max_sessions=max_sessions, backend=backend)
     while True:
         try:
-            request: Request = conn.recv()
-        except (EOFError, OSError):
+            request: Request = recv_message(conn, Request, who="router")
+        except EOFError:
             break  # router is gone; nothing left to serve
+        except WorkerError as exc:
+            # Corrupt or foreign message on an intact stream: report it
+            # and keep serving — the shard's sessions outlive bad input.
+            try:
+                conn.send(error_reply(exc, has_pending=service.has_pending))
+            except (BrokenPipeError, OSError):
+                break
+            continue
         try:
             reply = _dispatch(service, request)
         except Exception as exc:  # noqa: BLE001 - reduced to an error reply

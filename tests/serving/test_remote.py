@@ -1,0 +1,730 @@
+"""Tests for the remote ingest gateway, wire protocol and client SDKs.
+
+The tentpole invariant: a session fed over a **real TCP socket**
+reproduces the local :class:`MonitorService` event stream bit for bit,
+order included, for K ∈ {1, 2} shards under both inference backends.
+Plus the transport semantics the wire adds: framing/truncation errors,
+heartbeat and idle timeouts, bounded-send-queue backpressure, and the
+fail-safe drain-and-close contract for dying clients and dying shard
+workers.
+"""
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ShapeError,
+    WorkerError,
+)
+from repro.serving import (
+    AsyncRemoteMonitorClient,
+    MonitorGateway,
+    MonitorService,
+    RemoteMonitorClient,
+    SessionEvent,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+    monitor_from_bytes,
+    monitor_to_bytes,
+)
+from repro.serving.remote import protocol
+from repro.serving.remote.protocol import (
+    HEADER_SIZE,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    MessageReader,
+    MessageType,
+    decode_events,
+    decode_frames,
+    decode_header,
+    encode_events,
+    encode_frames,
+    encode_message,
+)
+
+N_FEATURES = 10
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    return make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+
+
+@contextlib.contextmanager
+def running_gateway(monitor=None, **kwargs):
+    """A gateway serving on a loop thread; yields its GatewayRunner."""
+    kwargs.setdefault("heartbeat_interval_s", 0.2)
+    kwargs.setdefault("idle_timeout_s", 30.0)
+    gateway = MonitorGateway(monitor, **kwargs)
+    with gateway.serve_in_thread() as runner:
+        yield runner
+
+
+def local_events(monitor, trajectory, backend="reference", session_id="s"):
+    """The reference stream: one local MonitorService, one session."""
+    service = MonitorService(monitor, max_sessions=4, backend=backend)
+    service.open_session(session_id)
+    service.feed(session_id, trajectory.frames)
+    return service.drain()
+
+
+def event_key(event):
+    return (
+        event.session_id,
+        event.frame_index,
+        event.gesture,
+        event.score,
+        event.flag,
+        event.error,
+    )
+
+
+def wait_until(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestProtocol:
+    def test_message_header_round_trip(self):
+        data = encode_message(MessageType.STATS, b"abc")
+        assert len(data) == HEADER_SIZE + 3
+        msg_type, length = decode_header(data)
+        assert msg_type is MessageType.STATS
+        assert length == 3
+
+    def test_frames_round_trip(self):
+        frames = np.arange(12, dtype=float).reshape(3, 4) * 0.5
+        sid, decoded = decode_frames(encode_frames("theatre-7", frames))
+        assert sid == "theatre-7"
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(decoded, frames)
+
+    def test_single_frame_promoted(self):
+        sid, decoded = decode_frames(encode_frames("s", np.zeros(5)))
+        assert decoded.shape == (1, 5)
+
+    def test_events_round_trip(self):
+        events = [
+            SessionEvent("a", 0, 3, 0.25, False),
+            SessionEvent("b-long-session-id", 17, 0, 0.99, True, "worker died"),
+        ]
+        decoded = decode_events(encode_events(events))
+        assert decoded == events
+        assert decode_events(encode_events([])) == []
+
+    def test_incremental_reader_handles_arbitrary_chunking(self):
+        stream = (
+            encode_message(MessageType.HEARTBEAT)
+            + encode_message(MessageType.FRAME, encode_frames("s", np.ones((2, 3))))
+            + encode_message(MessageType.EVENT, encode_events([SessionEvent("s", 0, 1, 0.5, False)]))
+        )
+        reader = MessageReader()
+        collected = []
+        for i in range(len(stream)):  # one byte at a time
+            reader.feed(stream[i : i + 1])
+            collected.extend(reader.messages())
+        assert [t for t, _ in collected] == [
+            MessageType.HEARTBEAT,
+            MessageType.FRAME,
+            MessageType.EVENT,
+        ]
+        assert reader.buffered == 0
+        sid, frames = decode_frames(collected[1][1])
+        assert sid == "s" and frames.shape == (2, 3)
+
+    def test_foreign_version_rejected(self):
+        bad = struct.pack("!BBHI", PROTOCOL_VERSION + 1, 1, 0, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_header(bad)
+
+    def test_unknown_message_type_rejected(self):
+        bad = struct.pack("!BBHI", PROTOCOL_VERSION, 200, 0, 0)
+        with pytest.raises(ProtocolError, match="message type"):
+            decode_header(bad)
+
+    def test_nonzero_reserved_field_rejected(self):
+        bad = struct.pack("!BBHI", PROTOCOL_VERSION, 1, 7, 0)
+        with pytest.raises(ProtocolError, match="reserved"):
+            decode_header(bad)
+
+    def test_hostile_payload_length_rejected(self):
+        bad = struct.pack("!BBHI", PROTOCOL_VERSION, 1, 0, MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="cap"):
+            decode_header(bad)
+
+    @pytest.mark.parametrize("cut", [0, 1, 3, 9, 17])
+    def test_truncated_frame_payload_rejected(self, cut):
+        payload = encode_frames("session", np.ones((2, 4)))
+        with pytest.raises(ProtocolError):
+            decode_frames(payload[:cut])
+
+    def test_frame_payload_length_mismatch_rejected(self):
+        payload = encode_frames("s", np.ones((2, 4)))
+        with pytest.raises(ProtocolError, match="carries"):
+            decode_frames(payload[:-8])
+
+    @pytest.mark.parametrize("cut", [0, 3, 5, 12])
+    def test_truncated_event_payload_rejected(self, cut):
+        payload = encode_events([SessionEvent("sess", 3, 1, 0.5, True, "x")])
+        with pytest.raises(ProtocolError):
+            decode_events(payload[:cut])
+
+    def test_trailing_garbage_in_events_rejected(self):
+        payload = encode_events([SessionEvent("s", 0, 1, 0.5, False)])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_events(payload + b"junk")
+
+
+class TestRemoteParity:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_wire_session_matches_local_service_bit_for_bit(
+        self, monitor, n_shards, backend
+    ):
+        """The headline guarantee: the socket adds nothing and loses
+        nothing — scores, gestures, flags and order are identical."""
+        trajectory = make_random_walk_trajectory(
+            40, n_features=N_FEATURES, seed=11
+        )
+        reference = local_events(monitor, trajectory, backend=backend)
+        with running_gateway(
+            monitor, n_shards=n_shards, max_sessions=8, backend=backend
+        ) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                events = client.stream_session(
+                    trajectory.frames, session_id="s", chunk_size=7
+                )
+        assert [event_key(e) for e in events] == [
+            event_key(e) for e in reference
+        ]
+
+    def test_multiple_clients_each_match_their_isolated_stream(self, monitor):
+        """Sessions multiplexed over several connections each reproduce
+        their isolated stream() run, frame order preserved."""
+        fleet = {
+            f"proc-{i}": make_random_walk_trajectory(
+                25 + 5 * i, n_features=N_FEATURES, seed=40 + i
+            )
+            for i in range(4)
+        }
+        with running_gateway(monitor, n_shards=1, max_sessions=8) as runner:
+            clients = [
+                RemoteMonitorClient(runner.host, runner.port) for _ in range(2)
+            ]
+            try:
+                owners = {}
+                for i, (sid, trajectory) in enumerate(fleet.items()):
+                    client = clients[i % 2]
+                    owners[sid] = client
+                    assert client.open_session(sid) == sid
+                    client.feed(sid, trajectory.frames)
+                for sid, trajectory in fleet.items():
+                    events = owners[sid].events_for(sid, trajectory.n_frames)
+                    assert [e.frame_index for e in events] == list(
+                        range(trajectory.n_frames)
+                    )
+                    gestures, scores = [], []
+                    for _, gesture, score, _ in monitor.stream(trajectory):
+                        gestures.append(gesture)
+                        scores.append(score)
+                    assert [e.gesture for e in events] == gestures
+                    assert [e.score for e in events] == scores
+                    summary = owners[sid].close_session(sid)
+                    assert summary["n_frames"] == trajectory.n_frames
+            finally:
+                for client in clients:
+                    client.close()
+
+    def test_async_client_round_trip_in_one_loop(self, monitor):
+        """The asyncio SDK against an in-loop gateway: open, chunked
+        feeds, merged event stream, close summary, stats."""
+        trajectory = make_random_walk_trajectory(
+            30, n_features=N_FEATURES, seed=13
+        )
+        reference = local_events(monitor, trajectory)
+
+        async def run():
+            async with MonitorGateway(
+                monitor, n_shards=1, max_sessions=4
+            ) as gateway:
+                client = await AsyncRemoteMonitorClient.connect(
+                    gateway.host, gateway.port
+                )
+                sid = await client.open_session("s")
+                for start in range(0, trajectory.n_frames, 10):
+                    await client.feed(
+                        sid, trajectory.frames[start : start + 10]
+                    )
+                events = []
+                async for event in client.events():
+                    events.append(event)
+                    if len(events) == trajectory.n_frames:
+                        break
+                summary = await client.close_session(sid)
+                stats = await client.gateway_stats()
+                await client.aclose()
+                return events, summary, stats
+
+        events, summary, stats = asyncio.run(run())
+        assert [event_key(e) for e in events] == [
+            event_key(e) for e in reference
+        ]
+        assert summary["n_frames"] == trajectory.n_frames
+        assert stats["frames_received"] == trajectory.n_frames
+        assert stats["sessions"]["closed_total"] == 1
+
+
+class TestErrors:
+    def test_gateway_errors_keep_their_repro_types(self, monitor):
+        with running_gateway(monitor, n_shards=1, max_sessions=1) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                sid = client.open_session("only")
+                with pytest.raises(ConfigurationError):
+                    client.open_session("only")  # duplicate id
+                with pytest.raises(ConfigurationError):
+                    client.open_session("overflow")  # all slots in use
+                # feed is unacknowledged: the ShapeError arrives as an
+                # ERROR message and raises on the next stream read.
+                client.feed(sid, np.zeros((2, N_FEATURES + 3)))
+                with pytest.raises(ShapeError):
+                    client.gateway_stats()
+                # The connection survives typed errors.
+                client.feed(sid, np.zeros((3, N_FEATURES)))
+                assert len(client.events_for(sid, 3)) == 3
+                with pytest.raises(ProtocolError):
+                    client.close_session("ghost")
+
+    def test_events_for_preserves_other_sessions_on_error(self, monitor):
+        """An async ERROR raised mid-collection must not swallow other
+        sessions' already-received events — they stay buffered."""
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                client.open_session("a")
+                client.open_session("b")
+                client.feed("b", np.zeros((2, N_FEATURES)))
+                # Rejected async feed: the ERROR trails b's two events.
+                client.feed("a", np.zeros((1, N_FEATURES + 2)))
+                with pytest.raises(ShapeError):
+                    client.events_for("a", 1)
+                # b's events were popped into the requeue before the
+                # ERROR raised; they must have been restored.
+                events = client.events_for("b", 2)
+                assert [e.frame_index for e in events] == [0, 1]
+
+    def test_async_feed_error_raises_from_event_stream(self, monitor):
+        async def run():
+            async with MonitorGateway(
+                monitor, n_shards=1, max_sessions=4
+            ) as gateway:
+                client = await AsyncRemoteMonitorClient.connect(
+                    gateway.host, gateway.port
+                )
+                sid = await client.open_session()
+                await client.feed(sid, np.zeros((2, N_FEATURES + 1)))
+                with pytest.raises(ShapeError):
+                    await asyncio.wait_for(client.next_event(), 10.0)
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_constructor_validation(self, monitor):
+        with pytest.raises(ConfigurationError):
+            MonitorGateway()  # neither monitor nor bytes
+        with pytest.raises(ConfigurationError):
+            MonitorGateway(monitor, monitor_bytes=b"x")  # both
+        with pytest.raises(ConfigurationError):
+            MonitorGateway(monitor, n_shards=0)
+        with pytest.raises(ConfigurationError):
+            MonitorGateway(monitor, backend="turbo")
+        with pytest.raises(ConfigurationError):
+            MonitorGateway(monitor, send_queue_max=1)
+        with pytest.raises(ConfigurationError):
+            # Consumer-only clients only talk by echoing heartbeats; a
+            # tighter idle bound would disconnect every healthy one.
+            MonitorGateway(
+                monitor, heartbeat_interval_s=10.0, idle_timeout_s=5.0
+            )
+
+
+class TestFailSafe:
+    def test_client_disconnect_drains_then_fails_safe(self, monitor):
+        """An abruptly dead client's accepted frames are still processed
+        (drain), then its session closes with a terminal error-set,
+        flag=True event at the gateway — never silently dropped."""
+        trajectory = make_random_walk_trajectory(
+            20, n_features=N_FEATURES, seed=21
+        )
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            client = RemoteMonitorClient(runner.host, runner.port)
+            client.open_session("dying")
+            client.feed("dying", trajectory.frames)
+            client.close()  # vanish without CLOSE
+            gateway = runner.gateway
+            assert wait_until(lambda: gateway.failsafe_events)
+            (event,) = gateway.failsafe_events
+            assert event.session_id == "dying"
+            assert event.flag is True
+            assert "disconnect" in event.error
+            # Drain-and-close: every accepted frame was processed first.
+            assert event.frame_index == trajectory.n_frames
+            assert gateway.failed_sessions == {"dying": event.error}
+            assert gateway.n_open_sessions == 0
+            stats = runner.stats()
+            assert stats["sessions"]["failed_total"] == 1
+            assert stats["frames_received"] == trajectory.n_frames
+
+    def test_killed_shard_worker_surfaces_error_events(self, monitor):
+        """Killing a shard worker mid-stream: the gateway records the
+        fail-safe events AND pushes them to the owning client."""
+        with running_gateway(
+            monitor, n_shards=2, max_sessions=16
+        ) as runner:
+            gateway = runner.gateway
+            gateway._engine.frontend.poll_interval_s = 0.05
+            service = gateway._engine.service
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                sids = [client.open_session(f"proc-{i}") for i in range(6)]
+                placement = {sid: service.shard_of(sid) for sid in sids}
+                assert len(set(placement.values())) == 2
+                for sid in sids:
+                    client.feed(
+                        sid,
+                        make_random_walk_trajectory(
+                            10, n_features=N_FEATURES, seed=60
+                        ).frames,
+                    )
+                for sid in sids:  # let the backlog fully drain first
+                    client.events_for(sid, 10)
+                victim_shard = placement[sids[0]]
+                victims = {
+                    s for s, sh in placement.items() if sh == victim_shard
+                }
+                process = service._shards[victim_shard].process
+                os.kill(process.pid, signal.SIGKILL)
+                process.join(10.0)
+                # The fail-safe events reach the client over the wire...
+                crashed = set()
+                while len(crashed) < len(victims):
+                    event = client.next_event()
+                    assert event.error is not None and event.flag
+                    crashed.add(event.session_id)
+                assert crashed == victims
+                # Closing a crash-failed session names the failure, not
+                # a generic "no such session".
+                with pytest.raises(WorkerError, match="failed"):
+                    client.close_session(sids[0])
+            # ...and are recorded at the gateway.
+            assert wait_until(
+                lambda: set(gateway.failed_sessions) >= victims
+            )
+            for sid in victims:
+                assert sid in gateway.failed_sessions
+
+    def test_local_engine_tick_failure_fails_safe(self, monitor):
+        """K=1 has no worker process to crash, but a tick() exception
+        must still fail the embedded engine *safe*: terminal error
+        events for every session, WorkerError on further use — never a
+        gateway that silently stops flagging."""
+
+        async def run():
+            async with MonitorGateway(
+                monitor, n_shards=1, max_sessions=4
+            ) as gateway:
+                client = await AsyncRemoteMonitorClient.connect(
+                    gateway.host, gateway.port
+                )
+                sid = await client.open_session("s")
+                await client.feed(sid, np.zeros((2, N_FEATURES)))
+                for _ in range(2):
+                    event = await asyncio.wait_for(client.next_event(), 10.0)
+                    assert event.error is None
+
+                def boom():
+                    raise RuntimeError("synthetic tick explosion")
+
+                gateway._engine.service.tick = boom
+                await client.feed(sid, np.zeros((3, N_FEATURES)))
+                event = await asyncio.wait_for(client.next_event(), 10.0)
+                assert event.flag is True
+                assert "tick failed" in event.error
+                assert event.frame_index == 2  # frames served before the loss
+                with pytest.raises(WorkerError, match="tick failed"):
+                    await client.open_session("another")
+                await client.aclose()
+                return dict(gateway.failed_sessions)
+
+        failed = asyncio.run(run())
+        assert "s" in failed and "tick failed" in failed["s"]
+
+    def test_stop_leaves_no_orphan_workers(self, monitor):
+        gateway = MonitorGateway(monitor, n_shards=2, max_sessions=4)
+        runner = gateway.serve_in_thread()
+        runner.start()
+        processes = [
+            h.process for h in gateway._engine.service._shards.values()
+        ]
+        assert processes and all(p.is_alive() for p in processes)
+        with RemoteMonitorClient(runner.host, runner.port) as client:
+            sid = client.open_session()
+            client.feed(sid, np.zeros((3, N_FEATURES)))
+            client.events_for(sid, 3)
+        runner.stop()
+        for process in processes:
+            assert not process.is_alive()
+        runner.stop()  # idempotent
+
+    def test_idle_connection_is_disconnected(self, monitor):
+        with running_gateway(
+            monitor,
+            n_shards=1,
+            max_sessions=4,
+            heartbeat_interval_s=0.05,
+            idle_timeout_s=0.3,
+        ) as runner:
+            raw = socket.create_connection((runner.host, runner.port))
+            raw.settimeout(10.0)
+            # Never answer anything: the gateway must hang up on us.
+            deadline = time.monotonic() + 10.0
+            saw_eof = False
+            while time.monotonic() < deadline:
+                data = raw.recv(4096)
+                if not data:
+                    saw_eof = True
+                    break
+            raw.close()
+            assert saw_eof
+            assert runner.stats()["connections"]["idle_disconnects"] >= 1
+
+    def test_heartbeat_echo_keeps_connection_alive(self, monitor):
+        with running_gateway(
+            monitor,
+            n_shards=1,
+            max_sessions=4,
+            heartbeat_interval_s=0.05,
+            idle_timeout_s=0.4,
+        ) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                sid = client.open_session("steady")
+                # Stay connected well past the idle timeout: every stats
+                # round trip also echoes any pending heartbeats.
+                for _ in range(10):
+                    time.sleep(0.1)
+                    client.gateway_stats()
+                client.feed(sid, np.zeros((2, N_FEATURES)))
+                assert len(client.events_for(sid, 2)) == 2
+                assert client.close_session(sid)["n_frames"] == 2
+            stats = runner.stats()
+            assert stats["heartbeats_sent"] > 0
+            assert stats["connections"]["idle_disconnects"] == 0
+            assert not runner.gateway.failed_sessions
+
+
+class TestBackpressure:
+    def test_send_queue_overflow_disconnects_slow_consumer(self, monitor):
+        """A consumer that stops reading must be cut loose — its bounded
+        queue overflows, the connection drops, its sessions fail safe —
+        while the gateway keeps serving everyone else."""
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=8, send_queue_max=8
+        ) as runner:
+            gateway = runner.gateway
+            slow = RemoteMonitorClient(runner.host, runner.port)
+            slow.open_session("slow")
+
+            async def park_writer():
+                (conn,) = gateway._connections.values()
+                conn.writer_gate.clear()
+
+            runner.run(park_writer())
+            # 50 events against a parked writer and a queue of 8.
+            slow.feed("slow", np.zeros((50, N_FEATURES)))
+            assert wait_until(lambda: gateway.failed_sessions)
+            assert "overflow" in gateway.failed_sessions["slow"]
+            (event,) = [
+                e for e in gateway.failsafe_events if e.session_id == "slow"
+            ]
+            assert event.flag is True
+            stats = runner.stats()
+            assert stats["connections"]["overflow_disconnects"] == 1
+            assert stats["connections"]["open"] == 0
+            slow.close()
+            # The gateway still serves a well-behaved client afterwards.
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                events = client.stream_session(
+                    np.zeros((5, N_FEATURES)), session_id="healthy"
+                )
+                assert len(events) == 5
+
+
+class TestGatewayStats:
+    def test_counters_and_shard_aggregation(self, monitor):
+        with running_gateway(monitor, n_shards=2, max_sessions=8) as runner:
+            with RemoteMonitorClient(
+                runner.host, runner.port
+            ) as a, RemoteMonitorClient(runner.host, runner.port) as b:
+                for i, client in enumerate((a, b)):
+                    sid = client.open_session(f"proc-{i}")
+                    client.feed(sid, np.zeros((4, N_FEATURES)))
+                    client.events_for(sid, 4)
+                stats = a.gateway_stats()
+                assert stats["protocol_version"] == PROTOCOL_VERSION
+                assert stats["n_shards"] == 2
+                assert stats["connections"]["open"] == 2
+                assert stats["connections"]["total"] == 2
+                assert stats["sessions"]["open"] == 2
+                assert stats["sessions"]["peak_open"] == 2
+                assert stats["frames_received"] == 8
+                assert stats["events_sent"] >= 8
+                assert stats["queues"]["capacity"] == 1024
+                shard_totals = sum(
+                    s["frames_processed"] for s in stats["shards"].values()
+                )
+                assert shard_totals == 8
+                assert all(
+                    s["tick_p99_ms"] >= s["tick_p50_ms"] >= 0.0
+                    for s in stats["shards"].values()
+                )
+
+
+class TestSnapshotRestart:
+    def test_backend_choice_survives_gateway_restarts(self, monitor):
+        """The satellite contract: a float32 compiled backend embedded
+        in the snapshot drives every gateway booted from those bytes —
+        across restarts — and the served events match the local
+        compiled-f32 engine bit for bit."""
+        blob = monitor_to_bytes(monitor, backend="compiled-f32")
+        trajectory = make_random_walk_trajectory(
+            25, n_features=N_FEATURES, seed=31
+        )
+        reference = local_events(
+            monitor_from_bytes(blob), trajectory, backend="compiled-f32"
+        )
+        runs = []
+        for _ in range(2):  # boot, serve, stop; then boot again
+            with running_gateway(monitor_bytes=blob, max_sessions=4) as runner:
+                assert runner.gateway.backend == "compiled-f32"
+                with RemoteMonitorClient(runner.host, runner.port) as client:
+                    runs.append(
+                        client.stream_session(trajectory.frames, session_id="s")
+                    )
+        for events in runs:
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in reference
+            ]
+
+    def test_explicit_backend_overrides_snapshot(self, monitor):
+        blob = monitor_to_bytes(monitor, backend="compiled")
+        gateway = MonitorGateway(monitor_bytes=blob, backend="reference")
+        assert gateway.backend == "reference"
+        gateway = MonitorGateway(monitor_bytes=blob)
+        assert gateway.backend == "compiled"
+
+
+class TestPartialStart:
+    def test_failed_bind_terminates_spawned_workers(self, monitor, monkeypatch):
+        """A start() that spawns the shard fleet but fails to bind the
+        socket must not leave orphaned worker processes behind."""
+        from repro.serving import ShardedMonitorService
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        taken_port = blocker.getsockname()[1]
+
+        spawned = []
+        original_close = ShardedMonitorService.close
+
+        def capturing_close(self):
+            spawned.extend(h.process for h in self._shards.values())
+            original_close(self)
+
+        monkeypatch.setattr(ShardedMonitorService, "close", capturing_close)
+
+        async def run():
+            gateway = MonitorGateway(
+                monitor, n_shards=2, max_sessions=4, port=taken_port
+            )
+            with pytest.raises(OSError):
+                await gateway.start()
+            await gateway.stop()  # must not raise on the partial state
+
+        try:
+            asyncio.run(run())
+        finally:
+            blocker.close()
+        assert len(spawned) == 2
+        for process in spawned:
+            assert not process.is_alive()
+
+
+class TestProtocolOverTheWire:
+    def test_garbage_bytes_get_a_protocol_error_then_disconnect(self, monitor):
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            raw = socket.create_connection((runner.host, runner.port))
+            raw.settimeout(10.0)
+            raw.sendall(struct.pack("!BBHI", 99, 1, 0, 0))  # wrong version
+            reader = MessageReader()
+            got_error = False
+            try:
+                while True:
+                    data = raw.recv(4096)
+                    if not data:
+                        break
+                    reader.feed(data)
+                    for msg_type, payload in reader.messages():
+                        if msg_type is MessageType.ERROR:
+                            info = protocol.decode_json(payload)
+                            assert info["error_type"] == "ProtocolError"
+                            got_error = True
+            finally:
+                raw.close()
+            assert got_error
+
+    def test_malformed_close_session_id_gets_protocol_error(self, monitor):
+        """A CLOSE whose session_id is not a string (e.g. a list) must be
+        rejected as a protocol violation, not crash the handler."""
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            raw = socket.create_connection((runner.host, runner.port))
+            raw.settimeout(10.0)
+            raw.sendall(
+                encode_message(
+                    MessageType.CLOSE,
+                    protocol.encode_json({"session_id": ["not", "a", "str"]}),
+                )
+            )
+            reader = MessageReader()
+            got_error = False
+            try:
+                while not got_error:
+                    data = raw.recv(4096)
+                    if not data:
+                        break
+                    reader.feed(data)
+                    for msg_type, payload in reader.messages():
+                        if msg_type is MessageType.ERROR:
+                            info = protocol.decode_json(payload)
+                            assert info["error_type"] == "ProtocolError"
+                            got_error = True
+            finally:
+                raw.close()
+            assert got_error
+            # The gateway is unharmed: a fresh client still gets served.
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                events = client.stream_session(
+                    np.zeros((3, N_FEATURES)), session_id="after"
+                )
+                assert len(events) == 3

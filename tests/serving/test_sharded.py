@@ -19,9 +19,11 @@ from repro.errors import ConfigurationError, DatasetError, ShapeError, WorkerErr
 from repro.serving import (
     AsyncShardedMonitor,
     MonitorService,
+    ServiceStats,
     ShardedMonitorService,
     make_random_walk_trajectory,
     make_synthetic_monitor,
+    suggest_shard_count,
 )
 
 N_FEATURES = 10
@@ -650,6 +652,128 @@ class TestAsyncFrontend:
         assert {e.session_id for e in crash_events} == victims
         assert all(e.flag and e.error for e in crash_events)
         assert failed == victims
+
+
+def stats_with_p99(tick_ms: float, n_ticks: int = 100) -> ServiceStats:
+    """ServiceStats whose every recorded tick took ``tick_ms``."""
+    stats = ServiceStats(capacity=max(n_ticks, 1))
+    for _ in range(n_ticks):
+        stats.record(tick_ms, 4)
+    return stats
+
+
+class TestSuggestShardCount:
+    """The pure autoscaling policy over shard_stats() snapshots.
+
+    Budget at the paper's 30 Hz: 33.3 ms per frame; default watermarks
+    are 50% (scale up above ~16.7 ms p99) and 10% (scale down below
+    ~3.3 ms p99).
+    """
+
+    def test_in_band_load_keeps_current_count(self):
+        stats = {i: stats_with_p99(8.0) for i in range(4)}
+        assert suggest_shard_count(stats) == 4
+
+    def test_hot_fleet_scales_up_proportionally(self):
+        # Busiest shard at 2x the high watermark -> double the fleet.
+        stats = {0: stats_with_p99(33.3), 1: stats_with_p99(10.0)}
+        assert suggest_shard_count(stats) == 4
+
+    def test_scale_up_driven_by_busiest_shard_only(self):
+        # Hash skew: one hot shard forces growth even if others idle.
+        stats = {i: stats_with_p99(0.5) for i in range(3)}
+        stats[3] = stats_with_p99(50.0)
+        assert suggest_shard_count(stats) > 4
+
+    def test_cold_fleet_scales_down_with_hysteresis(self):
+        # Far below the low watermark: consolidate, but the projected
+        # busiest p99 must stay under half the high watermark.
+        stats = {i: stats_with_p99(0.8) for i in range(8)}
+        suggested = suggest_shard_count(stats)
+        assert suggested < 8
+        projected = 0.8 * 8 / suggested
+        assert projected <= 0.5 * 0.5 * (1000.0 / 30.0)
+
+    def test_idle_fleet_collapses_to_min_shards(self):
+        stats = {i: ServiceStats(capacity=4) for i in range(6)}
+        assert suggest_shard_count(stats) == 1
+        assert suggest_shard_count(stats, min_shards=2) == 2
+
+    def test_scale_down_never_triggers_next_scale_up(self):
+        # Property: applying the suggestion to a cold fleet never lands
+        # in the scale-up region under the linear-consolidation model.
+        for p99 in (0.1, 0.5, 1.0, 2.0, 3.0):
+            for k in (2, 4, 8, 16):
+                stats = {i: stats_with_p99(p99) for i in range(k)}
+                suggested = suggest_shard_count(stats)
+                if suggested < k:
+                    projected = {
+                        i: stats_with_p99(p99 * k / suggested)
+                        for i in range(suggested)
+                    }
+                    assert suggest_shard_count(projected) <= k
+
+    def test_respects_max_shards_and_empty_input(self):
+        hot = {0: stats_with_p99(200.0)}
+        assert suggest_shard_count(hot, max_shards=3) == 3
+        assert suggest_shard_count({}) == 1
+        assert suggest_shard_count({}, min_shards=4) == 4
+
+    def test_invalid_arguments_rejected(self):
+        stats = {0: stats_with_p99(5.0)}
+        with pytest.raises(ConfigurationError):
+            suggest_shard_count(stats, low_watermark=0.6, high_watermark=0.5)
+        with pytest.raises(ConfigurationError):
+            suggest_shard_count(stats, frame_interval_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            suggest_shard_count(stats, min_shards=0)
+        with pytest.raises(ConfigurationError):
+            suggest_shard_count(stats, min_shards=4, max_shards=2)
+
+    def test_accepts_live_shard_stats(self, monitor):
+        """The function consumes a real shard_stats() snapshot as-is."""
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=4
+        ) as service:
+            sid = service.open_session("proc")
+            service.feed(
+                sid,
+                make_random_walk_trajectory(
+                    20, n_features=N_FEATURES, seed=990
+                ).frames,
+            )
+            service.drain(collect=False)
+            suggested = suggest_shard_count(service.shard_stats())
+            assert 1 <= suggested  # tiny synthetic load: any sane count
+
+
+class TestAsyncShardStats:
+    def test_shard_stats_coroutine_matches_sync_surface(self, monitor):
+        """AsyncShardedMonitor.shard_stats polls each worker under its
+        pipe lock and returns the same per-shard view."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    sid = await frontend.open_session("proc")
+                    await frontend.feed(
+                        sid,
+                        make_random_walk_trajectory(
+                            15, n_features=N_FEATURES, seed=991
+                        ).frames,
+                    )
+                    await frontend.drain()
+                    stats = await frontend.shard_stats()
+                    return {
+                        i: (s.n_ticks, s.frames_processed)
+                        for i, s in stats.items()
+                    }
+
+        per_shard = asyncio.run(run())
+        assert set(per_shard) == {0, 1}
+        assert sum(frames for _, frames in per_shard.values()) == 15
 
 
 class TestConstruction:

@@ -81,6 +81,35 @@ class TestBackendChoice:
         a, b = monitor.process(trajectory), restored.process(trajectory)
         assert np.array_equal(a.unsafe_scores, b.unsafe_scores)
 
+    @pytest.mark.parametrize("backend", ["compiled", "compiled-f32"])
+    def test_compiled_backend_service_round_trip(self, backend):
+        """A restored monitor drives a CompiledBackend service (float32
+        included) identically to the original: the snapshot carries
+        everything the compile step folds (weights, scalers, windows),
+        so serving bit-equality survives serialisation."""
+        from repro.serving import MonitorService
+
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=5)
+        blob = monitor_to_bytes(monitor, backend=backend)
+        assert snapshot_backend(blob) == backend
+        restored = monitor_from_bytes(blob)
+        trajectory = make_random_walk_trajectory(
+            50, n_features=N_FEATURES, seed=6
+        )
+        events = {}
+        for key, source in (("original", monitor), ("restored", restored)):
+            service = MonitorService(source, max_sessions=2, backend=backend)
+            service.open_session("s")
+            service.feed("s", trajectory.frames)
+            events[key] = service.drain()
+        assert [
+            (e.frame_index, e.gesture, e.score, e.flag)
+            for e in events["original"]
+        ] == [
+            (e.frame_index, e.gesture, e.score, e.flag)
+            for e in events["restored"]
+        ]
+
     def test_backend_defaults_to_none(self):
         monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
         assert snapshot_backend(monitor_to_bytes(monitor)) is None

@@ -1,0 +1,150 @@
+"""Regression tests for the hardened pipe transport.
+
+The remote ingest layer surfaced the partial-message/EOF edge cases of
+:func:`repro.serving.transport.recv_message`: a peer can die mid-write
+(truncating a framed message), a stream can carry bytes that are not a
+pickle at all, and a well-formed object can be of the wrong type.  The
+contract under test: end-of-stream (including mid-message truncation)
+raises ``EOFError``; corrupt-but-intact streams raise ``WorkerError``
+and are survivable — a worker answers with an error reply and keeps
+serving.
+"""
+
+import multiprocessing as mp
+import os
+import pickle
+import struct
+
+import pytest
+
+from repro.errors import WorkerError
+from repro.serving import make_synthetic_monitor, monitor_to_bytes
+from repro.serving.transport import (
+    Reply,
+    Request,
+    error_reply,
+    raise_remote,
+    recv_message,
+)
+from repro.serving.worker import worker_main
+
+N_FEATURES = 6
+
+
+@pytest.fixture()
+def pipe():
+    a, b = mp.Pipe(duplex=True)
+    yield a, b
+    for end in (a, b):
+        try:
+            end.close()
+        except OSError:
+            pass
+
+
+class TestRecvMessage:
+    def test_valid_message_passes_type_check(self, pipe):
+        a, b = pipe
+        a.send(Request("ping"))
+        request = recv_message(b, Request, who="test")
+        assert request.op == "ping"
+
+    def test_closed_peer_raises_eof(self, pipe):
+        a, b = pipe
+        a.close()
+        with pytest.raises(EOFError):
+            recv_message(b, Request, who="test")
+
+    def test_truncated_frame_raises_eof(self, pipe):
+        """A peer dying mid-write leaves a length prefix promising more
+        bytes than ever arrive: that is end-of-stream, not garbage."""
+        a, b = pipe
+        # multiprocessing frames messages as a !i length prefix; promise
+        # 100 bytes, deliver 3, then vanish.
+        os.write(a.fileno(), struct.pack("!i", 100) + b"abc")
+        a.close()
+        with pytest.raises(EOFError):
+            recv_message(b, Request, who="test")
+
+    def test_corrupt_pickle_raises_worker_error(self, pipe):
+        a, b = pipe
+        a.send_bytes(b"this is not a pickle")
+        with pytest.raises(WorkerError, match="corrupt or truncated"):
+            recv_message(b, Request, who="test")
+
+    def test_truncated_pickle_raises_worker_error(self, pipe):
+        a, b = pipe
+        blob = pickle.dumps(Request("feed", session_id="s"))
+        a.send_bytes(blob[: len(blob) // 2])
+        with pytest.raises(WorkerError, match="corrupt or truncated"):
+            recv_message(b, Request, who="test")
+
+    def test_wrong_type_raises_worker_error(self, pipe):
+        a, b = pipe
+        a.send({"op": "ping"})  # a dict is not a Request
+        with pytest.raises(WorkerError, match="expected Request, got dict"):
+            recv_message(b, Request, who="test")
+
+    def test_timeout_raises_worker_error(self, pipe):
+        _, b = pipe
+        with pytest.raises(WorkerError, match="unresponsive"):
+            recv_message(b, Reply, timeout_s=0.05, who="shard 3")
+
+    def test_who_names_the_peer(self, pipe):
+        a, b = pipe
+        a.send_bytes(b"\x80garbage")
+        with pytest.raises(WorkerError, match="shard 7"):
+            recv_message(b, Request, who="shard 7")
+
+
+class TestWorkerSurvivesCorruptInput:
+    def test_worker_replies_error_and_keeps_serving(self):
+        """End to end: garbage on the pipe gets an error reply; the very
+        next valid request is served normally — the shard's sessions
+        outlive bad input instead of dying with an unpickling crash."""
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        blob = monitor_to_bytes(monitor)
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        parent, child = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=worker_main, args=(child, blob, 4), daemon=True
+        )
+        process.start()
+        child.close()
+        try:
+            parent.send(Request("ping"))
+            assert recv_message(parent, Reply, timeout_s=60.0).ok
+
+            parent.send_bytes(b"definitely not a pickled Request")
+            reply = recv_message(parent, Reply, timeout_s=60.0)
+            assert not reply.ok
+            assert reply.error_type == "WorkerError"
+            assert "corrupt or truncated" in reply.error
+
+            parent.send({"op": "ping"})  # wrong type, also survivable
+            reply = recv_message(parent, Reply, timeout_s=60.0)
+            assert not reply.ok
+
+            parent.send(Request("open", session_id="still-alive"))
+            reply = recv_message(parent, Reply, timeout_s=60.0)
+            assert reply.ok and reply.value == "still-alive"
+
+            parent.send(Request("stop"))
+            recv_message(parent, Reply, timeout_s=60.0)
+        finally:
+            parent.close()
+            process.join(30.0)
+            if process.is_alive():  # pragma: no cover - cleanup only
+                process.terminate()
+                process.join()
+        assert process.exitcode == 0
+
+
+class TestErrorReplyRoundTrip:
+    def test_error_reply_preserves_type_through_raise_remote(self):
+        reply = error_reply(WorkerError("boom"), has_pending=True)
+        assert reply.has_pending
+        with pytest.raises(WorkerError, match="boom"):
+            raise_remote(reply)
