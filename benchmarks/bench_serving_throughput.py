@@ -136,6 +136,107 @@ def benchmark_sharded(
     }
 
 
+def benchmark_resize(
+    monitor_bytes: bytes, n_sessions: int, n_frames: int, seed: int = 0
+) -> dict:
+    """Resize under load: K=2→4→1 mid-drain, nothing may fail safe.
+
+    Opens ``n_sessions`` equal-length sessions on a 2-shard fleet,
+    ticks a quarter of the stream, live-resizes to 4 shards, ticks
+    another quarter, resizes down to 1 and drains — counting every
+    delivered event.  The elasticity contract is *zero fail-safe
+    closures and zero lost events* while the fleet changes shape; the
+    row also reports aggregate throughput including the resize cost.
+    """
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=seed + i)
+        for i in range(n_sessions)
+    ]
+    total_frames = n_sessions * n_frames
+    with ShardedMonitorService(
+        monitor_bytes=monitor_bytes,
+        n_shards=2,
+        max_sessions_per_shard=n_sessions,
+    ) as service:
+        start = time.perf_counter()
+        for i, trajectory in enumerate(trajectories):
+            session_id = service.open_session(f"resize-{i:03d}")
+            service.feed(session_id, trajectory.frames)
+        n_events = 0
+        for _ in range(n_frames // 4):
+            n_events += len(service.tick())
+        service.resize(4)
+        for _ in range(n_frames // 4):
+            n_events += len(service.tick())
+        service.resize(1)
+        n_events += len(service.drain())
+        elapsed = time.perf_counter() - start
+        failsafe_closures = len(service.failed_sessions)
+    return {
+        "resize_path": "2->4->1",
+        "sessions": n_sessions,
+        "frames": total_frames,
+        "events_delivered": n_events,
+        "events_complete": n_events == total_frames,
+        "failsafe_closures": failsafe_closures,
+        "fps": total_frames / elapsed,
+    }
+
+
+def _print_resize_row(row: dict, n_cores: int) -> None:
+    print(
+        f"\nresize under load — {row['sessions']} sessions, "
+        f"K={row['resize_path']}, {n_cores} CPU core(s) visible"
+    )
+    print(
+        f"  events delivered: {row['events_delivered']}/{row['frames']} "
+        f"(complete: {row['events_complete']}), fail-safe closures: "
+        f"{row['failsafe_closures']}, aggregate {row['fps']:.0f} fps"
+    )
+
+
+def _check_resize_gate(row: dict, n_cores: int) -> int:
+    """The --check-resize gate; returns the exit-status contribution."""
+    if n_cores < 2:
+        print(
+            "check-resize: skipped (needs >= 2 cores for a stable "
+            "multi-process measurement)"
+        )
+        return 0
+    if row["failsafe_closures"] or not row["events_complete"]:
+        print(
+            f"FAIL: resize under load lost sessions or events "
+            f"({row['failsafe_closures']} fail-safe closures, "
+            f"{row['events_delivered']}/{row['frames']} events)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _report_resize(row: dict, args, n_cores: int, n_frames: int) -> int:
+    """--resize-only output: print the row, merge it into the report."""
+    _print_resize_row(row, n_cores)
+    report = {}
+    if os.path.exists(args.json):
+        try:
+            with open(args.json) as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            report = {}
+    report.setdefault("meta", {}).update(
+        {"resize_n_frames_per_session": n_frames, "cpu_count": n_cores}
+    )
+    report["resize"] = row
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+    if args.check_resize:
+        return _check_resize_gate(row, n_cores)
+    return 0
+
+
 def benchmark(n_sessions: int, n_frames: int, seed: int = 0) -> dict:
     """One report row: sequential vs batched, and every backend, at
     ``n_sessions``."""
@@ -212,11 +313,35 @@ def main(argv: list[str] | None = None) -> int:
             "fps (only enforced when >= 4 CPU cores are visible)"
         ),
     )
+    parser.add_argument(
+        "--check-resize",
+        action="store_true",
+        help=(
+            "exit non-zero unless a live K=2→4→1 resize under a "
+            "64-session load completes with zero fail-safe closures and "
+            "zero lost events (only enforced when >= 2 CPU cores are "
+            "visible; the resize row is measured either way)"
+        ),
+    )
+    parser.add_argument(
+        "--resize-only",
+        action="store_true",
+        help=(
+            "run only the resize-under-load scenario (its own CI step); "
+            "the row is merged into an existing --json report when one "
+            "is present"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.frames is not None and args.frames < 1:
         parser.error("--frames must be >= 1")
     n_frames = args.frames if args.frames is not None else (120 if args.smoke else 600)
     n_cores = os.cpu_count() or 1
+
+    if args.resize_only:
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        resize_row = benchmark_resize(monitor_to_bytes(monitor), 64, n_frames)
+        return _report_resize(resize_row, args, n_cores, n_frames)
 
     print(f"serving throughput — {n_frames} frames/session, {N_FEATURES} features")
     print(
@@ -282,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
         f"({n_cores} core(s); expect >= 2x only with >= 4 cores)"
     )
 
+    resize_row = benchmark_resize(monitor_bytes, 64, n_frames)
+    _print_resize_row(resize_row, n_cores)
+
     report = {
         "meta": {
             "n_frames_per_session": n_frames,
@@ -295,10 +423,12 @@ def main(argv: list[str] | None = None) -> int:
         ],
         "backends": backend_rows,
         "sharded": sharded_rows,
+        "resize": resize_row,
         "summary": {
             "batched_speedup_64": speedup_64,
             "compiled_vs_reference_64": compiled_64,
             "sharded_speedup_4": sharded_speedup,
+            "resize_failsafe_closures": resize_row["failsafe_closures"],
         },
     }
     with open(args.json, "w") as fh:
@@ -326,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_sharded and n_cores >= 4 and sharded_speedup < 2.0:
         print("FAIL: expected >= 2x at 4 shards", file=sys.stderr)
         status = 1
+    if args.check_resize:
+        status |= _check_resize_gate(resize_row, n_cores)
     return status
 
 

@@ -3,8 +3,10 @@
 Scales the multi-stream demo past one process: a
 :class:`repro.serving.ShardedMonitorService` fans staggered procedure
 sessions out over 4 worker shards (consistent-hash placement on the
-session id), ticks them to completion, and prints where every procedure
-landed plus per-shard throughput and tick-latency accounting — the
+session id), ticks them to completion — live-resizing the fleet
+mid-stream (sessions migrate between workers with their pending frames
+and window state, nothing drops) — and prints where every procedure
+landed plus per-shard throughput and tick-latency accounting: the
 operator's view described in ``docs/serving.md``.
 
 The monitor uses deterministic synthetic weights so the demo starts
@@ -85,6 +87,23 @@ def main() -> None:
                 if event.flag:
                     alerts[event.session_id] = alerts.get(event.session_id, 0) + 1
             tick += 1
+            # Live elasticity, mid-stream: grow the fleet while the
+            # morning admissions pile in, shrink it as the load tails
+            # off.  Running procedures migrate — no frame is dropped.
+            if tick == 120:
+                summary = service.resize(args.shards + 2)
+                print(
+                    f"  tick {tick:4d}: resized {summary['from']} -> "
+                    f"{summary['to']} shards ({summary['migrated']} live "
+                    f"session(s) migrated)"
+                )
+            if tick == 300 and service.n_shards > args.shards:
+                summary = service.resize(args.shards)
+                print(
+                    f"  tick {tick:4d}: resized {summary['from']} -> "
+                    f"{summary['to']} shards ({summary['migrated']} live "
+                    f"session(s) migrated)"
+                )
         elapsed = time.perf_counter() - start
 
         print("\nPer-procedure placement and alerts:")

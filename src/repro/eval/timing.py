@@ -126,7 +126,6 @@ def reaction_times(
     predicted_unsafe = np.asarray(predicted_unsafe).astype(int)
     if true_unsafe.shape != predicted_unsafe.shape:
         raise ShapeError("label arrays must have equal shape")
-    n = true_unsafe.size
     out: list[tuple[int | None, float]] = []
     prev_end = 0
     for value, start, end in _segments(true_unsafe):

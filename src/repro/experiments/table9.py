@@ -80,7 +80,6 @@ def run_task(
     ]
     perfect_timing = evaluate_timing(perfect_pairs)
     pipeline_timing = evaluate_timing(pipeline_pairs)
-    frame_rate = test.demonstrations[0].trajectory.frame_rate_hz
 
     gestures = sorted(
         {int(g) for d in test.demonstrations for g in np.unique(d.trajectory.gestures)}

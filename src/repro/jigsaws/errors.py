@@ -282,7 +282,6 @@ class ErrorInjector:
     def _knot_loose(
         self, frames: np.ndarray, offset: int, strength: float, gen: np.random.Generator
     ) -> None:
-        n = frames.shape[0]
         pos = frames[:, offset : offset + 3]
         # The tightening pull stops short: compress displacement.
         scale = max(0.25, 1.0 - 0.6 * strength)

@@ -23,7 +23,7 @@ from ..kinematics.state import N_VARIABLES_PER_ARM
 from ..kinematics.trajectory import Trajectory
 from .dataset import Demonstration, SurgicalDataset
 from .errors import ErrorInjector
-from .primitives import PRIMITIVES, SKILL_PROFILES, SkillProfile, render_gesture
+from .primitives import PRIMITIVES, SKILL_PROFILES, render_gesture
 from .schema import FRAME_RATE_HZ, SKILL_LEVELS, SUBJECTS, TRIALS_PER_SUBJECT, SuturingAnchors
 
 

@@ -10,11 +10,30 @@ hot path), and :class:`StreamingWindow` is its single-stream wrapper.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import WindowConfig
 from ..errors import ConfigurationError, ShapeError
+
+
+@dataclass
+class WindowSlotState:
+    """Portable snapshot of one stream slot's ring state.
+
+    Produced by :meth:`StreamingWindowBatch.export_slot` and consumed by
+    :meth:`StreamingWindowBatch.import_slot` — the unit of session
+    migration between serving engines.  ``buffer`` holds the slot's raw
+    ring rows (ring order, *not* time order: position depends only on
+    ``seen % window``, which travels with the state), so importing into
+    any batch built from the same :class:`~repro.config.WindowConfig`
+    reproduces the slot bit for bit.
+    """
+
+    buffer: np.ndarray  # (window, n_features) raw ring rows
+    seen: int
+    since_emit: int
 
 
 def sliding_windows(
@@ -209,6 +228,46 @@ class StreamingWindowBatch:
         ids = self._check_ids(stream_ids)
         self._seen[ids] = 0
         self._since_emit[ids] = 0
+
+    def export_slot(self, stream_id: int) -> WindowSlotState:
+        """Snapshot one slot's complete ring state (a deep copy).
+
+        Together with :meth:`import_slot` this is the migration
+        primitive: emission semantics depend only on ``(seen,
+        since_emit)`` and window contents only on the ring rows plus
+        ``seen % window``, so the triple reproduces the slot exactly in
+        any batch with the same window configuration.
+        """
+        slot = self._check_ids(np.array([stream_id]))[0]
+        return WindowSlotState(
+            buffer=self._buffer[slot].copy(),
+            seen=int(self._seen[slot]),
+            since_emit=int(self._since_emit[slot]),
+        )
+
+    def import_slot(self, stream_id: int, state: WindowSlotState) -> None:
+        """Restore a slot from an :meth:`export_slot` snapshot.
+
+        The receiving batch must have the same window length and feature
+        width the state was exported from (:class:`ShapeError`
+        otherwise); the target slot's previous state is overwritten.
+        """
+        slot = self._check_ids(np.array([stream_id]))[0]
+        buffer = np.asarray(state.buffer, dtype=float)
+        expected = (self._config.window, self._n_features)
+        if buffer.shape != expected:
+            raise ShapeError(
+                f"slot state buffer must have shape {expected}, "
+                f"got {buffer.shape}"
+            )
+        if state.seen < 0 or state.since_emit < 0:
+            raise ShapeError(
+                "slot state counters must be non-negative, got "
+                f"seen={state.seen}, since_emit={state.since_emit}"
+            )
+        self._buffer[slot] = buffer
+        self._seen[slot] = int(state.seen)
+        self._since_emit[slot] = int(state.since_emit)
 
     def _check_ids(self, stream_ids: np.ndarray | None) -> np.ndarray:
         """Validate stream indices: 1-D, in range, no duplicates."""

@@ -10,7 +10,12 @@ and a production deployment monitoring many procedures at once:
   scale-out layer fanning sessions across worker processes by
   consistent hashing, each worker running its own ``MonitorService``,
   plus :func:`suggest_shard_count`, the autoscaling policy over
-  ``shard_stats()``;
+  ``shard_stats()``, and the elasticity actuators ``add_shard`` /
+  ``remove_shard`` / ``resize`` that live-migrate sessions (state,
+  pending frames and all) instead of closing them;
+- :mod:`~repro.serving.autoscaler` — :class:`MonitorAutoscaler`, the
+  loop that applies ``suggest_shard_count`` recommendations through
+  ``resize`` under hysteresis;
 - :mod:`~repro.serving.async_frontend` — :class:`AsyncShardedMonitor`,
   the asyncio ingest/egress façade whose ``feed()``/``events()`` never
   block on a slow shard;
@@ -36,32 +41,49 @@ folded zero-allocation plans.  See ``docs/architecture.md``,
 """
 
 from .async_frontend import AsyncShardedMonitor
+from .autoscaler import MonitorAutoscaler
 from .remote import (
     AsyncRemoteMonitorClient,
     GatewayRunner,
     MonitorGateway,
     RemoteMonitorClient,
 )
-from .service import MonitorService, ServiceStats, SessionEvent, SessionResult
+from .service import (
+    MonitorService,
+    ServiceStats,
+    SessionEvent,
+    SessionResult,
+    SessionState,
+)
 from .sharded import ShardedMonitorService, suggest_shard_count
-from .snapshot import monitor_from_bytes, monitor_to_bytes, snapshot_backend
+from .snapshot import (
+    monitor_from_bytes,
+    monitor_to_bytes,
+    session_from_bytes,
+    session_to_bytes,
+    snapshot_backend,
+)
 from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
 
 __all__ = [
     "AsyncRemoteMonitorClient",
     "AsyncShardedMonitor",
     "GatewayRunner",
+    "MonitorAutoscaler",
     "MonitorGateway",
     "MonitorService",
     "RemoteMonitorClient",
     "ServiceStats",
     "SessionEvent",
     "SessionResult",
+    "SessionState",
     "ShardedMonitorService",
     "make_random_walk_trajectory",
     "make_synthetic_monitor",
     "monitor_from_bytes",
     "monitor_to_bytes",
+    "session_from_bytes",
+    "session_to_bytes",
     "snapshot_backend",
     "suggest_shard_count",
 ]

@@ -26,6 +26,7 @@ running front-end — go through the front-end exclusively.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from collections.abc import AsyncIterator
 
 import numpy as np
@@ -158,19 +159,58 @@ class AsyncShardedMonitor:
             await asyncio.sleep(0)
 
     # ------------------------------------------------------------------
+    async def _run_on_session_shard(self, session_id: str, fn, *args):
+        """Run a session-addressed exchange under its *current* shard lock.
+
+        The owning shard is resolved before the lock can be taken, and a
+        concurrent :meth:`resize` (which holds every lock while it
+        migrates sessions) may move the session meanwhile — executing
+        then would talk to the new shard's pipe under the old shard's
+        lock, unserialised against that shard's ticker.  So the shard is
+        re-resolved once the lock is held and the acquisition retried
+        until they agree.
+        """
+        while True:
+            shard = self._service.shard_of(session_id)
+            lock = self._locks.setdefault(shard, asyncio.Lock())
+            async with lock:
+                if self._service.shard_of(session_id) != shard:
+                    continue  # migrated while we waited; re-resolve
+                try:
+                    return (
+                        await asyncio.get_running_loop().run_in_executor(
+                            None, fn, *args
+                        ),
+                        shard,
+                    )
+                except WorkerError:
+                    for event in self._service.take_undelivered_events():
+                        self._queue.put_nowait(event)
+                    raise
+
     async def open_session(
         self, session_id: str | None = None, record_timeline: bool = True
     ) -> str:
         """Place and open a session (see
         :meth:`ShardedMonitorService.open_session`)."""
-        session_id, shard = self._service.resolve_placement(session_id)
-        return await self._run_on_shard(
-            shard,
-            self._service.open_on_shard,
-            session_id,
-            shard,
-            record_timeline,
-        )
+        while True:
+            session_id, shard = self._service.resolve_placement(session_id)
+            lock = self._locks.setdefault(shard, asyncio.Lock())
+            async with lock:
+                if shard not in self._service.shard_indices:
+                    continue  # shard resized away while we waited; re-place
+                try:
+                    return await asyncio.get_running_loop().run_in_executor(
+                        None,
+                        self._service.open_on_shard,
+                        session_id,
+                        shard,
+                        record_timeline,
+                    )
+                except WorkerError:
+                    for event in self._service.take_undelivered_events():
+                        self._queue.put_nowait(event)
+                    raise
 
     async def feed(self, session_id: str, frames: np.ndarray) -> None:
         """Enqueue frames for a session without blocking the event loop.
@@ -178,8 +218,9 @@ class AsyncShardedMonitor:
         Waits only on the owning shard's pipe (other shards' ingest and
         ticking proceed concurrently), then wakes that shard's ticker.
         """
-        shard = self._service.shard_of(session_id)
-        await self._run_on_shard(shard, self._service.feed, session_id, frames)
+        _, shard = await self._run_on_session_shard(
+            session_id, self._service.feed, session_id, frames
+        )
         kick = self._kick.get(shard)
         if kick is not None:
             kick.set()
@@ -187,10 +228,10 @@ class AsyncShardedMonitor:
     async def close_session(self, session_id: str) -> SessionResult:
         """Close a session and return its timeline (see
         :meth:`ShardedMonitorService.close_session`)."""
-        shard = self._service.shard_of(session_id)
-        return await self._run_on_shard(
-            shard, self._service.close_session, session_id
+        result, _ = await self._run_on_session_shard(
+            session_id, self._service.close_session, session_id
         )
+        return result
 
     async def drain(self) -> None:
         """Wait until no live shard has pending frames.
@@ -203,6 +244,60 @@ class AsyncShardedMonitor:
             for i in self._service.shard_indices
         ):
             await asyncio.sleep(0.001)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of live shards in the underlying service."""
+        return self._service.n_shards
+
+    async def resize(self, target_k: int) -> dict:
+        """Live-resize the fleet without dropping a session or a frame.
+
+        Runs :meth:`ShardedMonitorService.resize` on the executor while
+        holding **every** shard's pipe lock — migration is a two-pipe
+        exchange, so no ticker or feed may interleave with it — then
+        reconciles the ticker tasks: new shards get their own loops,
+        loops of removed shards park and exit on their next wake-up, and
+        every ticker is kicked so migrated backlogs resume immediately.
+        Returns the service's resize summary dict.
+        """
+        indices = sorted(set(self._locks) | set(self._service.shard_indices))
+        async with contextlib.AsyncExitStack() as stack:
+            for index in indices:
+                await stack.enter_async_context(
+                    self._locks.setdefault(index, asyncio.Lock())
+                )
+            result = await asyncio.get_running_loop().run_in_executor(
+                None, self._service.resize, target_k
+            )
+        # Fail-safe events queued by a crash during the resize must not
+        # wait for a tick that may never come.
+        for event in self._service.take_undelivered_events():
+            self._queue.put_nowait(event)
+        # Prune per-shard state of retired indices (indices are never
+        # reused, so without this an oscillating autoscaler would grow
+        # the lock/kick maps and the task list without bound).  Waiters
+        # and loops holding references to a popped lock/event keep
+        # working; removal only stops *future* lookups.
+        live = set(self._service.shard_indices)
+        for index in [i for i in self._kick if i not in live]:
+            self._kick.pop(index).set()  # wake the parked loop so it exits
+            self._locks.pop(index, None)
+        self._tasks = [t for t in self._tasks if not t.done()]
+        if self._started and not self._closed:
+            for index in live:
+                if index not in self._kick:
+                    self._locks.setdefault(index, asyncio.Lock())
+                    self._kick[index] = asyncio.Event()
+                    self._tasks.append(
+                        asyncio.create_task(
+                            self._shard_loop(index),
+                            name=f"ticker-shard-{index}",
+                        )
+                    )
+            for kick in self._kick.values():
+                kick.set()
+        return result
 
     async def shard_stats(self) -> dict[int, "ServiceStats"]:
         """Per-shard :class:`ServiceStats` without disturbing the tickers.

@@ -50,6 +50,7 @@ from collections.abc import AsyncIterator
 from ...errors import ConfigurationError, ProtocolError, ReproError, WorkerError
 from ...nn.backends import DEFAULT_BACKEND, validate_backend_name
 from ..async_frontend import AsyncShardedMonitor
+from ..autoscaler import MonitorAutoscaler
 from ..service import MonitorService, ServiceStats, SessionEvent
 from ..sharded import ShardedMonitorService
 from ..snapshot import monitor_from_bytes, snapshot_backend
@@ -177,6 +178,12 @@ class _LocalEngine:
     async def shard_stats(self) -> dict[int, ServiceStats]:
         return {0: self.service.stats}
 
+    async def resize(self, target_k: int) -> dict:
+        raise ConfigurationError(
+            "the embedded single-service engine cannot resize; start the "
+            "gateway with n_shards >= 2 for an elastic fleet"
+        )
+
     async def aclose(self) -> None:
         self._closed = True
         self._kick.set()
@@ -214,6 +221,9 @@ class _ShardedEngine:
 
     async def shard_stats(self) -> dict[int, ServiceStats]:
         return await self.frontend.shard_stats()
+
+    async def resize(self, target_k: int) -> dict:
+        return await self.frontend.resize(target_k)
 
     async def aclose(self) -> None:
         await self.frontend.aclose()
@@ -304,6 +314,15 @@ class MonitorGateway:
     drain_timeout_s:
         How long a disconnect/close waits for a session's already-fed
         frames to finish processing before closing it anyway.
+    autoscale_interval_s / autoscale_max_shards:
+        When ``autoscale_interval_s`` is set (requires ``n_shards >=
+        2``), the gateway runs a
+        :class:`~repro.serving.autoscaler.MonitorAutoscaler` over its
+        fleet at that cadence, live-resizing within ``[1,
+        autoscale_max_shards]``.  Every applied (or manual
+        :meth:`resize`) resize is recorded and visible to STATS clients
+        — socket sessions ride through resizes transparently, their
+        frames migrating with them.
 
     Lifecycle: ``await start()`` → serve → ``await stop()`` (or use as
     an async context manager).  :meth:`serve_in_thread` bridges the
@@ -325,6 +344,8 @@ class MonitorGateway:
         idle_timeout_s: float = 60.0,
         drain_timeout_s: float = 10.0,
         start_method: str | None = None,
+        autoscale_interval_s: float | None = None,
+        autoscale_max_shards: int = 8,
     ) -> None:
         if (monitor is None) == (monitor_bytes is None):
             raise ConfigurationError("pass exactly one of monitor / monitor_bytes")
@@ -362,6 +383,19 @@ class MonitorGateway:
         self.idle_timeout_s = idle_timeout_s
         self.drain_timeout_s = drain_timeout_s
         self._start_method = start_method
+        if autoscale_interval_s is not None:
+            if autoscale_interval_s <= 0:
+                raise ConfigurationError("autoscale_interval_s must be > 0")
+            if n_shards < 2:
+                raise ConfigurationError(
+                    "autoscaling requires a sharded fleet (n_shards >= 2)"
+                )
+        self.autoscale_interval_s = autoscale_interval_s
+        self.autoscale_max_shards = int(autoscale_max_shards)
+        self._autoscaler: MonitorAutoscaler | None = None
+        #: Applied resizes (manual and autoscaler), oldest first —
+        #: summary dicts surfaced to STATS clients by gateway_stats().
+        self.resize_events: list[dict] = []
 
         self._engine = None
         self._server: asyncio.Server | None = None
@@ -408,6 +442,16 @@ class MonitorGateway:
         self._engine = await loop.run_in_executor(None, self._build_engine)
         try:
             await self._engine.start()
+            if self.autoscale_interval_s is not None and isinstance(
+                self._engine, _ShardedEngine
+            ):
+                self._autoscaler = MonitorAutoscaler(
+                    self._engine.frontend,
+                    interval_s=self.autoscale_interval_s,
+                    max_shards=self.autoscale_max_shards,
+                    on_resize=self._note_resize,
+                )
+                await self._autoscaler.start()
             self._pump_task = asyncio.create_task(
                 self._event_pump(), name="gateway-event-pump"
             )
@@ -424,6 +468,9 @@ class MonitorGateway:
 
     async def _shutdown_engine(self) -> None:
         """End the engine's tasks and terminate any worker processes."""
+        if self._autoscaler is not None:
+            await self._autoscaler.stop()
+            self._autoscaler = None
         if self._engine is None:
             return
         await self._engine.aclose()
@@ -843,6 +890,28 @@ class MonitorGateway:
         """Number of wire-opened sessions currently live."""
         return len(self._sessions)
 
+    async def resize(self, target_k: int) -> dict:
+        """Live-resize the serving fleet to ``target_k`` shards.
+
+        Open socket sessions ride through: their state — pending frames
+        included — migrates between workers, no event is lost and no
+        fail-safe closure occurs.  The resize is recorded in
+        :attr:`resize_events` and visible to every STATS client.  Only
+        available on a sharded gateway (``n_shards >= 2`` at
+        construction); the embedded single-service engine raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if self._engine is None:
+            raise ConfigurationError("gateway is not started")
+        summary = await self._engine.resize(target_k)
+        self._note_resize(dict(summary, trigger="manual"))
+        return summary
+
+    def _note_resize(self, event: dict) -> None:
+        """Record an applied resize (manual or autoscaler-triggered)."""
+        self.resize_events.append(event)
+        self.n_shards = int(event.get("to", self.n_shards))
+
     async def shard_stats(self) -> dict[int, ServiceStats]:
         """The embedded engine's per-shard :class:`ServiceStats`.
 
@@ -872,6 +941,14 @@ class MonitorGateway:
             "protocol_version": PROTOCOL_VERSION,
             "n_shards": self.n_shards,
             "backend": self.backend,
+            # Resize history (manual and autoscaler): how clients learn
+            # the fleet changed shape underneath their sessions — and
+            # that nothing happened to those sessions.
+            "resizes": {
+                "count": len(self.resize_events),
+                "autoscaling": self.autoscale_interval_s is not None,
+                "events": self.resize_events[-16:],
+            },
             "connections": {
                 "open": len(self._connections),
                 "total": self._connections_total,

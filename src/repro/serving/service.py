@@ -36,7 +36,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DatasetError, ShapeError
 from ..gestures.vocabulary import Gesture
-from ..kinematics.windows import StreamingWindowBatch
+from ..kinematics.windows import StreamingWindowBatch, WindowSlotState
 from ..nn.backends import (
     DEFAULT_BACKEND,
     InferenceBackend,
@@ -85,6 +85,47 @@ class SessionResult:
     def n_frames(self) -> int:
         """Number of frames the session processed before closing."""
         return int(self.gestures.shape[0])
+
+
+@dataclass
+class SessionState:
+    """Complete portable state of one live session (migration unit).
+
+    Produced by :meth:`MonitorService.export_session` and consumed by
+    :meth:`MonitorService.import_session`: everything a session *is* —
+    progress counters, recorded timeline, un-ticked pending frames, the
+    per-slot ring state of both pipeline stages and the sticky
+    gesture/score context — as plain arrays and scalars (no code, no
+    live objects), so the state can cross a process boundary through the
+    :mod:`repro.serving.snapshot` codec
+    (:func:`~repro.serving.snapshot.session_to_bytes`).
+
+    A session imported into any engine built from the same trained
+    monitor continues *bit-identically* under the reference backend: the
+    ring rows, emission counters and pending backlog reproduce exactly
+    the windows the un-migrated session would have seen.
+
+    ``n_features`` (and both window states) are ``None`` when the source
+    service had not yet bound its feature width — a session that was
+    opened but never fed.
+    """
+
+    session_id: str
+    frames_done: int
+    record_timeline: bool
+    current_gesture: int
+    current_score: float
+    gestures: np.ndarray  # recorded timeline (empty when not recording)
+    scores: np.ndarray
+    pending: np.ndarray  # (n, n_features) un-ticked frames, feed order
+    n_features: int | None
+    gesture_window: WindowSlotState | None
+    error_window: WindowSlotState | None
+
+    @property
+    def pending_frames(self) -> int:
+        """Number of un-ticked frames travelling with the state."""
+        return int(self.pending.shape[0])
 
 
 #: Per-tick latency samples retained for percentile queries.  A service
@@ -494,6 +535,125 @@ class MonitorService:
             unsafe_scores=scores,
             unsafe_flags=(scores >= self.monitor.threshold).astype(int),
         )
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def export_session(
+        self, session_id: str, *, remove: bool = False
+    ) -> SessionState:
+        """Snapshot one session's complete serving state.
+
+        The returned :class:`SessionState` carries everything needed to
+        continue the session elsewhere — progress, recorded timeline,
+        **pending (un-ticked) frames**, and the ring/emission state of
+        both pipeline stages — so no drain is required before a
+        migration and no frame is ever dropped by one.
+
+        Parameters
+        ----------
+        session_id:
+            An open session (``DatasetError`` otherwise).
+        remove:
+            With ``remove=True`` the session is also evicted — its slot
+            freed with no :class:`SessionResult` produced — which is the
+            *migrate-out* half of a live migration.  The default leaves
+            the session untouched (a consistent point-in-time copy).
+        """
+        session = self._get(session_id)
+        if session.has_pending:
+            head = session.pending[0][session.offset :]
+            rest = list(session.pending)[1:]
+            pending = (
+                np.concatenate([head, *rest], axis=0) if rest else head.copy()
+            )
+        else:
+            pending = np.empty((0, self._n_features or 0))
+        gesture_window: WindowSlotState | None = None
+        error_window: WindowSlotState | None = None
+        if self._gesture_batch is not None:
+            assert self._error_batch is not None
+            gesture_window = self._gesture_batch.export_slot(session.slot)
+            error_window = self._error_batch.export_slot(session.slot)
+        state = SessionState(
+            session_id=session.id,
+            frames_done=session.frames_done,
+            record_timeline=session.record_timeline,
+            current_gesture=int(self._current_gesture[session.slot]),
+            current_score=float(self._current_score[session.slot]),
+            gestures=np.asarray(session.gestures, dtype=np.int64),
+            scores=np.asarray(session.scores, dtype=float),
+            pending=pending,
+            n_features=self._n_features,
+            gesture_window=gesture_window,
+            error_window=error_window,
+        )
+        if remove:
+            del self._sessions[session_id]
+            self._free_slots.append(session.slot)
+        return state
+
+    def import_session(self, state: SessionState) -> str:
+        """Adopt a session exported from another (or this) service.
+
+        The receiving service must serve the same trained monitor (same
+        window configurations and feature width); the session resumes
+        exactly where the export left it — the next :meth:`tick`
+        advances it onto the frame it would have processed had it never
+        moved, with identical window contents.
+
+        Raises
+        ------
+        ConfigurationError
+            If the session id is already open here, or no slot is free.
+        ShapeError
+            If the state's feature width or window shapes disagree with
+            this service's binding.
+        """
+        if state.session_id in self._sessions:
+            raise ConfigurationError(
+                f"session {state.session_id!r} is already open"
+            )
+        if not self._free_slots:
+            raise ConfigurationError(
+                f"all {self.max_sessions} session slots are in use"
+            )
+        if state.n_features is not None:
+            self._ensure_buffers(state.n_features)
+            if state.n_features != self._n_features:
+                raise ShapeError(
+                    f"service is bound to {self._n_features} features, "
+                    f"imported session carries {state.n_features}"
+                )
+        # Validate window state against this service's batches before
+        # mutating anything, so a mismatched import leaves no trace.
+        if (state.gesture_window is not None) != (state.error_window is not None):
+            raise ConfigurationError(
+                "session state must carry both window states or neither"
+            )
+        slot = self._free_slots.pop()
+        try:
+            if self._gesture_batch is not None:
+                assert self._error_batch is not None
+                self._gesture_batch.reset(np.array([slot]))
+                self._error_batch.reset(np.array([slot]))
+                if state.gesture_window is not None:
+                    self._gesture_batch.import_slot(slot, state.gesture_window)
+                    self._error_batch.import_slot(slot, state.error_window)
+        except ShapeError:
+            self._free_slots.append(slot)
+            raise
+        session = _Session(state.session_id, slot, state.record_timeline)
+        session.frames_done = int(state.frames_done)
+        session.gestures = [int(g) for g in state.gestures]
+        session.scores = [float(s) for s in state.scores]
+        pending = np.asarray(state.pending, dtype=float)
+        if pending.shape[0]:
+            session.pending.append(pending)
+        self._sessions[state.session_id] = session
+        self._current_gesture[slot] = int(state.current_gesture)
+        self._current_score[slot] = float(state.current_score)
+        return state.session_id
 
     # ------------------------------------------------------------------
     # Serving

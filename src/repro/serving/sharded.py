@@ -23,6 +23,16 @@ outage on a surgical robot must read as *unsafe*, see
 ``docs/serving.md``), the sessions move to :attr:`failed_sessions`, and
 the dead shard leaves the hash ring so new sessions rebalance onto the
 survivors while healthy shards keep ticking.
+
+The fleet is also **elastic** without dropping a frame:
+:meth:`ShardedMonitorService.add_shard` / :meth:`remove_shard` /
+:meth:`resize` move live sessions between workers by exporting their
+complete serving state — pending frames, window ring contents, sticky
+gesture/score context (:meth:`MonitorService.export_session` via the
+:mod:`~repro.serving.snapshot` session codec) — and importing it on the
+consistent-hash target, so a fleet resized mid-stream reproduces the
+static single-service event stream bit for bit under the reference
+backend (``tests/serving/test_elasticity.py``).
 """
 
 from __future__ import annotations
@@ -271,9 +281,11 @@ class ShardedMonitorService:
 
     The façade mirrors the :class:`MonitorService` lifecycle —
     ``open_session`` / ``feed`` / ``tick`` / ``drain`` /
-    ``close_session`` — and adds shard lifecycle: :meth:`remove_shard`
-    (drain-and-rebalance), :attr:`failed_sessions` and :meth:`close`.
-    It also exposes a per-shard sub-surface (:meth:`tick_shard`,
+    ``close_session`` — and adds shard lifecycle: :meth:`add_shard` /
+    :meth:`remove_shard` / :meth:`resize` (live migration — sessions and
+    their un-ticked frames move between workers, nothing closes),
+    :attr:`failed_sessions` and :meth:`close`.  It also exposes a
+    per-shard sub-surface (:meth:`tick_shard`,
     :meth:`shard_maybe_pending`, …) used by the asyncio front-end
     (:class:`~repro.serving.async_frontend.AsyncShardedMonitor`).
     """
@@ -327,6 +339,7 @@ class ShardedMonitorService:
         self._undelivered: list[tuple[int, SessionEvent]] = []
         self._order = itertools.count()
         self._next_id = 0
+        self._next_shard_index = n_shards  # indices are never reused
         self._closed = False
         self._lock = threading.Lock()  # guards crash bookkeeping
         for index in range(n_shards):
@@ -431,58 +444,224 @@ class ShardedMonitorService:
     def _live_shards(self) -> list[_ShardHandle]:
         return [h for h in self._shards.values() if h.alive]
 
-    def remove_shard(self, index: int) -> dict[str, SessionResult]:
-        """Drain one shard, close its sessions and retire the worker.
+    # ------------------------------------------------------------------
+    # Elasticity: live migration, add/remove/resize
+    # ------------------------------------------------------------------
+    def _shard_occupancy(self, index: int) -> int:
+        """Number of open sessions routed to one shard (no IPC)."""
+        with self._lock:
+            return sum(1 for r in self._sessions.values() if r.shard == index)
 
-        The shard's pending frames are fully processed first, then every
-        session on it is closed and its :class:`SessionResult` returned;
-        the shard leaves the hash ring so subsequent ``open_session``
-        calls rebalance onto the remaining workers.  This is the
-        graceful scale-down path (contrast :attr:`failed_sessions`, the
-        crash path).
+    def _migrate_session(self, session_id: str, target_index: int) -> None:
+        """Move one live session between shards: export → import.
 
-        The events produced by that final drain are queued and delivered
-        by the next :meth:`tick`/:meth:`drain` (or
-        :meth:`take_undelivered_events`) — so even sessions opened with
-        ``record_timeline=False``, whose returned timelines are empty,
-        lose nothing.
+        No drain happens and none is needed — the exported
+        :class:`~repro.serving.service.SessionState` carries the
+        session's pending frames and window ring state, so the next
+        :meth:`tick` advances it on the target exactly as it would have
+        on the source (the resize-parity guarantee).
+
+        Failure semantics: a full target raises ``ConfigurationError``
+        *before* anything is exported (the session stays where it was);
+        a source worker dying mid-export fails that shard's sessions
+        through the usual crash path; a target worker dying after the
+        export fail-safes the in-limbo session (terminal ``error`` event,
+        :attr:`failed_sessions`) — its state died with the pipe.
+        """
+        record = self._record(session_id)
+        source = self._shards[record.shard]
+        target = self._shards.get(target_index)
+        if target is None or not target.alive:
+            raise WorkerError(f"shard {target_index} is not live")
+        if target is source:
+            return
+        if self._shard_occupancy(target_index) >= self.max_sessions_per_shard:
+            raise ConfigurationError(
+                f"shard {target_index} is full "
+                f"({self.max_sessions_per_shard} slots); cannot migrate "
+                f"session {session_id!r} onto it"
+            )
+        try:
+            reply = source.request(
+                Request("migrate_out", session_id=session_id),
+                self.request_timeout_s,
+            )
+            raise_remote(reply)
+        except WorkerError as exc:
+            self._queue_crash(source, str(exc))
+            raise WorkerError(
+                f"session {session_id!r} lost mid-migration: {exc}"
+            ) from exc
+        state_bytes = reply.value
+        try:
+            reply = target.request(
+                Request("migrate_in", state=state_bytes),
+                self.request_timeout_s,
+            )
+            raise_remote(reply)
+        except WorkerError as exc:
+            # Exported but never landed: the state is gone with the
+            # target's pipe.  Fail the session safe rather than let it
+            # vanish silently.
+            self._queue_crash(target, str(exc))
+            reason = f"lost migrating to shard {target_index}: {exc}"
+            with self._lock:
+                if session_id in self._sessions:
+                    limbo = self._sessions.pop(session_id)
+                    self.failed_sessions[session_id] = reason
+                    self._undelivered.append(
+                        (
+                            limbo.order,
+                            SessionEvent(
+                                session_id=session_id,
+                                frame_index=limbo.events_seen,
+                                gesture=0,
+                                score=0.0,
+                                flag=True,
+                                error=reason,
+                            ),
+                        )
+                    )
+            raise WorkerError(
+                f"session {session_id!r} lost mid-migration: {exc}"
+            ) from exc
+        with self._lock:
+            record.shard = target_index
+
+    def remove_shard(self, index: int) -> dict[str, int]:
+        """Migrate every session off one shard, then retire the worker.
+
+        The shard leaves the hash ring first, each of its sessions is
+        re-placed on the remaining ring and live-migrated there —
+        pending frames, window state and timeline intact, **no drain,
+        no dropped frame, no closed session** — and the worker process
+        is stopped.  Returns ``{session_id: new shard index}`` for the
+        migrated sessions.
+
+        Raises
+        ------
+        WorkerError
+            If this is the last live shard — sessions would have
+            nowhere to go, and a zero-shard service could serve nothing.
+        ConfigurationError
+            If a re-placement target has no free slot; the ring is
+            restored and the shard keeps serving (sessions already
+            migrated stay where they landed — they remain correctly
+            routed either way).
         """
         handle = self._shards.get(index)
         if handle is None:
             raise ConfigurationError(f"no shard {index}")
-        results: dict[str, SessionResult] = {}
+        moved: dict[str, int] = {}
         if handle.alive:
-            try:
-                reply = handle.request(
-                    Request("drain", collect=True), self.request_timeout_s
+            if len(self._live_shards()) <= 1:
+                raise WorkerError(
+                    "cannot remove the last live shard: its sessions "
+                    "would have nowhere to migrate (resize to >= 1 "
+                    "shard, or close the service)"
                 )
-                raise_remote(reply)
-                ticks, _ = reply.value
-                pairs = [
-                    pair
-                    for tick_events in ticks
-                    for pair in self._account_events(tick_events)
+            self._ring.remove(index)
+            with self._lock:
+                on_shard = [
+                    s for s, r in self._sessions.items() if r.shard == index
                 ]
-                with self._lock:
-                    self._undelivered.extend(pairs)
-                    on_shard = [
-                        s for s, r in self._sessions.items() if r.shard == index
-                    ]
-                for session_id in on_shard:
-                    reply = handle.request(
-                        Request("close", session_id=session_id),
-                        self.request_timeout_s,
-                    )
-                    raise_remote(reply)
-                    results[session_id] = reply.value
-                    with self._lock:
-                        del self._sessions[session_id]
-                self._ring.remove(index)
+            for session_id in on_shard:
+                target = self._ring.place(session_id)
+                try:
+                    self._migrate_session(session_id, target)
+                except WorkerError:
+                    if not handle.alive:
+                        # The source died: its remaining sessions were
+                        # failed safe by the crash path; stop migrating.
+                        break
+                    continue  # a target died; its crash is queued — go on
+                except Exception:
+                    # Capacity (ConfigurationError) or any unexpected
+                    # rejection: keep serving, placements restored.
+                    self._ring.add(index)
+                    raise
+                else:
+                    moved[session_id] = target
+            if handle.alive:
                 handle.stop()
-            except WorkerError as exc:
-                self._queue_crash(handle, str(exc))
         del self._shards[index]
-        return results
+        return moved
+
+    def add_shard(self) -> int:
+        """Spawn one new worker and rebalance the minimal hash slice.
+
+        The new shard joins the ring under a never-reused index, and
+        only the sessions whose consistent-hash placement *changed* —
+        exactly the keys the new ring points at it — are live-migrated
+        onto it (frames and window state intact).  Everything else is
+        untouched: that minimality is the point of consistent hashing.
+
+        Returns the new shard's index.
+        """
+        self._check_open()
+        index = self._next_shard_index
+        self._spawn_shard(index)
+        self._next_shard_index = index + 1
+        with self._lock:
+            records = list(self._sessions.items())
+        for session_id, record in records:
+            with self._lock:
+                if self._sessions.get(session_id) is not record:
+                    continue  # failed or closed since the snapshot
+            target = self._ring.place(session_id)
+            if target == record.shard:
+                continue
+            try:
+                self._migrate_session(session_id, target)
+            except WorkerError:
+                # Crash bookkeeping (source or target) already queued the
+                # fail-safe events; keep rebalancing the survivors.  A
+                # dead new shard has left the ring, so later placements
+                # simply stop moving.
+                continue
+        return index
+
+    def resize(self, target_k: int) -> dict:
+        """Live-resize the fleet to ``target_k`` shards (the actuator).
+
+        Applies :meth:`add_shard` / :meth:`remove_shard` until the live
+        shard count matches — this is what turns a
+        :func:`suggest_shard_count` recommendation into reality without
+        a fleet rebuild and without interrupting a single session
+        (:class:`~repro.serving.autoscaler.MonitorAutoscaler` runs this
+        loop under hysteresis).  Scale-down retires the highest-index
+        shards first; indices are never reused.
+
+        Returns a summary dict: ``{"from", "to", "added", "removed",
+        "migrated"}`` (``migrated`` counts sessions that changed shard).
+        """
+        if target_k < 1:
+            raise ConfigurationError("target_k must be >= 1")
+        self._check_open()
+        before = self.n_shards
+        with self._lock:
+            placement = {s: r.shard for s, r in self._sessions.items()}
+        added: list[int] = []
+        removed: list[int] = []
+        while self.n_shards < target_k:
+            added.append(self.add_shard())
+        while self.n_shards > target_k:
+            victim = max(h.index for h in self._live_shards())
+            self.remove_shard(victim)
+            removed.append(victim)
+        with self._lock:
+            migrated = sum(
+                1
+                for s, r in self._sessions.items()
+                if placement.get(s, r.shard) != r.shard
+            )
+        return {
+            "from": before,
+            "to": self.n_shards,
+            "added": added,
+            "removed": removed,
+            "migrated": migrated,
+        }
 
     def close(self) -> None:
         """Stop every worker process (graceful ``stop``, then terminate).

@@ -1,14 +1,23 @@
-"""Whole-monitor serialisation for worker bootstrap (no code pickling).
+"""Serving-state serialisation for worker bootstrap and live migration.
 
-The sharded serving layer starts each worker process from one in-memory
-snapshot of the trained :class:`~repro.core.pipeline.SafetyMonitor`:
-:func:`monitor_to_bytes` packs both pipeline stages — every model via
-:func:`repro.nn.save_model_bytes`, every scaler's statistics, and the
-configuration needed to rebuild them — into a single ``.npz`` archive,
-and :func:`monitor_from_bytes` reconstructs a monitor that is
-bit-identical at inference time.  Only arrays and JSON metadata cross
-the process boundary, mirroring the no-pickled-code policy of
-:mod:`repro.nn.serialization`.
+Two codecs, one policy (arrays and JSON only — no pickled code crosses
+a process boundary, mirroring :mod:`repro.nn.serialization`):
+
+- **Monitor snapshots** — the sharded serving layer starts each worker
+  process from one in-memory snapshot of the trained
+  :class:`~repro.core.pipeline.SafetyMonitor`: :func:`monitor_to_bytes`
+  packs both pipeline stages — every model via
+  :func:`repro.nn.save_model_bytes`, every scaler's statistics, and the
+  configuration needed to rebuild them — into a single ``.npz``
+  archive, and :func:`monitor_from_bytes` reconstructs a monitor that
+  is bit-identical at inference time.
+- **Session snapshots** — live fleet elasticity moves *sessions*
+  between workers without dropping a frame: :func:`session_to_bytes`
+  packs a :class:`~repro.serving.service.SessionState` (ring contents
+  of both window stages, pending frames, timeline, context) and
+  :func:`session_from_bytes` restores it, byte-exactly, on the
+  receiving worker — the payload of the ``migrate_out``/``migrate_in``
+  transport ops.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from ..core.gesture_classifier import GestureClassifier, GestureClassifierConfig
 from ..core.pipeline import SafetyMonitor
 from ..errors import ConfigurationError, NotFittedError
 from ..gestures.vocabulary import Gesture
+from ..kinematics.windows import WindowSlotState
 from ..nn import (
     Adam,
     SigmoidBinaryCrossEntropy,
@@ -38,9 +48,14 @@ from ..nn import (
     save_model_bytes,
 )
 from ..nn.backends import validate_backend_name
+from .service import SessionState
 
 #: Bumped when the archive layout changes; readers reject other versions.
 SNAPSHOT_VERSION = 1
+
+#: Version byte of the *session* archive (migration payloads); bumped
+#: independently of the monitor snapshot layout.
+SESSION_SNAPSHOT_VERSION = 1
 
 
 def _bytes_to_array(data: bytes) -> np.ndarray:
@@ -257,3 +272,100 @@ def monitor_from_bytes(data: bytes) -> SafetyMonitor:
     return SafetyMonitor(
         classifier, library, config, threshold=meta["threshold"]
     )
+
+
+# ----------------------------------------------------------------------
+# Session snapshots (live migration payloads)
+# ----------------------------------------------------------------------
+def session_to_bytes(state: SessionState) -> bytes:
+    """Serialise a :class:`SessionState` into one ``.npz`` archive.
+
+    Arrays (timeline, pending frames, window ring rows) travel as raw
+    npz entries — bit-exact float64 — and scalars as JSON metadata, so
+    a migrated session resumes with byte-identical state.  This is the
+    wire payload of the sharded transport's ``migrate_out`` /
+    ``migrate_in`` operations.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "gestures": np.asarray(state.gestures, dtype=np.int64),
+        "scores": np.asarray(state.scores, dtype=float),
+        "pending": np.asarray(state.pending, dtype=float),
+    }
+    windows_meta = {}
+    for name, slot_state in (
+        ("gesture_window", state.gesture_window),
+        ("error_window", state.error_window),
+    ):
+        if slot_state is None:
+            continue
+        arrays[f"{name}.buffer"] = np.asarray(slot_state.buffer, dtype=float)
+        windows_meta[name] = {
+            "seen": int(slot_state.seen),
+            "since_emit": int(slot_state.since_emit),
+        }
+    meta = {
+        "version": SESSION_SNAPSHOT_VERSION,
+        "session_id": state.session_id,
+        "frames_done": int(state.frames_done),
+        "record_timeline": bool(state.record_timeline),
+        "current_gesture": int(state.current_gesture),
+        # json round-trips finite float64 exactly (shortest-repr), so
+        # the sticky score survives migration bit for bit.
+        "current_score": float(state.current_score),
+        "n_features": (
+            int(state.n_features) if state.n_features is not None else None
+        ),
+        "windows": windows_meta,
+    }
+    arrays["__meta__"] = _bytes_to_array(json.dumps(meta).encode("utf-8"))
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def session_from_bytes(data: bytes) -> SessionState:
+    """Rebuild a :class:`SessionState` from :func:`session_to_bytes` output.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a foreign
+    version byte or an archive missing either half of a window pair.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("version") != SESSION_SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported session snapshot version {meta.get('version')!r}"
+            )
+        windows: dict[str, WindowSlotState | None] = {}
+        for name in ("gesture_window", "error_window"):
+            entry = meta.get("windows", {}).get(name)
+            if entry is None:
+                windows[name] = None
+                continue
+            key = f"{name}.buffer"
+            if key not in archive.files:
+                raise ConfigurationError(
+                    f"session snapshot is missing the {key!r} array"
+                )
+            windows[name] = WindowSlotState(
+                buffer=np.asarray(archive[key], dtype=float),
+                seen=int(entry["seen"]),
+                since_emit=int(entry["since_emit"]),
+            )
+        state = SessionState(
+            session_id=meta["session_id"],
+            frames_done=int(meta["frames_done"]),
+            record_timeline=bool(meta["record_timeline"]),
+            current_gesture=int(meta["current_gesture"]),
+            current_score=float(meta["current_score"]),
+            gestures=np.asarray(archive["gestures"], dtype=np.int64),
+            scores=np.asarray(archive["scores"], dtype=float),
+            pending=np.asarray(archive["pending"], dtype=float),
+            n_features=(
+                int(meta["n_features"])
+                if meta.get("n_features") is not None
+                else None
+            ),
+            gesture_window=windows["gesture_window"],
+            error_window=windows["error_window"],
+        )
+    return state

@@ -33,6 +33,8 @@ def make_synthetic_monitor(
     error_window: WindowConfig | None = None,
     missing_gestures: tuple[int, ...] = (5, 10, 11),
     threshold: float = 0.5,
+    architecture: str = "conv",
+    hidden: tuple[int, ...] = (8,),
 ) -> SafetyMonitor:
     """Build an untrained-but-functional monitor with seeded weights.
 
@@ -49,6 +51,10 @@ def make_synthetic_monitor(
     missing_gestures:
         Gesture numbers deliberately left without an error classifier, to
         exercise the constant-safe (score 0.0) path.
+    architecture / hidden:
+        Error-stage model family (``"conv"`` or ``"lstm"``) and its
+        hidden widths — the property suites sweep these to exercise the
+        serving engine across every architecture it can host.
     """
     gesture_window = gesture_window or WindowConfig(5, 1)
     error_window = error_window or WindowConfig(5, 1)
@@ -69,7 +75,7 @@ def make_synthetic_monitor(
     classifier._fitted = True
 
     error_config = ErrorClassifierConfig(
-        architecture="conv", hidden=(8,), dense_units=8, dropout=0.0
+        architecture=architecture, hidden=hidden, dense_units=8, dropout=0.0
     )
     library = ErrorClassifierLibrary(error_config, seed=seed)
     for number in range(1, N_GESTURE_CLASSES + 1):

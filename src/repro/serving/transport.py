@@ -40,7 +40,14 @@ class Request:
     """One command from the router to a worker.
 
     ``op`` selects the operation; the remaining fields are that
-    operation's arguments (unused ones keep their defaults).
+    operation's arguments (unused ones keep their defaults).  The
+    migration pair added for live fleet elasticity:
+
+    - ``migrate_out`` — export ``session_id``'s complete serving state
+      (pending frames included) and evict it; the reply carries the
+      :func:`~repro.serving.snapshot.session_to_bytes` archive.
+    - ``migrate_in`` — adopt the session archive in ``state``; the
+      reply carries the imported session id.
     """
 
     op: str
@@ -48,6 +55,10 @@ class Request:
     frames: Any = None
     record_timeline: bool = True
     collect: bool = True
+    #: ``migrate_in`` payload: a session archive produced by
+    #: :func:`~repro.serving.snapshot.session_to_bytes` (bytes only —
+    #: the no-pickled-objects policy applies to migration too).
+    state: bytes | None = None
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ import dataclasses
 from ..errors import WorkerError
 from ..nn.backends import DEFAULT_BACKEND
 from .service import MonitorService
-from .snapshot import monitor_from_bytes
+from .snapshot import monitor_from_bytes, session_from_bytes, session_to_bytes
 from .transport import Reply, Request, error_reply, recv_message
 
 
@@ -53,6 +53,14 @@ def _dispatch(service: MonitorService, request: Request) -> Reply:
     if op == "close":
         assert request.session_id is not None
         return Reply(ok=True, value=service.close_session(request.session_id))
+    if op == "migrate_out":
+        assert request.session_id is not None
+        state = service.export_session(request.session_id, remove=True)
+        return Reply(ok=True, value=session_to_bytes(state))
+    if op == "migrate_in":
+        assert request.state is not None
+        state = session_from_bytes(request.state)
+        return Reply(ok=True, value=service.import_session(state))
     if op == "stats":
         return Reply(ok=True, value=service.stats)
     if op in ("ping", "stop"):

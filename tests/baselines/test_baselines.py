@@ -56,7 +56,7 @@ class TestSkipChainCRF:
         crf = SkipChainCRF(n_classes=3, skip=5, epochs=4, seed=0)
         crf.fit(seqs[:6], labs[:6])
         acc = np.mean(
-            [(crf.predict(s) == l).mean() for s, l in zip(seqs[6:], labs[6:])]
+            [(crf.predict(s) == y).mean() for s, y in zip(seqs[6:], labs[6:])]
         )
         assert acc > 0.85
 

@@ -5,9 +5,7 @@ import pytest
 
 from repro.config import MonitorConfig, TrainingConfig, WindowConfig
 from repro.core import (
-    BaselineMonitor,
     ErrorClassifierLibrary,
-    GestureClassifier,
     SafetyMonitor,
     evaluate_timing,
 )

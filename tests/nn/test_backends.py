@@ -178,7 +178,7 @@ class TestCompiledParity:
         """Non-trivial running statistics (post-training state) survive
         the scale-shift fold."""
         scaler, model = conv_binary()
-        bn = next(l for l in model.layers if isinstance(l, nn.BatchNorm))
+        bn = next(x for x in model.layers if isinstance(x, nn.BatchNorm))
         rng = np.random.default_rng(3)
         bn.running_mean[...] = rng.standard_normal(bn.running_mean.shape)
         bn.running_var[...] = rng.random(bn.running_var.shape) + 0.25

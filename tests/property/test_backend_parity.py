@@ -68,7 +68,7 @@ def test_compiled_matches_reference_within_contract(
     scaler = nn.StandardScaler().fit(
         rng.standard_normal((32, window, features)) * 1.5 + 0.5
     )
-    bn = next((l for l in model.layers if isinstance(l, nn.BatchNorm)), None)
+    bn = next((x for x in model.layers if isinstance(x, nn.BatchNorm)), None)
     if bn is not None:
         # Trained-looking running statistics, not the build-time 0/1.
         bn.running_mean[...] = rng.standard_normal(bn.running_mean.shape)

@@ -1,0 +1,632 @@
+"""Tests for live fleet elasticity: session migration, add/remove/resize.
+
+The tentpole invariant: a fleet resized mid-stream (K=2→4→1) emits an
+event stream **bit-identical, order included,** to a static single
+:class:`MonitorService` under the reference backend (the compiled
+backend matches gestures/flags/order exactly and scores within its
+documented ``atol=1e-6``, exactly like the pre-existing K>=2 parity
+matrix).  Plus the building blocks: session export/import on the core
+engine, the npz session codec, minimal-slice rebalancing on
+``add_shard``, the last-shard guard, capacity pre-checks, the asyncio
+``resize`` and the :class:`MonitorAutoscaler` hysteresis actuator.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError, ShapeError, WorkerError
+from repro.serving import (
+    AsyncShardedMonitor,
+    MonitorAutoscaler,
+    MonitorService,
+    ServiceStats,
+    ShardedMonitorService,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+    session_from_bytes,
+    session_to_bytes,
+)
+
+N_FEATURES = 10
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    return make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+
+
+def make_fleet(n_sessions, base_seed=100, frames=40, step=5):
+    return {
+        f"proc-{i}": make_random_walk_trajectory(
+            frames + step * i, n_features=N_FEATURES, seed=base_seed + i
+        )
+        for i in range(n_sessions)
+    }
+
+
+def event_key(event):
+    return (event.session_id, event.frame_index, event.gesture, event.score, event.flag)
+
+
+def loose_key(event):
+    return (event.session_id, event.frame_index, event.gesture, event.flag)
+
+
+class TestSessionExportImport:
+    """MonitorService.export_session / import_session, in process."""
+
+    def test_export_import_resumes_bit_identically(self, monitor):
+        trajectory = make_random_walk_trajectory(
+            50, n_features=N_FEATURES, seed=10
+        )
+        reference = MonitorService(monitor, max_sessions=4)
+        reference.open_session("s")
+        reference.feed("s", trajectory.frames)
+        ref_events = reference.drain()
+        ref_result = reference.close_session("s")
+
+        source = MonitorService(monitor, max_sessions=4)
+        source.open_session("s")
+        source.feed("s", trajectory.frames)
+        events = []
+        for _ in range(23):
+            events += source.tick()
+        state = source.export_session("s", remove=True)
+        assert state.pending_frames == 50 - 23
+        target = MonitorService(monitor, max_sessions=4)
+        target.import_session(state)
+        events += target.drain()
+        result = target.close_session("s")
+
+        assert [event_key(e) for e in events] == [
+            event_key(e) for e in ref_events
+        ]
+        assert np.array_equal(result.gestures, ref_result.gestures)
+        assert np.array_equal(result.unsafe_scores, ref_result.unsafe_scores)
+        assert np.array_equal(result.unsafe_flags, ref_result.unsafe_flags)
+
+    def test_export_without_remove_is_a_consistent_copy(self, monitor):
+        trajectory = make_random_walk_trajectory(
+            30, n_features=N_FEATURES, seed=11
+        )
+        service = MonitorService(monitor, max_sessions=4)
+        service.open_session("s")
+        service.feed("s", trajectory.frames)
+        for _ in range(10):
+            service.tick()
+        state = service.export_session("s")
+        # The source keeps serving, unaffected by the copy...
+        source_events = service.drain()
+        # ...and a clone resumed from the copy produces the same tail.
+        clone = MonitorService(monitor, max_sessions=4)
+        clone.import_session(state)
+        clone_events = clone.drain()
+        assert [event_key(e) for e in clone_events] == [
+            event_key(e) for e in source_events
+        ]
+
+    def test_export_remove_frees_the_slot(self, monitor):
+        service = MonitorService(monitor, max_sessions=1)
+        service.open_session("a")
+        service.feed("a", np.zeros((3, N_FEATURES)))
+        service.export_session("a", remove=True)
+        with pytest.raises(DatasetError):
+            service.feed("a", np.zeros((1, N_FEATURES)))
+        service.open_session("b")  # the slot is reusable immediately
+
+    def test_never_fed_session_migrates(self, monitor):
+        source = MonitorService(monitor, max_sessions=2)
+        source.open_session("idle")
+        state = source.export_session("idle", remove=True)
+        assert state.n_features is None
+        assert state.gesture_window is None
+        target = MonitorService(monitor, max_sessions=2)
+        target.import_session(state)
+        trajectory = make_random_walk_trajectory(
+            12, n_features=N_FEATURES, seed=12
+        )
+        target.feed("idle", trajectory.frames)
+        result_events = target.drain()
+        assert [e.frame_index for e in result_events] == list(range(12))
+
+    def test_record_timeline_false_is_preserved(self, monitor):
+        source = MonitorService(monitor, max_sessions=2)
+        source.open_session("s", record_timeline=False)
+        source.feed("s", np.zeros((8, N_FEATURES)))
+        for _ in range(3):
+            source.tick()
+        state = source.export_session("s", remove=True)
+        assert not state.record_timeline
+        assert state.gestures.size == 0
+        target = MonitorService(monitor, max_sessions=2)
+        target.import_session(state)
+        target.drain()
+        assert target.close_session("s").n_frames == 0
+
+    def test_export_unknown_session_raises(self, monitor):
+        service = MonitorService(monitor, max_sessions=2)
+        with pytest.raises(DatasetError):
+            service.export_session("ghost")
+
+    def test_import_duplicate_and_full_service_rejected(self, monitor):
+        source = MonitorService(monitor, max_sessions=2)
+        source.open_session("s")
+        source.feed("s", np.zeros((2, N_FEATURES)))
+        state = source.export_session("s")
+        with pytest.raises(ConfigurationError, match="already open"):
+            source.import_session(state)
+        full = MonitorService(monitor, max_sessions=1)
+        full.open_session("other")
+        with pytest.raises(ConfigurationError, match="slots"):
+            full.import_session(state)
+
+    def test_import_mismatched_width_rejected(self):
+        narrow = make_synthetic_monitor(n_features=4, seed=1)
+        source = MonitorService(narrow, max_sessions=2)
+        source.open_session("s")
+        source.feed("s", np.zeros((6, 4)))
+        state = source.export_session("s", remove=True)
+        wide = MonitorService(
+            make_synthetic_monitor(n_features=6, seed=1), max_sessions=2
+        )
+        with pytest.raises(ShapeError):
+            wide.import_session(state)
+        # The failed import must leave no half-opened session behind.
+        assert wide.n_open_sessions == 0
+        wide.open_session("fresh")
+
+
+class TestSessionCodec:
+    """session_to_bytes / session_from_bytes round trips."""
+
+    def test_round_trip_preserves_every_field(self, monitor):
+        service = MonitorService(monitor, max_sessions=4)
+        service.open_session("codec")
+        service.feed(
+            "codec",
+            make_random_walk_trajectory(
+                20, n_features=N_FEATURES, seed=13
+            ).frames,
+        )
+        for _ in range(9):
+            service.tick()
+        state = service.export_session("codec")
+        restored = session_from_bytes(session_to_bytes(state))
+        assert restored.session_id == state.session_id
+        assert restored.frames_done == state.frames_done
+        assert restored.record_timeline == state.record_timeline
+        assert restored.current_gesture == state.current_gesture
+        assert restored.current_score == state.current_score
+        assert np.array_equal(restored.gestures, state.gestures)
+        assert np.array_equal(restored.scores, state.scores)
+        assert np.array_equal(restored.pending, state.pending)
+        assert restored.n_features == state.n_features
+        for name in ("gesture_window", "error_window"):
+            ours, theirs = getattr(state, name), getattr(restored, name)
+            assert np.array_equal(ours.buffer, theirs.buffer)
+            assert ours.seen == theirs.seen
+            assert ours.since_emit == theirs.since_emit
+
+    def test_foreign_version_rejected(self, monitor):
+        import io
+        import json
+
+        service = MonitorService(monitor, max_sessions=2)
+        service.open_session("s")
+        blob = session_to_bytes(service.export_session("s"))
+        with np.load(io.BytesIO(blob)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+        meta["version"] = 99
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        with pytest.raises(ConfigurationError, match="version"):
+            session_from_bytes(buffer.getvalue())
+
+
+class TestResizeParity:
+    """The headline guarantee: resize mid-stream changes nothing."""
+
+    @pytest.mark.parametrize("backend", ["reference", "compiled"])
+    def test_resize_2_4_1_matches_static_service(self, monitor, backend):
+        fleet = make_fleet(8, base_seed=700, frames=45, step=3)
+        static = MonitorService(monitor, max_sessions=8, backend=backend)
+        for session_id, trajectory in fleet.items():
+            static.open_session(session_id)
+            static.feed(session_id, trajectory.frames)
+        static_events = static.drain()
+        static_results = {sid: static.close_session(sid) for sid in fleet}
+
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=16, backend=backend
+        ) as service:
+            for session_id, trajectory in fleet.items():
+                service.open_session(session_id)
+                service.feed(session_id, trajectory.frames)
+            events = []
+            for _ in range(12):
+                events += service.tick()
+            up = service.resize(4)
+            assert (up["from"], up["to"]) == (2, 4)
+            assert service.n_shards == 4
+            for _ in range(12):
+                events += service.tick()
+            down = service.resize(1)
+            assert (down["from"], down["to"]) == (4, 1)
+            assert service.n_shards == 1
+            events += service.drain()
+            assert not service.failed_sessions
+            results = {sid: service.close_session(sid) for sid in fleet}
+
+        if backend == "reference":
+            # Bit-identical, order included — migration moved the exact
+            # ring contents, pending frames and sticky context.
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in static_events
+            ]
+            for sid in fleet:
+                assert np.array_equal(
+                    results[sid].unsafe_scores,
+                    static_results[sid].unsafe_scores,
+                )
+                assert np.array_equal(
+                    results[sid].gestures, static_results[sid].gestures
+                )
+        else:
+            # Compiled scores depend on batch composition (documented
+            # atol=1e-6 contract); everything discrete stays exact.
+            assert [loose_key(e) for e in events] == [
+                loose_key(e) for e in static_events
+            ]
+            np.testing.assert_allclose(
+                [e.score for e in events],
+                [e.score for e in static_events],
+                atol=1e-6,
+            )
+
+    def test_resize_with_interleaved_feeds(self, monitor):
+        """Frames fed *between* resizes (to sessions that migrated) keep
+        flowing to the right worker and the right ring state."""
+        trajectory = make_random_walk_trajectory(
+            60, n_features=N_FEATURES, seed=720
+        )
+        expected = []
+        for _, gesture, score, _ in monitor.stream(trajectory):
+            expected.append((gesture, score))
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=8
+        ) as service:
+            service.open_session("theatre")
+            chunks = np.array_split(trajectory.frames, 4)
+            collected = []
+            for k, chunk in enumerate(chunks):
+                service.feed("theatre", chunk)
+                collected += service.tick()  # leave a backlog mid-flight
+                service.resize(4 if k % 2 == 0 else 2)
+            collected += service.drain()
+            result = service.close_session("theatre")
+        assert [e.frame_index for e in collected] == list(range(60))
+        assert [(e.gesture, e.score) for e in collected] == expected
+        assert np.array_equal(
+            result.unsafe_scores, np.asarray([s for _, s in expected])
+        )
+
+
+class TestElasticShardLifecycle:
+    def test_add_shard_moves_only_the_minimal_slice(self, monitor):
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=32
+        ) as service:
+            sids = [service.open_session(f"slice-{i}") for i in range(16)]
+            before = {sid: service.shard_of(sid) for sid in sids}
+            new_index = service.add_shard()
+            assert new_index == 2  # indices are never reused
+            assert service.n_shards == 3
+            moved = 0
+            for sid in sids:
+                after = service.shard_of(sid)
+                if after != before[sid]:
+                    # Consistent hashing: a placement only ever moves to
+                    # the *new* shard, never between survivors.
+                    assert after == new_index
+                    moved += 1
+            assert 0 < moved < len(sids)
+
+    def test_remove_last_shard_raises_worker_error(self, monitor):
+        """Regression: a zero-shard service must be unreachable — the
+        last live shard refuses removal with a WorkerError-family error
+        and keeps serving."""
+        with ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=4
+        ) as service:
+            sid = service.open_session("only")
+            service.feed(sid, np.zeros((3, N_FEATURES)))
+            with pytest.raises(WorkerError, match="last live shard"):
+                service.remove_shard(0)
+            # Still fully alive and serving.
+            assert service.n_shards == 1
+            assert len(service.drain()) == 3
+            assert service.close_session(sid).n_frames == 3
+
+    def test_resize_validates_target(self, monitor):
+        with ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=2
+        ) as service:
+            with pytest.raises(ConfigurationError):
+                service.resize(0)
+            summary = service.resize(1)  # no-op resize is fine
+            assert summary["migrated"] == 0
+            assert summary["added"] == [] and summary["removed"] == []
+
+    def test_remove_shard_full_target_rejected_and_recovers(self, monitor):
+        """A scale-down that cannot fit raises before any state is lost:
+        the ring is restored and every session keeps serving."""
+        with ShardedMonitorService(
+            monitor, n_shards=2, max_sessions_per_shard=2
+        ) as service:
+            opened = []
+            i = 0
+            # Fill both shards to capacity (placement is by hash, so
+            # probe ids until every slot is taken).
+            while len(opened) < 4 and i < 200:
+                try:
+                    opened.append(service.open_session(f"fill-{i}"))
+                except ConfigurationError:
+                    pass
+                i += 1
+            assert len(opened) == 4, "could not fill both shards"
+            for sid in opened:
+                service.feed(sid, np.zeros((2, N_FEATURES)))
+            victim = service.shard_of(opened[0])
+            with pytest.raises(ConfigurationError, match="full"):
+                service.remove_shard(victim)
+            # The shard is still serving and placements still work.
+            assert victim in service.shard_indices
+            assert service.n_open_sessions == 4
+            assert len(service.drain()) == 8
+            assert not service.failed_sessions
+
+    def test_resize_is_rejected_after_close(self, monitor):
+        service = ShardedMonitorService(
+            monitor, n_shards=1, max_sessions_per_shard=2
+        )
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.resize(2)
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.add_shard()
+
+
+class TestAsyncResize:
+    def test_session_rides_through_resize(self, monitor):
+        trajectory = make_random_walk_trajectory(
+            45, n_features=N_FEATURES, seed=730
+        )
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    sid = await frontend.open_session("ride")
+                    chunks = np.array_split(trajectory.frames, 3)
+                    await frontend.feed(sid, chunks[0])
+                    collected = []
+
+                    async def pump(n):
+                        async for event in frontend.events():
+                            collected.append(event)
+                            if len(collected) >= n:
+                                return
+
+                    await pump(5)
+                    summary = await frontend.resize(4)
+                    assert frontend.n_shards == 4
+                    await frontend.feed(sid, chunks[1])
+                    await pump(20)
+                    await frontend.resize(1)
+                    assert frontend.n_shards == 1
+                    await frontend.feed(sid, chunks[2])
+                    await pump(45)
+                    result = await frontend.close_session(sid)
+                    return collected, result, summary
+
+        collected, result, summary = asyncio.run(run())
+        assert summary["from"] == 2 and summary["to"] == 4
+        assert [e.frame_index for e in collected] == list(range(45))
+        gestures, scores = [], []
+        for _, gesture, score, _ in monitor.stream(trajectory):
+            gestures.append(gesture)
+            scores.append(score)
+        assert [e.gesture for e in collected] == gestures
+        assert [e.score for e in collected] == scores
+        assert np.array_equal(result.unsafe_scores, np.asarray(scores))
+
+
+def stats_with_p99(tick_ms: float, n_ticks: int = 50) -> ServiceStats:
+    stats = ServiceStats(capacity=max(n_ticks, 1))
+    for _ in range(n_ticks):
+        stats.record(tick_ms, 4)
+    return stats
+
+
+class TestAutoscaler:
+    """The actuator loop over suggest_shard_count, driven via step()."""
+
+    def _hot(self, k):  # p99 of 2x the high watermark -> suggest 2k
+        return {i: stats_with_p99(33.3) for i in range(k)}
+
+    def _in_band(self, k):
+        return {i: stats_with_p99(8.0) for i in range(k)}
+
+    def test_applies_after_consecutive_agreement(self, monitor):
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    sid = await frontend.open_session("scaled")
+                    await frontend.feed(
+                        sid,
+                        make_random_walk_trajectory(
+                            20, n_features=N_FEATURES, seed=740
+                        ).frames,
+                    )
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=2, cooldown_s=0.0, max_shards=8
+                    )
+                    first = await scaler.step(self._hot(2))
+                    assert first is None  # streak of 1 < consecutive=2
+                    assert service.n_shards == 2
+                    second = await scaler.step(self._hot(2))
+                    assert second == 4  # applied
+                    assert service.n_shards == 4
+                    assert len(scaler.resize_events) == 1
+                    event = scaler.resize_events[0]
+                    assert event["trigger"] == "autoscaler"
+                    assert (event["from"], event["to"]) == (2, 4)
+                    # The session survived the autoscaled resize.
+                    await frontend.drain()
+                    result = await frontend.close_session(sid)
+                    return result
+
+        result = asyncio.run(run())
+        assert result.n_frames == 20
+
+    def test_in_band_resets_the_streak(self, monitor):
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=2, cooldown_s=0.0
+                    )
+                    assert await scaler.step(self._hot(2)) is None
+                    assert await scaler.step(self._in_band(2)) is None
+                    # The interruption reset the streak: one more hot
+                    # sample is again not enough.
+                    assert await scaler.step(self._hot(2)) is None
+                    assert service.n_shards == 2
+                    assert scaler.resize_events == []
+
+        asyncio.run(run())
+
+    def test_cooldown_blocks_back_to_back_resizes(self, monitor):
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=1, cooldown_s=3600.0, max_shards=8
+                    )
+                    assert await scaler.step(self._hot(2)) == 4
+                    # Immediately hot again: suggestion repeats but the
+                    # cooldown gate holds the fleet steady.
+                    assert await scaler.step(self._hot(4)) is None
+                    assert service.n_shards == 4
+                    assert len(scaler.resize_events) == 1
+
+        asyncio.run(run())
+
+    def test_overcap_fleet_is_not_shrunk_under_load(self, monitor):
+        """A fleet already above max_shards whose load asks for MORE
+        capacity must be held where it is — the clamp must never turn a
+        scale-up recommendation into a scale-down."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=3, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=1, cooldown_s=0.0, max_shards=2
+                    )
+                    # Hot: the raw recommendation is > 3, the clamp says
+                    # 2 — applying it would shrink an overloaded fleet.
+                    assert await scaler.step(self._hot(3)) is None
+                    assert service.n_shards == 3
+                    assert scaler.resize_events == []
+                    # A genuinely idle fleet still scales down normally.
+                    idle = {i: ServiceStats(capacity=4) for i in range(3)}
+                    assert await scaler.step(idle) == 1
+                    assert service.n_shards == 1
+
+        asyncio.run(run())
+
+    def test_constructor_validation(self, monitor):
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=1, max_sessions_per_shard=2
+            ) as service:
+                frontend = AsyncShardedMonitor(service)
+                with pytest.raises(ConfigurationError):
+                    MonitorAutoscaler(frontend, interval_s=0.0)
+                with pytest.raises(ConfigurationError):
+                    MonitorAutoscaler(frontend, consecutive=0)
+                with pytest.raises(ConfigurationError):
+                    MonitorAutoscaler(frontend, cooldown_s=-1.0)
+                with pytest.raises(ConfigurationError):
+                    MonitorAutoscaler(frontend, min_shards=4, max_shards=2)
+
+        asyncio.run(run())
+
+    def test_background_loop_applies_resize(self, monitor):
+        """The self-driving loop: a persistently hot fleet is scaled up
+        without anyone calling step()."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=8
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend,
+                        interval_s=0.05,
+                        consecutive=1,
+                        cooldown_s=0.0,
+                        max_shards=4,
+                    )
+                    # Make the policy see a hot fleet regardless of real
+                    # load: feed synthetic stats through a stub.
+                    real_stats = frontend.shard_stats
+
+                    async def hot_stats():
+                        return {
+                            i: stats_with_p99(33.3)
+                            for i in range(service.n_shards)
+                        }
+
+                    frontend.shard_stats = hot_stats
+                    try:
+                        async with scaler:
+                            deadline = (
+                                asyncio.get_running_loop().time() + 10.0
+                            )
+                            while (
+                                service.n_shards < 4
+                                and asyncio.get_running_loop().time()
+                                < deadline
+                            ):
+                                await asyncio.sleep(0.02)
+                    finally:
+                        frontend.shard_stats = real_stats
+                    return service.n_shards, len(scaler.resize_events)
+
+        n_shards, n_events = asyncio.run(run())
+        assert n_shards == 4
+        assert n_events >= 1
+
+    def test_gateway_autoscale_requires_fleet(self, monitor):
+        from repro.serving import MonitorGateway
+
+        with pytest.raises(ConfigurationError, match="n_shards >= 2"):
+            MonitorGateway(monitor, n_shards=1, autoscale_interval_s=1.0)
+        with pytest.raises(ConfigurationError, match="> 0"):
+            MonitorGateway(monitor, n_shards=2, autoscale_interval_s=0.0)

@@ -600,6 +600,57 @@ class TestGatewayStats:
                 )
 
 
+class TestGatewayResize:
+    def test_client_session_rides_through_resizes(self, monitor):
+        """A socket session streaming across a K=2→4→1 gateway resize
+        sees the exact event stream of the local engine — no fail-safe
+        closure, no gap, no reorder — and STATS reports the resizes."""
+        trajectory = make_random_walk_trajectory(
+            45, n_features=N_FEATURES, seed=61
+        )
+        reference = local_events(
+            monitor, trajectory, session_id="theatre-elastic"
+        )
+        with running_gateway(monitor, n_shards=2, max_sessions=16) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                sid = client.open_session("theatre-elastic")
+                chunks = np.array_split(trajectory.frames, 3)
+                events = []
+                client.feed(sid, chunks[0])
+                events += client.events_for(sid, len(chunks[0]))
+                summary = runner.run(runner.gateway.resize(4))
+                assert (summary["from"], summary["to"]) == (2, 4)
+                client.feed(sid, chunks[1])
+                events += client.events_for(sid, len(chunks[1]))
+                runner.run(runner.gateway.resize(1))
+                client.feed(sid, chunks[2])
+                events += client.events_for(sid, len(chunks[2]))
+                stats = client.gateway_stats()
+                close_summary = client.close_session(sid)
+        assert [event_key(e) for e in events] == [
+            event_key(e) for e in reference
+        ]
+        assert close_summary["n_frames"] == trajectory.n_frames
+        assert stats["n_shards"] == 1
+        assert stats["resizes"]["count"] == 2
+        assert [
+            (e["from"], e["to"]) for e in stats["resizes"]["events"]
+        ] == [(2, 4), (4, 1)]
+        assert all(
+            e["trigger"] == "manual" for e in stats["resizes"]["events"]
+        )
+        assert stats["sessions"]["failed_total"] == 0
+        assert not runner.gateway.failsafe_events
+
+    def test_embedded_engine_rejects_resize(self, monitor):
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            with pytest.raises(ConfigurationError, match="n_shards >= 2"):
+                runner.run(runner.gateway.resize(2))
+            stats = runner.stats()
+            assert stats["resizes"]["count"] == 0
+            assert stats["resizes"]["autoscaling"] is False
+
+
 class TestSnapshotRestart:
     def test_backend_choice_survives_gateway_restarts(self, monitor):
         """The satellite contract: a float32 compiled backend embedded

@@ -269,10 +269,13 @@ class TestPlacementAndLifecycle:
             service.feed(session_id, np.zeros((3, N_FEATURES)))
             assert len(service.drain()) == 3
 
-    def test_remove_shard_drains_and_rebalances(self, monitor):
+    def test_remove_shard_migrates_and_rebalances(self, monitor):
+        """remove_shard live-migrates the shard's sessions onto the
+        survivors — nothing closes, no frame is dropped, and the moved
+        sessions finish with their full timelines."""
         fleet = make_fleet(6, base_seed=400, frames=20)
         with ShardedMonitorService(
-            monitor, n_shards=3, max_sessions_per_shard=8
+            monitor, n_shards=3, max_sessions_per_shard=16
         ) as service:
             for session_id, trajectory in fleet.items():
                 service.open_session(session_id)
@@ -281,28 +284,32 @@ class TestPlacementAndLifecycle:
             on_target = {
                 sid for sid in fleet if service.shard_of(sid) == target
             }
-            results = service.remove_shard(target)
-            # Every session on the removed shard is drained and returned.
-            assert set(results) == on_target
-            for session_id, result in results.items():
-                assert result.n_frames == fleet[session_id].n_frames
+            moved = service.remove_shard(target)
+            # Every session on the removed shard migrated to a survivor
+            # and is still open.
+            assert set(moved) == on_target
             assert target not in service.shard_indices
+            for session_id, new_shard in moved.items():
+                assert new_shard != target
+                assert service.shard_of(session_id) == new_shard
+            assert service.n_open_sessions == len(fleet)
             # Future placements rebalance onto survivors only.
             for i in range(8):
                 session_id = service.open_session(f"rebalanced-{i}")
                 assert service.shard_of(session_id) != target
-            # Survivors were not disturbed.
+            # Every original session — migrated or not — drains to its
+            # complete timeline.
             service.drain(collect=False)
             for session_id in fleet:
-                if session_id not in on_target:
-                    result = service.close_session(session_id)
-                    assert result.n_frames == fleet[session_id].n_frames
+                result = service.close_session(session_id)
+                assert result.n_frames == fleet[session_id].n_frames
             assert not service.failed_sessions
 
-    def test_remove_shard_tail_events_are_not_dropped(self, monitor):
-        """The removed shard's final drain produces events; sessions
-        opened with record_timeline=False have no timeline, so those
-        events must reach the event stream — queued for the next tick."""
+    def test_remove_shard_events_survive_without_timelines(self, monitor):
+        """Sessions opened with record_timeline=False have no timeline
+        to fall back on, so migration must preserve their un-ticked
+        frames: the post-removal drain delivers every event exactly
+        once."""
         with ShardedMonitorService(
             monitor, n_shards=2, max_sessions_per_shard=8
         ) as service:
@@ -318,17 +325,18 @@ class TestPlacementAndLifecycle:
                     ).frames,
                 )
             target = service.shard_of(sids[0])
-            on_target = [s for s in sids if service.shard_of(s) == target]
-            results = service.remove_shard(target)
-            assert all(r.n_frames == 0 for r in results.values())  # no timeline
-            events = service.drain()  # delivers the queued tail events too
+            moved = service.remove_shard(target)
+            assert moved  # at least one session actually migrated
+            events = service.drain()
             delivered = {}
             for event in events:
                 delivered.setdefault(event.session_id, []).append(
                     event.frame_index
                 )
-            for sid in on_target:
+            for sid in sids:
                 assert delivered[sid] == list(range(15))
+            for sid in sids:  # no timeline was recorded anywhere
+                assert service.close_session(sid).n_frames == 0
 
     def test_close_is_idempotent_and_stops_workers(self, monitor):
         service = ShardedMonitorService(
