@@ -26,12 +26,15 @@ makes resizes visible to STATS clients — see
 from __future__ import annotations
 
 import asyncio
+import logging
 from collections.abc import Callable
 
 from ..errors import ConfigurationError, ReproError
 from .async_frontend import AsyncShardedMonitor
 from .service import ServiceStats
 from .sharded import FRAME_INTERVAL_MS, suggest_shard_count
+
+logger = logging.getLogger(__name__)
 
 
 class MonitorAutoscaler:
@@ -192,9 +195,11 @@ class MonitorAutoscaler:
             try:
                 await self._task
             except asyncio.CancelledError:
-                pass
-            except Exception:  # noqa: BLE001 - a dead loop must not
-                pass  # abort the caller's shutdown path
+                pass  # the expected outcome of cancel()
+            except Exception as exc:  # noqa: BLE001 - a dead loop must not
+                # abort the caller's shutdown path, but the error it died
+                # with is still worth the log line.
+                logger.warning("autoscaler loop ended with error: %s", exc)
             self._task = None
 
     async def __aenter__(self) -> "MonitorAutoscaler":

@@ -32,6 +32,8 @@ Shared semantics:
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import logging
 import socket
 from collections import deque
 from collections.abc import AsyncIterator
@@ -52,6 +54,8 @@ from .protocol import (
     encode_json,
     encode_message,
 )
+
+logger = logging.getLogger(__name__)
 
 
 def _gateway_exception(info: dict) -> Exception:
@@ -110,10 +114,10 @@ class RemoteMonitorClient:
         fail-safe by the gateway (drain-and-close, ``error`` set)."""
         if not self._closed:
             self._closed = True
-            try:
+            # A close() failing on an already-broken socket is the
+            # expected teardown race, not an error worth surfacing.
+            with contextlib.suppress(OSError):
                 self._sock.close()
-            except OSError:
-                pass
 
     # ------------------------------------------------------------------
     # Wire plumbing
@@ -532,13 +536,15 @@ class AsyncRemoteMonitorClient:
         self._reader_task.cancel()
         try:
             await self._reader_task
-        except (asyncio.CancelledError, Exception):  # noqa: BLE001
-            pass
+        except asyncio.CancelledError:
+            pass  # the expected outcome of cancel()
+        except Exception as exc:  # noqa: BLE001 - teardown must finish,
+            # but a reader that died on something other than our cancel
+            # is still logged rather than silently dropped.
+            logger.warning("reader task ended with error during close: %s", exc)
         self._writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             await self._writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
 
     async def __aenter__(self) -> "AsyncRemoteMonitorClient":
         return self

@@ -116,12 +116,11 @@ class _LocalEngine:
                 async with self._lock:
                     pending = self.service.has_pending
                 if not pending:
-                    try:
+                    # Timeout is the idle-poll path, not an error.
+                    with contextlib.suppress(asyncio.TimeoutError):
                         await asyncio.wait_for(
                             self._kick.wait(), timeout=self.poll_interval_s
                         )
-                    except asyncio.TimeoutError:
-                        pass
                     continue
                 events = await self._call(self.service.tick)
                 for event in events:
@@ -314,6 +313,11 @@ class MonitorGateway:
     drain_timeout_s:
         How long a disconnect/close waits for a session's already-fed
         frames to finish processing before closing it anyway.
+    data_plane:
+        Data plane of the sharded engine (``n_shards >= 2`` only):
+        ``"shm"`` (default) streams frames and events through per-shard
+        shared-memory rings, ``"pipe"`` forces the ack-per-feed pipe
+        plane (see :class:`ShardedMonitorService`).
     autoscale_interval_s / autoscale_max_shards:
         When ``autoscale_interval_s`` is set (requires ``n_shards >=
         2``), the gateway runs a
@@ -344,6 +348,7 @@ class MonitorGateway:
         idle_timeout_s: float = 60.0,
         drain_timeout_s: float = 10.0,
         start_method: str | None = None,
+        data_plane: str = "shm",
         autoscale_interval_s: float | None = None,
         autoscale_max_shards: int = 8,
     ) -> None:
@@ -383,6 +388,7 @@ class MonitorGateway:
         self.idle_timeout_s = idle_timeout_s
         self.drain_timeout_s = drain_timeout_s
         self._start_method = start_method
+        self.data_plane = data_plane
         if autoscale_interval_s is not None:
             if autoscale_interval_s <= 0:
                 raise ConfigurationError("autoscale_interval_s must be > 0")
@@ -497,6 +503,7 @@ class MonitorGateway:
             monitor_bytes=self._monitor_bytes,
             backend=self.backend,
             start_method=self._start_method,
+            data_plane=self.data_plane,
         )
         return _ShardedEngine(service, AsyncShardedMonitor(service))
 
@@ -551,8 +558,10 @@ class MonitorGateway:
                 payload = await reader.readexactly(length) if length else b""
                 conn.last_recv = asyncio.get_running_loop().time()
                 await self._dispatch(conn, msg_type, payload)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            pass  # EOF or reset: the fail-safe teardown below handles it
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            # EOF or reset: the fail-safe teardown below handles it, and
+            # the close reason records what actually ended the stream.
+            reason = f"client disconnected ({type(exc).__name__})"
         except ProtocolError as exc:
             reason = f"protocol violation: {exc}"
             self._send_error(conn, ProtocolError(str(exc)), None)
@@ -700,10 +709,9 @@ class MonitorGateway:
             session = self._sessions.get(session_id)
             if session is None or session.conn is not conn:
                 continue  # already ended (e.g. shard crash event)
-            try:
+            # Engine-side loss; the fail-safe event below stands.
+            with contextlib.suppress(ReproError):
                 await self._engine.close_session(session_id)
-            except ReproError:
-                pass  # engine-side loss; the fail-safe event below stands
             self._record_failsafe(
                 SessionEvent(
                     session_id=session_id,
@@ -730,14 +738,17 @@ class MonitorGateway:
                 conn.queue.put_nowait(_CLOSED)
             except asyncio.QueueFull:
                 conn.writer_task.cancel()  # queue wedged; no orderly flush
-            try:
-                # A writer wedged in drain() against a non-reading peer
-                # must not wedge the teardown with it.
-                await asyncio.wait_for(asyncio.shield(conn.writer_task), 5.0)
-            except asyncio.TimeoutError:
-                conn.writer_task.cancel()
-            except asyncio.CancelledError:
-                pass
+            # A cancelled writer (queue wedged above) completing here is
+            # the expected outcome, not an error.
+            with contextlib.suppress(asyncio.CancelledError):
+                try:
+                    # A writer wedged in drain() against a non-reading
+                    # peer must not wedge the teardown with it.
+                    await asyncio.wait_for(
+                        asyncio.shield(conn.writer_task), 5.0
+                    )
+                except asyncio.TimeoutError:
+                    conn.writer_task.cancel()
             if not conn.writer_task.done():
                 with contextlib.suppress(asyncio.CancelledError):
                     await conn.writer_task
@@ -1024,16 +1035,12 @@ class GatewayRunner:
             # engine build on an executor thread); let it settle and
             # tear the gateway down before killing the loop, so a slow
             # startup never orphans already-spawned shard workers.
-            try:
+            with contextlib.suppress(BaseException):
                 start_future.result(self._startup_timeout_s)
-            except BaseException:
-                pass
-            try:
+            with contextlib.suppress(BaseException):
                 asyncio.run_coroutine_threadsafe(
                     self.gateway.stop(), self._loop
                 ).result(self._startup_timeout_s)
-            except BaseException:
-                pass
             self._stop_loop()
             raise
         return self.host, self.port
@@ -1063,10 +1070,8 @@ class GatewayRunner:
             # A slow shutdown (per-session drains, writer flushes) must
             # still finish terminating worker processes before the loop
             # dies — give it one more full timeout, best effort.
-            try:
+            with contextlib.suppress(BaseException):
                 stop_future.result(self._startup_timeout_s)
-            except BaseException:
-                pass
             raise
         finally:
             self._stop_loop()

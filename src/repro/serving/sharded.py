@@ -24,6 +24,19 @@ outage on a surgical robot must read as *unsafe*, see
 the dead shard leaves the hash ring so new sessions rebalance onto the
 survivors while healthy shards keep ticking.
 
+Data moves over the **shared-memory data plane** (:mod:`.shm`): each
+shard owns a frame ring ``feed()`` writes into without a reply round
+trip (a full ring is the back-pressure signal) and an event ring whose
+batches ``tick()``/``drain()`` read in place, so the pipe carries only
+control ops.  Sessions are addressed on the rings by their global
+opening ``order`` — the same integer that merges event streams — and
+frame widths are validated router-side against the snapshot
+(:func:`~repro.serving.snapshot.snapshot_n_features`), so a bad
+``feed`` still raises synchronously.  Frame blocks the *worker*
+rejects after that (the safety net) surface as deferred
+``ingest_errors`` on the next exchange and fail the session safe.
+``data_plane="pipe"`` restores the original ack-per-feed pipe plane.
+
 The fleet is also **elastic** without dropping a frame:
 :meth:`ShardedMonitorService.add_shard` / :meth:`remove_shard` /
 :meth:`resize` move live sessions between workers by exporting their
@@ -38,8 +51,10 @@ backend (``tests/serving/test_elasticity.py``).
 from __future__ import annotations
 
 import bisect
+import contextlib
 import hashlib
 import itertools
+import logging
 import math
 import multiprocessing as mp
 import threading
@@ -48,12 +63,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.pipeline import SafetyMonitor
-from ..errors import ConfigurationError, DatasetError, WorkerError
+from ..errors import ConfigurationError, DatasetError, ShapeError, WorkerError
 from ..nn.backends import DEFAULT_BACKEND, validate_backend_name
 from .service import ServiceStats, SessionEvent, SessionResult
-from .snapshot import monitor_to_bytes, snapshot_backend
+from .shm import (
+    DEFAULT_EVENT_RING_BYTES,
+    DEFAULT_FRAME_RING_BYTES,
+    ShmRing,
+    write_frames_blocking,
+)
+from .snapshot import monitor_to_bytes, snapshot_backend, snapshot_n_features
 from .transport import Reply, Request, raise_remote, recv_message
 from .worker import worker_main
+
+logger = logging.getLogger(__name__)
 
 #: Frame interval of the paper's 30 Hz kinematics stream — the tick
 #: deadline :func:`suggest_shard_count` sizes fleets against.
@@ -180,16 +203,34 @@ class _SessionRecord:
 
 
 class _ShardHandle:
-    """Router-side view of one worker process and its pipe."""
+    """Router-side view of one worker process, its pipe and its rings."""
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(
+        self,
+        index: int,
+        process,
+        conn,
+        frame_ring: ShmRing | None = None,
+        event_ring: ShmRing | None = None,
+    ) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        #: Router-owned shm rings (``None`` under ``data_plane="pipe"``).
+        #: The router creates them in ``_spawn_shard`` and is the only
+        #: side that ever unlinks — on stop, on crash, on removal.
+        self.frame_ring = frame_ring
+        self.event_ring = event_ring
+        #: route id -> session id, for decoding event-ring batches.
+        self.routes: dict[int, str] = {}
+        #: ``(route, message)`` ingest failures stashed off replies until
+        #: the next tick/drain converts them to fail-safe events.
+        self.pending_ingest: list[tuple[int, str]] = []
         self.alive = True
         self.failure: str | None = None
         #: True while the worker may still have un-ticked frames; updated
-        #: from the ``has_pending`` field piggy-backed on every reply.
+        #: from the ``has_pending`` field piggy-backed on every reply,
+        #: and set eagerly by every frame-ring write.
         self.maybe_pending = False
 
     def send(self, request: Request) -> None:
@@ -216,11 +257,19 @@ class _ShardHandle:
                 f"shard {self.index} worker died (exitcode {exitcode})"
             ) from exc
         self.maybe_pending = reply.has_pending
+        if reply.ingest_errors:
+            self.pending_ingest.extend(reply.ingest_errors)
         return reply
 
     def request(self, request: Request, timeout_s: float | None) -> Reply:
         self.send(request)
         return self.recv(timeout_s)
+
+    def destroy_rings(self) -> None:
+        """Detach and unlink this shard's shm segments.  Idempotent."""
+        for ring in (self.frame_ring, self.event_ring):
+            if ring is not None:
+                ring.destroy()
 
     def stop(self, join_timeout_s: float = 5.0) -> None:
         """Best-effort graceful stop; escalates to terminate, then kill."""
@@ -228,12 +277,19 @@ class _ShardHandle:
             try:
                 self.send(Request("stop"))
                 self.recv(join_timeout_s)
-            except WorkerError:
-                pass
+            except WorkerError as exc:
+                # Not silent: the worker gets escalated to terminate()
+                # below either way, but record *why* the graceful path
+                # failed — a stop that routinely escalates is a bug.
+                logger.warning(
+                    "shard %d stop handshake failed: %s", self.index, exc
+                )
         try:
             self.conn.close()
-        except OSError:
-            pass
+        except OSError as exc:
+            logger.warning(
+                "shard %d pipe close failed during stop: %s", self.index, exc
+            )
         self.process.join(join_timeout_s)
         if self.process.is_alive():
             self.process.terminate()
@@ -242,6 +298,7 @@ class _ShardHandle:
             self.process.kill()
             self.process.join()
         self.alive = False
+        self.destroy_rings()
 
 
 class ShardedMonitorService:
@@ -278,6 +335,19 @@ class ShardedMonitorService:
         ``monitor`` itself.  Caller-supplied ``monitor_bytes`` are
         shipped verbatim: an explicit ``backend`` override applies to
         this fleet without rewriting the archive's own metadata.
+    data_plane:
+        ``"shm"`` (default) moves frames and events over per-shard
+        shared-memory rings (:mod:`.shm`): ``feed()`` is a zero-ack ring
+        write with ring-full back-pressure, and tick/drain event batches
+        are read out of shared memory instead of being pickled.
+        ``"pipe"`` restores the original everything-over-the-pipe plane
+        (the pre-ring behaviour, kept for environments without POSIX
+        shared memory).
+    frame_ring_bytes / event_ring_bytes:
+        Per-shard ring capacities under ``data_plane="shm"``; see
+        :data:`~repro.serving.shm.DEFAULT_FRAME_RING_BYTES`.  Sizing
+        bounds the un-ingested backlog a shard will buffer before
+        ``feed()`` blocks.
 
     The façade mirrors the :class:`MonitorService` lifecycle —
     ``open_session`` / ``feed`` / ``tick`` / ``drain`` /
@@ -301,9 +371,16 @@ class ShardedMonitorService:
         request_timeout_s: float | None = None,
         hash_replicas: int = 64,
         backend: str | None = None,
+        data_plane: str = "shm",
+        frame_ring_bytes: int = DEFAULT_FRAME_RING_BYTES,
+        event_ring_bytes: int = DEFAULT_EVENT_RING_BYTES,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("n_shards must be >= 1")
+        if data_plane not in ("shm", "pipe"):
+            raise ConfigurationError(
+                f'data_plane must be "shm" or "pipe", got {data_plane!r}'
+            )
         if max_sessions_per_shard < 1:
             raise ConfigurationError("max_sessions_per_shard must be >= 1")
         if (monitor is None) == (monitor_bytes is None):
@@ -328,6 +405,16 @@ class ShardedMonitorService:
         self.monitor_bytes = monitor_bytes
         self.max_sessions_per_shard = int(max_sessions_per_shard)
         self.request_timeout_s = request_timeout_s
+        self.data_plane = data_plane
+        self.frame_ring_bytes = int(frame_ring_bytes)
+        self.event_ring_bytes = int(event_ring_bytes)
+        # Router-side feed validation width: with the asynchronous frame
+        # ring there is no reply to carry a worker-side ShapeError, so
+        # the router enforces the trained width up front (same eager
+        # check MonitorService runs on its first feed).
+        self._n_features = (
+            snapshot_n_features(monitor_bytes) if data_plane == "shm" else None
+        )
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -349,25 +436,37 @@ class ShardedMonitorService:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn_shard(self, index: int) -> None:
+        frame_ring = event_ring = None
+        if self.data_plane == "shm":
+            frame_ring = ShmRing(self.frame_ring_bytes)
+            event_ring = ShmRing(self.event_ring_bytes)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(
-                child_conn,
-                self.monitor_bytes,
-                self.max_sessions_per_shard,
-                self.backend,
-            ),
-            name=f"monitor-shard-{index}",
-            daemon=True,
-        )
-        process.start()
+        try:
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    self.monitor_bytes,
+                    self.max_sessions_per_shard,
+                    self.backend,
+                    frame_ring.name if frame_ring is not None else None,
+                    event_ring.name if event_ring is not None else None,
+                ),
+                name=f"monitor-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+        except Exception:
+            for ring in (frame_ring, event_ring):
+                if ring is not None:
+                    ring.destroy()
+            raise
         child_conn.close()
-        handle = _ShardHandle(index, process, parent_conn)
+        handle = _ShardHandle(index, process, parent_conn, frame_ring, event_ring)
         try:
             reply = handle.request(Request("ping"), timeout_s=60.0)
         except WorkerError as exc:
-            handle.stop()
+            handle.stop()  # also unlinks the rings just created
             raise WorkerError(f"shard {index} failed to start: {exc}") from exc
         raise_remote(reply)
         self._shards[index] = handle
@@ -389,6 +488,7 @@ class ShardedMonitorService:
             handle.alive = False
             handle.failure = reason
             self._ring.remove(handle.index)
+            handle.routes.clear()
             out: list[tuple[int, SessionEvent]] = []
             for session_id in [
                 s for s, r in self._sessions.items() if r.shard == handle.index
@@ -410,10 +510,19 @@ class ShardedMonitorService:
                 )
         try:
             handle.conn.close()
-        except OSError:
-            pass
+        except OSError as exc:
+            # The close itself failing is secondary to the crash being
+            # handled, but never silent — it would mask fd leaks.
+            logger.warning(
+                "closing pipe of failed shard %d: %s", handle.index, exc
+            )
         if handle.process.is_alive():
             handle.process.terminate()
+        # Unlink the dead shard's segments now: crash is one of the three
+        # unlink paths (stop, removal, crash), so no /dev/shm entry ever
+        # waits for close().  The terminated worker's own mapping stays
+        # valid until it exits; unlink only removes the name.
+        handle.destroy_rings()
         return out
 
     def _flush_undelivered(self) -> list[tuple[int, SessionEvent]]:
@@ -493,9 +602,18 @@ class ShardedMonitorService:
                 f"session {session_id!r} lost mid-migration: {exc}"
             ) from exc
         state_bytes = reply.value
+        source.routes.pop(record.order, None)
         try:
             reply = target.request(
-                Request("migrate_in", state=state_bytes),
+                Request(
+                    "migrate_in",
+                    state=state_bytes,
+                    # The session keeps its global order as its route id
+                    # on the target's rings — the merge key never moves.
+                    route=(
+                        record.order if target.frame_ring is not None else None
+                    ),
+                ),
                 self.request_timeout_s,
             )
             raise_remote(reply)
@@ -527,6 +645,8 @@ class ShardedMonitorService:
             ) from exc
         with self._lock:
             record.shard = target_index
+            if target.frame_ring is not None:
+                target.routes[record.order] = session_id
 
     def remove_shard(self, index: int) -> dict[str, int]:
         """Migrate every session off one shard, then retire the worker.
@@ -686,8 +806,12 @@ class ShardedMonitorService:
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception as exc:  # noqa: BLE001 - a destructor must not
+            # raise, but the failure is still recorded (debug level: at
+            # interpreter shutdown even logging may be torn down, hence
+            # the inner suppress).
+            with contextlib.suppress(Exception):
+                logger.debug("close() during __del__ failed: %s", exc)
 
     # ------------------------------------------------------------------
     # Placement
@@ -730,10 +854,17 @@ class ShardedMonitorService:
         handle = self._shards.get(shard)
         if handle is None or not handle.alive:
             raise WorkerError(f"shard {shard} is not live")
+        # The global opening order doubles as the session's route id on
+        # the shm rings, so it is allocated *before* the open request and
+        # shipped with it (a failed open just burns a counter value).
+        order = next(self._order)
         try:
             reply = handle.request(
                 Request(
-                    "open", session_id=session_id, record_timeline=record_timeline
+                    "open",
+                    session_id=session_id,
+                    record_timeline=record_timeline,
+                    route=order if handle.frame_ring is not None else None,
                 ),
                 self.request_timeout_s,
             )
@@ -744,9 +875,11 @@ class ShardedMonitorService:
         with self._lock:  # _fail_shard may iterate from another thread
             self._sessions[session_id] = _SessionRecord(
                 shard=shard,
-                order=next(self._order),
+                order=order,
                 record_timeline=record_timeline,
             )
+            if handle.frame_ring is not None:
+                handle.routes[order] = session_id
         return session_id
 
     # ------------------------------------------------------------------
@@ -784,23 +917,71 @@ class ShardedMonitorService:
     def feed(self, session_id: str, frames: np.ndarray) -> None:
         """Enqueue kinematics frames on the session's shard.
 
+        Under the shm data plane this is a single copy into the shard's
+        frame ring — **no reply round trip**.  Back-pressure replaces the
+        ack: a full ring blocks until the worker frees space (bounded by
+        ``request_timeout_s`` when set).  Shape and width are validated
+        here, synchronously, against the snapshot's trained width;
+        anything the worker itself rejects later surfaces on the next
+        :meth:`tick`/:meth:`drain` as that session's fail-safe terminal
+        event.
+
         Raises :class:`~repro.errors.WorkerError` if the session was lost
-        to a worker crash (failed sessions are never silently re-opened).
+        to a worker crash (failed sessions are never silently re-opened),
+        :class:`~repro.errors.ShapeError` on a frame-width mismatch.
         """
         self._check_open()
         record = self._record(session_id)
         handle = self._shards[record.shard]
+        if handle.frame_ring is None:  # data_plane="pipe": ack'd round trip
+            try:
+                reply = handle.request(
+                    Request(
+                        "feed", session_id=session_id, frames=np.asarray(frames)
+                    ),
+                    self.request_timeout_s,
+                )
+            except WorkerError as exc:
+                self._queue_crash(handle, str(exc))
+                raise WorkerError(
+                    f"session {session_id!r} lost: {exc}"
+                ) from exc
+            raise_remote(reply)
+            return
+        frames = np.asarray(frames, dtype=float)
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        if frames.ndim != 2:
+            raise ShapeError(
+                f"frames must be (n, n_features), got shape {frames.shape}"
+            )
+        if frames.shape[0] == 0:
+            return
+        if self._n_features is not None and frames.shape[1] != self._n_features:
+            raise ShapeError(
+                f"monitor was trained for {self._n_features} kinematics "
+                f"features, got frames with {frames.shape[1]}"
+            )
+        if not handle.process.is_alive():
+            reason = (
+                f"shard {handle.index} worker died "
+                f"(exitcode {handle.process.exitcode})"
+            )
+            self._queue_crash(handle, reason)
+            raise WorkerError(f"session {session_id!r} lost: {reason}")
         try:
-            reply = handle.request(
-                Request("feed", session_id=session_id, frames=np.asarray(frames)),
-                self.request_timeout_s,
+            write_frames_blocking(
+                handle.frame_ring,
+                record.order,
+                frames,
+                alive=handle.process.is_alive,
+                timeout_s=self.request_timeout_s,
+                who=f"shard {handle.index}",
             )
         except WorkerError as exc:
             self._queue_crash(handle, str(exc))
-            raise WorkerError(
-                f"session {session_id!r} lost: {exc}"
-            ) from exc
-        raise_remote(reply)
+            raise WorkerError(f"session {session_id!r} lost: {exc}") from exc
+        handle.maybe_pending = True
 
     def tick_shard(self, index: int) -> list[SessionEvent]:
         """Advance one shard by one frame per pending session.
@@ -816,9 +997,11 @@ class ShardedMonitorService:
             try:
                 reply = handle.request(Request("tick"), self.request_timeout_s)
                 raise_remote(reply)
-                pairs.extend(self._account_events(reply.value))
+                for tick_events in self._collect_ticks(handle, reply.value):
+                    pairs.extend(self._account_events(tick_events))
             except WorkerError as exc:
                 pairs.extend(self._fail_shard(handle, str(exc)))
+        pairs.extend(self._ingest_failures())
         pairs.sort(key=lambda p: p[0])
         return [event for _, event in pairs]
 
@@ -844,9 +1027,11 @@ class ShardedMonitorService:
             try:
                 reply = handle.recv(self.request_timeout_s)
                 raise_remote(reply)
-                pairs.extend(self._account_events(reply.value))
+                for tick_events in self._collect_ticks(handle, reply.value):
+                    pairs.extend(self._account_events(tick_events))
             except WorkerError as exc:
                 pairs.extend(self._fail_shard(handle, str(exc)))
+        pairs.extend(self._ingest_failures())
         pairs.sort(key=lambda p: p[0])
         return [event for _, event in pairs]
 
@@ -873,7 +1058,8 @@ class ShardedMonitorService:
             try:
                 reply = handle.recv(self.request_timeout_s)
                 raise_remote(reply)
-                ticks, progress = reply.value
+                n_ring, overflow, progress = reply.value
+                ticks = self._collect_ticks(handle, (n_ring, overflow))
                 for k, tick_events in enumerate(ticks):
                     tick_lists.setdefault(k, []).extend(
                         self._account_events(tick_events)
@@ -887,6 +1073,7 @@ class ShardedMonitorService:
                         record.events_seen = frames_done
             except WorkerError as exc:
                 pairs.extend(self._fail_shard(handle, str(exc)))
+        pairs.extend(self._ingest_failures())
         events = [event for _, event in sorted(pairs, key=lambda p: p[0])]
         for k in sorted(tick_lists):
             events.extend(
@@ -913,6 +1100,7 @@ class ShardedMonitorService:
         raise_remote(reply)
         with self._lock:
             del self._sessions[session_id]
+            handle.routes.pop(record.order, None)
         return reply.value
 
     # ------------------------------------------------------------------
@@ -939,7 +1127,9 @@ class ShardedMonitorService:
         its shard is idle (nothing to tick, nothing talking to it) still
         surfaces its sessions' fail-safe terminal events here.
         """
-        pairs = self._flush_undelivered() + self._reap_dead()
+        pairs = (
+            self._flush_undelivered() + self._reap_dead() + self._ingest_failures()
+        )
         pairs.sort(key=lambda p: p[0])
         return [event for _, event in pairs]
 
@@ -1022,3 +1212,102 @@ class ShardedMonitorService:
         if pairs:
             with self._lock:
                 self._undelivered.extend(pairs)
+
+    # ------------------------------------------------------------------
+    # Shm data plane: event-ring decode and deferred ingest failures
+    # ------------------------------------------------------------------
+    def _collect_ticks(
+        self, handle: _ShardHandle, value: tuple
+    ) -> list[list[SessionEvent]]:
+        """Materialise one tick/drain reply's event batches in order.
+
+        ``value`` is the worker's ``(n_ring_batches, overflow_ticks)``:
+        the first ``n_ring_batches`` ticks are read off the shard's event
+        ring, the overflow ticks (ring momentarily full, or the pipe-only
+        data plane where every tick overflows) ride the reply itself —
+        chronological order is ring batches then overflow.
+        """
+        n_ring, overflow = value
+        ticks: list[list[SessionEvent]] = []
+        for _ in range(n_ring):
+            batch = (
+                handle.event_ring.read_events()
+                if handle.event_ring is not None
+                else None
+            )
+            if batch is None:
+                raise WorkerError(
+                    f"shard {handle.index} event ring out of sync: "
+                    f"announced batch missing"
+                )
+            ticks.append(self._decode_event_batch(handle, batch))
+        ticks.extend(overflow)
+        return ticks
+
+    def _decode_event_batch(
+        self, handle: _ShardHandle, batch: np.ndarray
+    ) -> list[SessionEvent]:
+        """Rebuild :class:`SessionEvent` objects from one ring record."""
+        events = []
+        for row in batch:
+            session_id = handle.routes.get(int(row["route"]))
+            if session_id is None:  # pragma: no cover - protocol guard
+                logger.warning(
+                    "shard %d emitted an event for unknown route %d",
+                    handle.index,
+                    int(row["route"]),
+                )
+                continue
+            events.append(
+                SessionEvent(
+                    session_id=session_id,
+                    frame_index=int(row["frame"]),
+                    gesture=int(row["gesture"]),
+                    score=float(row["score"]),
+                    flag=bool(int(row["flags"]) & 1),
+                )
+            )
+        return events
+
+    def _ingest_failures(self) -> list[tuple[int, SessionEvent]]:
+        """Convert stashed frame-ring rejections to fail-safe events.
+
+        The asynchronous data plane has no feed reply to raise through:
+        a frame block the worker rejected (after the router's own width
+        check — so: a true anomaly) arrives as ``(route, message)`` on a
+        later reply, and this turns each one into the same terminal
+        treatment a crash gets — ``failed_sessions`` entry plus a
+        ``flag=True`` event naming the cause.
+        """
+        pairs: list[tuple[int, SessionEvent]] = []
+        for handle in self._shards.values():
+            if not handle.pending_ingest:
+                continue
+            stashed, handle.pending_ingest = handle.pending_ingest, []
+            for route, message in stashed:
+                session_id = handle.routes.pop(route, None)
+                if session_id is None:
+                    continue  # already failed or closed
+                reason = (
+                    f"shard {handle.index} rejected frames for session "
+                    f"{session_id!r}: {message}"
+                )
+                with self._lock:
+                    record = self._sessions.pop(session_id, None)
+                    if record is None:
+                        continue
+                    self.failed_sessions[session_id] = reason
+                    pairs.append(
+                        (
+                            record.order,
+                            SessionEvent(
+                                session_id=session_id,
+                                frame_index=record.events_seen,
+                                gesture=0,
+                                score=0.0,
+                                flag=True,
+                                error=reason,
+                            ),
+                        )
+                    )
+        return pairs

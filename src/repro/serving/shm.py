@@ -1,0 +1,433 @@
+"""Shared-memory rings: the zero-copy data plane of the sharded fleet.
+
+The first sharded benchmark told an embarrassing truth: a 4-shard fleet
+was *half* the speed of one :class:`~repro.serving.service.MonitorService`
+(``sharded_speedup_4 = 0.53`` in ``BENCH_serving.json``), because every
+kinematics frame was pickled through a :func:`multiprocessing.Pipe` and
+every ``feed()`` blocked on a full request/reply ack round-trip.  The
+transport was eating the parallelism.
+
+This module replaces that per-frame pipe traffic with two
+:class:`multiprocessing.shared_memory` rings per shard:
+
+- a **frame ring** (router → worker): ``feed()`` copies the frame block
+  straight into shared memory — one header write plus one vectorised
+  row copy, no pickling, no ack — and the worker ingests it in place on
+  its next poll.  A full ring *is* the back-pressure signal: the writer
+  spins until the worker frees space (or the worker is found dead).
+- an **event ring** (worker → router): each tick's
+  :class:`~repro.serving.service.SessionEvent` batch travels as one
+  packed :data:`EVENT_DTYPE` record instead of a pickled object list;
+  ``tick()``/``drain()`` replies shrink to a batch count.
+
+The pipe remains, but only for **control ops** — open, close, tick
+triggers, migrate, stats, stop — whose payloads are small and rare.
+Sessions are addressed on the rings by an integer **route id** (the
+router's global opening order), so no strings cross the data plane.
+
+Ring layout (one POSIX shared-memory segment each)::
+
+    [ write_pos u64 | read_pos u64 | data region (capacity bytes) ... ]
+
+Positions are monotonic byte counters (offset = ``pos % capacity``);
+``write_pos`` is written only by the producer, ``read_pos`` only by the
+consumer, so the single-producer/single-consumer protocol needs no
+locks.  Records never wrap: a record that would straddle the end of the
+region is preceded by a ``PAD`` record that the reader skips.  Every
+record is 8-byte aligned::
+
+    [ kind u32 | length u32 | payload ... ]          # length incl. header
+    frames payload:  route u64, rows u32, cols u32, rows*cols float64
+    events payload:  count u32, pad u32, count * EVENT_DTYPE
+
+Ownership and crash semantics: the **router creates and unlinks** every
+segment (on ``close()``, on ``remove_shard``/``resize``, and when a
+worker crashes); workers only attach and detach.  Worker attachments
+add no :mod:`multiprocessing.resource_tracker` accounting of their own
+(``track=False`` on Python >= 3.13; on older versions the workers share
+the router's tracker process, so their attach-time registration is an
+idempotent no-op over the router's).  A worker exiting therefore never
+unlinks a live segment out from under the fleet, while the tracker
+still reclaims every segment if the router process dies uncleanly — no
+``/dev/shm`` entry outlives the fleet either way.
+"""
+
+from __future__ import annotations
+
+import logging
+import struct
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ConfigurationError, WorkerError
+
+_logger = logging.getLogger(__name__)
+
+#: Ring header: write_pos (u64) then read_pos (u64).
+_HEADER_BYTES = 16
+#: Record header: kind (u32) then total record length (u32).
+_REC_HEADER = 8
+
+#: Record kinds.
+REC_PAD = 0
+REC_FRAMES = 1
+REC_EVENTS = 2
+
+#: Packed wire format of one :class:`~repro.serving.service.SessionEvent`
+#: on the event ring.  ``route`` is the router-assigned integer session
+#: route id; ``flags`` bit 0 is the unsafe flag.  ``score`` is the raw
+#: float64, so events round-trip bit-exactly (the parity contract).
+EVENT_DTYPE = np.dtype(
+    [
+        ("route", "<u8"),
+        ("frame", "<u8"),
+        ("gesture", "<i8"),
+        ("score", "<f8"),
+        ("flags", "<u8"),
+    ]
+)
+
+#: Default per-shard ring capacities.  4 MiB of frames is ~14k frames of
+#: the paper's 38-feature kinematics — minutes of 30 Hz backlog per
+#: shard; 4 MiB of events is ~100k queued events.  Both are plain RAM in
+#: ``/dev/shm`` and configurable per fleet.
+DEFAULT_FRAME_RING_BYTES = 4 * 1024 * 1024
+DEFAULT_EVENT_RING_BYTES = 4 * 1024 * 1024
+
+#: How long the frame-ring writer sleeps between full-ring retries.
+BACKPRESSURE_POLL_S = 0.0005
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without extra tracker accounting.
+
+    Python >= 3.13 supports ``track=False`` directly.  On older
+    versions the attach registers the name with the resource tracker —
+    but a worker is always a :mod:`multiprocessing` child sharing the
+    router's tracker process, so that register is an idempotent set-add
+    over the router's own registration and needs no follow-up.  Do NOT
+    ``resource_tracker.unregister`` here: on a shared tracker that
+    would strip the *router's* registration, so the router's eventual
+    ``unlink()`` double-unregisters and the tracker prints KeyError
+    tracebacks (and an un-shut-down fleet would leak the segment).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmRing:
+    """One single-producer/single-consumer shared-memory byte ring.
+
+    Parameters
+    ----------
+    capacity:
+        Data-region size in bytes (rounded up to a multiple of 8).
+        Ignored when attaching.
+    name:
+        Segment name to attach to (``attach=True``), or ``None`` to
+        create a new segment with a kernel-assigned name.
+    attach:
+        ``False`` (default) creates and owns the segment — the creator
+        is responsible for :meth:`unlink`.  ``True`` attaches to an
+        existing segment by ``name`` and must only :meth:`close`.
+
+    One side writes (:meth:`try_write_frames` / :meth:`try_write_events`),
+    the other reads (:meth:`read_frames` / :meth:`read_events`); reads
+    copy out of the ring and advance ``read_pos``, so a record's memory
+    is reusable the moment its reader returns.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FRAME_RING_BYTES,
+        *,
+        name: str | None = None,
+        attach: bool = False,
+    ) -> None:
+        if attach:
+            if name is None:
+                raise ConfigurationError("attach=True requires a segment name")
+            self._shm = _attach_segment(name)
+            self.capacity = self._shm.size - _HEADER_BYTES
+        else:
+            capacity = _align8(int(capacity))
+            if capacity < 64:
+                raise ConfigurationError("ring capacity must be >= 64 bytes")
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=_HEADER_BYTES + capacity
+            )
+            self.capacity = capacity
+            struct.pack_into("<QQ", self._shm.buf, 0, 0, 0)
+        self._owner = not attach
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Positions (u64 monotonic byte counters)
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Kernel name of the backing segment (pass to the attaching side)."""
+        return self._shm.name
+
+    def _write_pos(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, 0)[0]
+
+    def _read_pos(self) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, 8)[0]
+
+    def _publish_write(self, pos: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 0, pos)
+
+    def _publish_read(self, pos: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, 8, pos)
+
+    @property
+    def data_bytes(self) -> int:
+        """Unread payload bytes currently in the ring (pads included)."""
+        return self._write_pos() - self._read_pos()
+
+    @property
+    def free_bytes(self) -> int:
+        """Writable bytes currently available."""
+        return self.capacity - self.data_bytes
+
+    # ------------------------------------------------------------------
+    # Producer
+    # ------------------------------------------------------------------
+    def _reserve(self, need: int) -> tuple[int, int] | None:
+        """Find space for a ``need``-byte record; insert a pad on wrap.
+
+        Returns ``(write_pos_after_pad, data_offset)`` or ``None`` when
+        the ring cannot currently hold the record.  Nothing is published
+        until the caller commits, so a reader never sees a half-written
+        record.
+        """
+        if need > self.capacity // 2:
+            raise ConfigurationError(
+                f"record of {need} bytes exceeds half the ring capacity "
+                f"({self.capacity}); chunk the payload"
+            )
+        write = self._write_pos()
+        free = self.capacity - (write - self._read_pos())
+        offset = write % self.capacity
+        contig = self.capacity - offset
+        if contig < need:
+            # Pad out the tail, then the record starts at offset 0.
+            if free < contig + need:
+                return None
+            struct.pack_into(
+                "<II", self._shm.buf, _HEADER_BYTES + offset, REC_PAD, contig
+            )
+            return write + contig, 0
+        if free < need:
+            return None
+        return write, offset
+
+    def try_write_frames(self, route: int, frames: np.ndarray) -> bool:
+        """Write one ``(rows, cols)`` float64 frame block; False if full."""
+        rows, cols = frames.shape
+        payload = 16 + rows * cols * 8
+        need = _align8(_REC_HEADER + payload)
+        reserved = self._reserve(need)
+        if reserved is None:
+            return False
+        write, offset = reserved
+        base = _HEADER_BYTES + offset
+        struct.pack_into(
+            "<IIQII", self._shm.buf, base, REC_FRAMES, need, route, rows, cols
+        )
+        dst = np.frombuffer(
+            self._shm.buf, dtype=np.float64, count=rows * cols, offset=base + 24
+        )
+        np.copyto(dst, frames.reshape(-1), casting="no")
+        del dst  # release the buffer view before any close()
+        self._publish_write(write + need)
+        return True
+
+    def try_write_events(self, records: np.ndarray) -> bool:
+        """Write one :data:`EVENT_DTYPE` batch record; False if full."""
+        if records.dtype != EVENT_DTYPE:
+            raise ConfigurationError("event batch must use EVENT_DTYPE")
+        count = records.shape[0]
+        need = _align8(_REC_HEADER + 8 + count * EVENT_DTYPE.itemsize)
+        reserved = self._reserve(need)
+        if reserved is None:
+            return False
+        write, offset = reserved
+        base = _HEADER_BYTES + offset
+        struct.pack_into("<IIII", self._shm.buf, base, REC_EVENTS, need, count, 0)
+        dst = np.frombuffer(
+            self._shm.buf, dtype=EVENT_DTYPE, count=count, offset=base + 16
+        )
+        np.copyto(dst, records, casting="no")
+        del dst
+        self._publish_write(write + need)
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def _next_record(self) -> tuple[int, int, int] | None:
+        """Skip pads; return ``(kind, data_offset, length)`` or ``None``."""
+        while True:
+            read = self._read_pos()
+            if read >= self._write_pos():
+                return None
+            offset = read % self.capacity
+            kind, length = struct.unpack_from(
+                "<II", self._shm.buf, _HEADER_BYTES + offset
+            )
+            if length < _REC_HEADER or length > self.capacity:
+                raise WorkerError(
+                    f"corrupt ring record (kind={kind}, length={length})"
+                )
+            if kind == REC_PAD:
+                self._publish_read(read + length)
+                continue
+            return kind, offset, length
+
+    def read_frames(self) -> tuple[int, np.ndarray] | None:
+        """Pop the next frame block as ``(route, frames copy)``.
+
+        Returns ``None`` when the ring is empty.  Raises
+        :class:`~repro.errors.WorkerError` on a record of the wrong kind
+        — the rings are single-purpose channels, so a foreign record
+        means the peer is out of protocol.
+        """
+        record = self._next_record()
+        if record is None:
+            return None
+        kind, offset, length = record
+        if kind != REC_FRAMES:
+            raise WorkerError(f"expected a frame record, got kind {kind}")
+        base = _HEADER_BYTES + offset
+        route, rows, cols = struct.unpack_from("<QII", self._shm.buf, base + 8)
+        frames = (
+            np.frombuffer(
+                self._shm.buf,
+                dtype=np.float64,
+                count=rows * cols,
+                offset=base + 24,
+            )
+            .reshape(rows, cols)
+            .copy()
+        )
+        self._publish_read(self._read_pos() + length)
+        return int(route), frames
+
+    def read_events(self) -> np.ndarray | None:
+        """Pop the next event batch as an :data:`EVENT_DTYPE` array copy."""
+        record = self._next_record()
+        if record is None:
+            return None
+        kind, offset, length = record
+        if kind != REC_EVENTS:
+            raise WorkerError(f"expected an event record, got kind {kind}")
+        base = _HEADER_BYTES + offset
+        (count,) = struct.unpack_from("<I", self._shm.buf, base + 8)
+        events = np.frombuffer(
+            self._shm.buf, dtype=EVENT_DTYPE, count=count, offset=base + 16
+        ).copy()
+        self._publish_read(self._read_pos() + length)
+        return events
+
+    def discard_all(self) -> int:
+        """Drop every unread record (resync after a failed exchange)."""
+        dropped = self.data_bytes
+        self._publish_read(self._write_pos())
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the segment (both sides).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError) as exc:
+            _logger.warning("closing ring %s failed: %s", self._shm.name, exc)
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner side).  Idempotent."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked (e.g. crash path ran first)
+        except OSError as exc:
+            _logger.warning("unlinking ring %s failed: %s", self._shm.name, exc)
+
+    def destroy(self) -> None:
+        """Owner-side teardown: detach and unlink in one call."""
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()
+
+
+def write_frames_blocking(
+    ring: ShmRing,
+    route: int,
+    frames: np.ndarray,
+    *,
+    alive: "callable",
+    timeout_s: float | None = None,
+    who: str = "worker",
+) -> None:
+    """Write a frame block with ring-full back-pressure.
+
+    The shm data plane has no per-feed ack: a full ring simply means the
+    consumer owes ingest work, so the writer spins (``alive`` is checked
+    each round — a dead consumer raises immediately rather than
+    spinning forever).  Blocks larger than the ring are chunked.
+
+    Raises
+    ------
+    WorkerError
+        When ``alive()`` turns false (the worker died; the caller runs
+        its crash path) or ``timeout_s`` expires with the ring still
+        full (a *hung* worker; same contract as a request timeout).
+    """
+    frames = np.ascontiguousarray(frames, dtype=np.float64)
+    max_rows = max(
+        1, (ring.capacity // 2 - _REC_HEADER - 16) // (8 * frames.shape[1])
+    )
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    for start in range(0, frames.shape[0], max_rows):
+        chunk = frames[start : start + max_rows]
+        while not ring.try_write_frames(route, chunk):
+            if not alive():
+                raise WorkerError(
+                    f"{who} died with the frame ring full "
+                    f"({ring.data_bytes} bytes backlogged)"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerError(
+                    f"{who} unresponsive: frame ring still full after "
+                    f"{timeout_s}s"
+                )
+            time.sleep(BACKPRESSURE_POLL_S)
+
+
+__all__ = [
+    "DEFAULT_EVENT_RING_BYTES",
+    "DEFAULT_FRAME_RING_BYTES",
+    "EVENT_DTYPE",
+    "ShmRing",
+    "write_frames_blocking",
+]

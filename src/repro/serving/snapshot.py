@@ -199,6 +199,28 @@ def snapshot_backend(data: bytes) -> str | None:
     return meta.get("serving", {}).get("backend")
 
 
+def snapshot_n_features(data: bytes) -> int | None:
+    """Kinematics feature width a snapshot's monitor was trained for.
+
+    Mirrors the width rule of
+    :meth:`MonitorService._expected_n_features`: the error-stage scalers
+    see full-width frames, the gesture scaler only does when no feature
+    subset is configured.  Returns ``None`` when the archive constrains
+    nothing.  Like :func:`snapshot_backend` this reads scaler statistics
+    only — no models are rebuilt — so the sharded router can validate
+    ``feed()`` widths synchronously before a frame block ever enters the
+    asynchronous shared-memory data plane.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        _read_meta(archive)
+        if "gesture.feature_indices" not in archive.files:
+            return int(archive["gesture.scaler.mean"].shape[0])
+        for key in archive.files:
+            if key.startswith("error.") and key.endswith(".scaler.mean"):
+                return int(archive[key].shape[0])
+    return None
+
+
 def monitor_from_bytes(data: bytes) -> SafetyMonitor:
     """Rebuild a :class:`SafetyMonitor` from :func:`monitor_to_bytes` output.
 

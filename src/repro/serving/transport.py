@@ -9,6 +9,14 @@ plain data — numpy arrays, the :class:`~repro.serving.service.SessionEvent`
 strings — so the wire format stays portable across ``fork`` and
 ``spawn`` start methods.
 
+Since the shared-memory data plane (:mod:`repro.serving.shm`) took over
+the per-frame traffic, this pipe carries **control ops only**: session
+lifecycle (``open``/``close``), tick triggers whose event payloads ride
+the event ring, migration, stats and shutdown.  ``feed`` remains a pipe
+op solely for the ``data_plane="pipe"`` fallback fleet.  Sessions are
+identified on the rings by the integer ``route`` id assigned at
+``open``/``migrate_in`` time, so the data plane never carries strings.
+
 Worker-side exceptions never kill the worker: they are caught, reduced
 to ``(error class name, message)`` and re-raised router-side as the
 matching :mod:`repro.errors` type (:func:`raise_remote`), so a
@@ -59,6 +67,10 @@ class Request:
     #: :func:`~repro.serving.snapshot.session_to_bytes` (bytes only —
     #: the no-pickled-objects policy applies to migration too).
     state: bytes | None = None
+    #: Integer route id the session is addressed by on the shm rings;
+    #: carried by ``open`` and ``migrate_in`` (``None`` under the
+    #: pipe-only data plane).
+    route: int | None = None
 
 
 @dataclass(frozen=True)
@@ -70,6 +82,13 @@ class Reply:
     message.  ``has_pending`` piggy-backs the worker's post-operation
     backlog state on every reply so the router can track which shards
     still owe ticks without extra round trips.
+
+    ``ingest_errors`` carries deferred failures of the asynchronous
+    frame ring: ``feed()`` no longer waits for a per-call ack, so a
+    frame block the worker could not ingest (evicting the session on
+    its side) surfaces here as ``(route, message)`` pairs on the next
+    exchange, and the router fails those sessions safe — the
+    ring-era replacement for a synchronous feed error.
     """
 
     ok: bool
@@ -77,6 +96,7 @@ class Reply:
     error_type: str | None = None
     error: str | None = None
     has_pending: bool = False
+    ingest_errors: tuple = ()
 
 
 def error_reply(exc: BaseException, has_pending: bool = False) -> Reply:
