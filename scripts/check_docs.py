@@ -136,6 +136,7 @@ def check_mermaid(path: Path) -> list[str]:
 DOCUMENTED_MODULES = (
     "repro.serving",
     "repro.serving.remote",
+    "repro.serving.remote.protocol",
     "repro.serving.shm",
     "repro.nn.backends",
 )

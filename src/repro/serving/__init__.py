@@ -47,6 +47,7 @@ from .remote import (
     GatewayRunner,
     MonitorGateway,
     RemoteMonitorClient,
+    ResumeState,
 )
 from .service import (
     MonitorService,
@@ -73,6 +74,7 @@ __all__ = [
     "MonitorGateway",
     "MonitorService",
     "RemoteMonitorClient",
+    "ResumeState",
     "ServiceStats",
     "SessionEvent",
     "SessionResult",

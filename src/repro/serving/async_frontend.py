@@ -215,6 +215,50 @@ class AsyncShardedMonitor:
                         self._queue.put_nowait(event)
                     raise
 
+    async def export_session(self, session_id: str) -> bytes:
+        """Remove a session from the fleet, returning its exported state
+        (see :meth:`ShardedMonitorService.export_session`)."""
+        state, _ = await self._run_on_session_shard(
+            session_id, self._service.export_session, session_id
+        )
+        return state
+
+    async def import_session(
+        self, state: bytes, record_timeline: bool = True
+    ) -> str:
+        """Re-admit an exported session under its shard's pipe lock.
+
+        Mirrors :meth:`open_session`'s placement loop: the target shard
+        is resolved from the id embedded in ``state``, the lock taken,
+        and placement re-checked in case a resize retired the shard
+        while we waited.  The target's ticker is kicked afterwards —
+        imported state may carry pending frames that must tick without
+        waiting for the next :meth:`feed`.
+        """
+        while True:
+            session_id, shard = self._service.resolve_import(state)
+            lock = self._locks.setdefault(shard, asyncio.Lock())
+            async with lock:
+                if shard not in self._service.shard_indices:
+                    continue  # shard resized away while we waited; re-place
+                try:
+                    sid = await asyncio.get_running_loop().run_in_executor(
+                        None,
+                        self._service.import_on_shard,
+                        state,
+                        session_id,
+                        shard,
+                        record_timeline,
+                    )
+                except WorkerError:
+                    for event in self._service.take_undelivered_events():
+                        self._queue.put_nowait(event)
+                    raise
+            kick = self._kick.get(shard)
+            if kick is not None:
+                kick.set()
+            return sid
+
     async def feed(self, session_id: str, frames: np.ndarray) -> None:
         """Enqueue frames for a session without blocking the event loop.
 

@@ -5,17 +5,22 @@ can reach it over a network with bounded latency.  This package is that
 front door:
 
 - :mod:`~repro.serving.remote.protocol` — the compact length-prefixed
-  binary wire protocol (struct-packed headers, float64 frame payloads,
-  OPEN/FRAME/CLOSE/EVENT/ERROR/HEARTBEAT/STATS message types);
+  binary wire protocol (struct-packed headers, seq-numbered float64
+  frame payloads, OPEN/FRAME/CLOSE/EVENT/ERROR/HEARTBEAT/STATS/ACK/
+  RESUME message types);
 - :mod:`~repro.serving.remote.gateway` — :class:`MonitorGateway`, the
   asyncio TCP server routing wire sessions into an embedded
   :class:`~repro.serving.service.MonitorService` (K=1) or sharded
   fleet, with per-connection bounded send queues (backpressure),
-  heartbeat/idle timeouts and fail-safe drain-and-close disconnect
-  semantics; :class:`GatewayRunner` bridges it into sync programs;
+  heartbeat/idle timeouts, fail-safe drain-and-close disconnect
+  semantics and — with a resume grace window — park/adopt session
+  resume over reconnects; :class:`GatewayRunner` bridges it into sync
+  programs;
 - :mod:`~repro.serving.remote.client` — the SDKs:
   :class:`RemoteMonitorClient` (blocking sockets) and
-  :class:`AsyncRemoteMonitorClient` (asyncio).
+  :class:`AsyncRemoteMonitorClient` (asyncio); both speak the resume
+  protocol transparently, exchanging :class:`ResumeState` captures
+  across connections.
 
 The headline guarantee mirrors the rest of the serving stack: a session
 fed over a real socket reproduces the local engine's event stream bit
@@ -23,7 +28,7 @@ for bit, order included (``tests/serving/test_remote.py``).  Protocol
 spec and operator guide: ``docs/remote.md``.
 """
 
-from .client import AsyncRemoteMonitorClient, RemoteMonitorClient
+from .client import AsyncRemoteMonitorClient, RemoteMonitorClient, ResumeState
 from .gateway import GatewayRunner, MonitorGateway
 from .protocol import (
     HEADER_SIZE,
@@ -31,10 +36,12 @@ from .protocol import (
     PROTOCOL_VERSION,
     MessageReader,
     MessageType,
+    decode_ack,
     decode_events,
     decode_frames,
     decode_header,
     decode_json,
+    encode_ack,
     encode_events,
     encode_frames,
     encode_json,
@@ -51,10 +58,13 @@ __all__ = [
     "MonitorGateway",
     "PROTOCOL_VERSION",
     "RemoteMonitorClient",
+    "ResumeState",
+    "decode_ack",
     "decode_events",
     "decode_frames",
     "decode_header",
     "decode_json",
+    "encode_ack",
     "encode_events",
     "encode_frames",
     "encode_json",

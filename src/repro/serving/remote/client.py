@@ -17,16 +17,26 @@ Two clients over the same wire protocol
 
 Shared semantics:
 
-- ``feed`` is **unacknowledged** — frames stream at full rate and
-  backpressure is TCP itself (``sendall`` / ``writer.drain()`` block
-  when the gateway falls behind).  A feed the gateway rejects (wrong
-  width, unknown session) arrives as an ERROR message and is raised by
-  the *next* call that reads the stream.
+- ``feed`` is **unacknowledged** at the call site — frames stream at
+  full rate and backpressure is TCP itself (``sendall`` /
+  ``writer.drain()`` block when the gateway falls behind).  A feed the
+  gateway rejects (wrong width, unknown session) arrives as an ERROR
+  message and is raised by the *next* call that reads the stream.
 - gateway-side failures re-raise as their original
   :mod:`repro.errors` types (same mapping as the shard transport), so
   remote and local engines fail identically at the call site.
 - an event with ``error`` set is a terminal fail-safe notice for its
   session (worker crash at the gateway), carrying ``flag=True``.
+- **session resume** — when the gateway runs with a resume grace
+  window, OPEN acks carry a ``resume_token`` and both clients
+  transparently number their FRAME batches, buffer them until the
+  gateway's ACK, and count events at wire-decode time.  After a
+  disconnect, :meth:`~RemoteMonitorClient.detach_session` captures a
+  :class:`ResumeState` (pure local bookkeeping — it works on a dead
+  client) and :meth:`~RemoteMonitorClient.resume_session` on a fresh
+  connection replays the unacked tail from the gateway's acked seq and
+  re-queues carried-over events — no frame or event is lost or
+  duplicated across the reconnect.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ import logging
 import socket
 from collections import deque
 from collections.abc import AsyncIterator
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -47,6 +58,7 @@ from .protocol import (
     HEADER_SIZE,
     MessageReader,
     MessageType,
+    decode_ack,
     decode_events,
     decode_header,
     decode_json,
@@ -56,6 +68,51 @@ from .protocol import (
 )
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ResumeState:
+    """Everything needed to resume a session on a new connection.
+
+    Produced by ``detach_session`` (both SDKs), consumed by
+    ``resume_session``.  ``buffer`` holds the frame batches the gateway
+    never acked, keyed by their wire seq; ``pending_events`` are events
+    that were decoded off the old connection but not yet consumed by the
+    application — they are re-queued on the resuming client so the
+    stream stays gapless.
+    """
+
+    session_id: str
+    token: str
+    next_seq: int  #: frames sent so far (the next batch's seq)
+    acked_seq: int  #: frames the gateway had acked at detach time
+    events_received: int  #: events decoded off the wire for this session
+    buffer: list = field(default_factory=list)  #: [(seq, frames)] unacked
+    pending_events: list = field(default_factory=list)
+
+
+class _SessionTrack:
+    """Per-session resume bookkeeping inside a client."""
+
+    __slots__ = ("token", "next_seq", "acked", "buffer", "events_received")
+
+    def __init__(self, token: str | None) -> None:
+        self.token = token
+        self.next_seq = 0
+        self.acked = 0
+        self.buffer: deque = deque()  # (seq, frames) awaiting an ACK
+        self.events_received = 0
+
+    def record_send(self, seq: int, frames: np.ndarray) -> None:
+        self.next_seq = seq + frames.shape[0]
+        if self.token is not None:
+            self.buffer.append((seq, frames))
+
+    def record_ack(self, acked: int) -> None:
+        if acked > self.acked:
+            self.acked = acked
+        while self.buffer and self.buffer[0][0] + self.buffer[0][1].shape[0] <= self.acked:
+            self.buffer.popleft()
 
 
 def _gateway_exception(info: dict) -> Exception:
@@ -100,6 +157,9 @@ class RemoteMonitorClient:
         #: answered by an *asynchronous* ERROR instead (e.g. a rejected
         #: feed raising out of a stats call); swallowed when they arrive.
         self._stale: deque[MessageType] = deque()
+        #: Per-session resume bookkeeping (seq numbering, unacked
+        #: buffer, decode-time event counts).
+        self._tracks: dict[str, _SessionTrack] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -174,7 +234,27 @@ class RemoteMonitorClient:
                 self._send(MessageType.HEARTBEAT)
                 continue
             if msg_type is MessageType.EVENT:
-                self._events.extend(decode_events(payload))
+                for event in decode_events(payload):
+                    track = self._tracks.get(event.session_id)
+                    if track is None:
+                        # No track means this connection never bound the
+                        # session (an OPEN/RESUME ack installs one): the
+                        # event is an orphan from a resume attempt that
+                        # was abandoned mid-flight — the session lives
+                        # (or will live) on another connection, which
+                        # receives the event via the resume replay.
+                        continue
+                    # Counted at decode time, not consumption time: what
+                    # a resume must NOT replay is exactly what already
+                    # crossed the wire.
+                    track.events_received += 1
+                    self._events.append(event)
+                continue
+            if msg_type is MessageType.ACK:
+                ack_sid, ack_seq = decode_ack(payload)
+                track = self._tracks.get(ack_sid)
+                if track is not None:
+                    track.record_ack(ack_seq)
                 continue
             if self._stale and msg_type is self._stale[0]:
                 self._stale.popleft()
@@ -218,11 +298,22 @@ class RemoteMonitorClient:
                 {"session_id": session_id, "record_timeline": record_timeline}
             ),
         )
-        return decode_json(self._read_until(MessageType.OPEN))["session_id"]
+        ack = decode_json(self._read_until(MessageType.OPEN))
+        sid = ack["session_id"]
+        self._tracks[sid] = _SessionTrack(ack.get("resume_token"))
+        return sid
 
     def feed(self, session_id: str, frames: np.ndarray) -> None:
-        """Stream kinematics rows (unacknowledged; see the module docs)."""
-        self._send(MessageType.FRAME, encode_frames(session_id, frames))
+        """Stream kinematics rows (see the module docs; acked and
+        buffered for resume when the gateway granted a resume token)."""
+        frames = np.ascontiguousarray(frames, dtype="<f8")
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        track = self._tracks.get(session_id)
+        seq = track.next_seq if track is not None else 0
+        self._send(MessageType.FRAME, encode_frames(session_id, frames, seq))
+        if track is not None:
+            track.record_send(seq, frames)
 
     def next_event(self) -> SessionEvent:
         """The next event from any of this connection's sessions."""
@@ -262,7 +353,87 @@ class RemoteMonitorClient:
         self._send(
             MessageType.CLOSE, encode_json({"session_id": session_id})
         )
-        return decode_json(self._read_until(MessageType.CLOSE))
+        summary = decode_json(self._read_until(MessageType.CLOSE))
+        self._tracks.pop(session_id, None)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def detach_session(self, session_id: str) -> ResumeState:
+        """Capture a session's resume state off this client.
+
+        Pure local bookkeeping — no socket traffic — so it works on a
+        client whose connection already died, which is the point: after
+        a crash/disconnect, detach here, connect a fresh client, and
+        :meth:`resume_session` there.  Raises
+        :class:`~repro.errors.ProtocolError` when the session has no
+        resume state (opened on a gateway without a grace window).
+        """
+        track = self._tracks.pop(session_id, None)
+        if track is None or track.token is None:
+            raise ProtocolError(
+                f"session {session_id!r} has no resume state "
+                "(gateway resume disabled?)"
+            )
+        pending = [e for e in self._events if e.session_id == session_id]
+        if pending:
+            self._events = deque(
+                e for e in self._events if e.session_id != session_id
+            )
+        return ResumeState(
+            session_id=session_id,
+            token=track.token,
+            next_seq=track.next_seq,
+            acked_seq=track.acked,
+            events_received=track.events_received,
+            buffer=list(track.buffer),
+            pending_events=pending,
+        )
+
+    def resume_session(self, state: ResumeState) -> str:
+        """Adopt a detached session onto this connection.
+
+        Presents the resume token, learns the gateway's acked seq, and
+        replays only the unacked tail of the buffered frames (the
+        gateway trims any overlap by seq).  Events the old connection
+        decoded but the application never consumed are re-queued first,
+        and the gateway follows its RESUME ack with the events the
+        client missed — the merged stream is gapless and
+        duplicate-free.
+        """
+        self._send(
+            MessageType.RESUME,
+            encode_json(
+                {
+                    "session_id": state.session_id,
+                    "token": state.token,
+                    "last_event": state.events_received,
+                }
+            ),
+        )
+        reply = decode_json(self._read_until(MessageType.RESUME))
+        acked = int(reply["acked_seq"])
+        track = _SessionTrack(state.token)
+        track.next_seq = state.next_seq
+        track.acked = acked
+        track.events_received = state.events_received
+        track.buffer = deque(
+            (seq, frames)
+            for seq, frames in state.buffer
+            if seq + frames.shape[0] > acked
+        )
+        self._tracks[state.session_id] = track
+        # Carried-over events predate anything this connection will
+        # deliver for the session (the gateway's replay starts after
+        # our last_event), so plain FIFO order is already correct.
+        self._events.extend(state.pending_events)
+        for seq, frames in list(track.buffer):
+            self._send(
+                MessageType.FRAME,
+                encode_frames(state.session_id, frames, seq),
+            )
+        return state.session_id
 
     def gateway_stats(self) -> dict:
         """Fetch :meth:`MonitorGateway.gateway_stats` over the wire."""
@@ -343,6 +514,7 @@ class AsyncRemoteMonitorClient:
         self._control_lock = asyncio.Lock()
         self._pending: tuple[MessageType, asyncio.Future] | None = None
         self._conn_error: Exception | None = None
+        self._tracks: dict[str, _SessionTrack] = {}
         self._closed = False
         self._reader_task = asyncio.create_task(
             self._read_loop(), name="remote-client-reader"
@@ -378,7 +550,19 @@ class AsyncRemoteMonitorClient:
                     continue
                 if msg_type is MessageType.EVENT:
                     for event in decode_events(payload):
+                        track = self._tracks.get(event.session_id)
+                        if track is None:
+                            # Orphan: this connection never bound the
+                            # session (see the sync client) — drop it.
+                            continue
+                        track.events_received += 1
                         self._events.put_nowait(event)
+                    continue
+                if msg_type is MessageType.ACK:
+                    ack_sid, ack_seq = decode_ack(payload)
+                    track = self._tracks.get(ack_sid)
+                    if track is not None:
+                        track.record_ack(ack_seq)
                     continue
                 if msg_type is MessageType.ERROR:
                     info = decode_json(payload)
@@ -475,18 +659,29 @@ class AsyncRemoteMonitorClient:
             ),
             MessageType.OPEN,
         )
-        return decode_json(payload)["session_id"]
+        ack = decode_json(payload)
+        sid = ack["session_id"]
+        self._tracks[sid] = _SessionTrack(ack.get("resume_token"))
+        return sid
 
     async def feed(self, session_id: str, frames: np.ndarray) -> None:
         """Stream kinematics rows; ``await`` applies TCP backpressure
-        when the gateway is behind (unacknowledged otherwise)."""
+        when the gateway is behind (acked and buffered for resume when
+        the gateway granted a resume token)."""
         self._check_alive()
+        frames = np.ascontiguousarray(frames, dtype="<f8")
+        if frames.ndim == 1:
+            frames = frames[None, :]
+        track = self._tracks.get(session_id)
+        seq = track.next_seq if track is not None else 0
         try:
             self._writer.write(
                 encode_message(
-                    MessageType.FRAME, encode_frames(session_id, frames)
+                    MessageType.FRAME, encode_frames(session_id, frames, seq)
                 )
             )
+            if track is not None:
+                track.record_send(seq, frames)
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             raise WorkerError(f"gateway connection lost: {exc}") from exc
@@ -498,7 +693,110 @@ class AsyncRemoteMonitorClient:
             encode_json({"session_id": session_id}),
             MessageType.CLOSE,
         )
+        self._tracks.pop(session_id, None)
         return decode_json(payload)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def detach_session(self, session_id: str) -> ResumeState:
+        """Capture a session's resume state (local bookkeeping only —
+        works on a client whose connection already died).  See
+        :meth:`RemoteMonitorClient.detach_session`."""
+        track = self._tracks.pop(session_id, None)
+        if track is None or track.token is None:
+            raise ProtocolError(
+                f"session {session_id!r} has no resume state "
+                "(gateway resume disabled?)"
+            )
+        pending: list[SessionEvent] = []
+        keep: list = []
+        while True:
+            try:
+                item = self._events.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if (
+                isinstance(item, SessionEvent)
+                and item.session_id == session_id
+            ):
+                pending.append(item)
+            else:
+                keep.append(item)
+        for item in keep:
+            self._events.put_nowait(item)
+        return ResumeState(
+            session_id=session_id,
+            token=track.token,
+            next_seq=track.next_seq,
+            acked_seq=track.acked,
+            events_received=track.events_received,
+            buffer=list(track.buffer),
+            pending_events=pending,
+        )
+
+    async def resume_session(self, state: ResumeState) -> str:
+        """Adopt a detached session onto this connection; replays the
+        unacked frame tail.  See
+        :meth:`RemoteMonitorClient.resume_session`."""
+        # Install the track and re-queue carried-over events *before*
+        # the request goes out: the reader task may process the
+        # gateway's replayed events the moment the RESUME reply
+        # resolves, and they must find the track (decode-time counting)
+        # and land behind the carried-over ones.
+        track = _SessionTrack(state.token)
+        track.next_seq = state.next_seq
+        track.acked = state.acked_seq
+        track.events_received = state.events_received
+        track.buffer = deque(state.buffer)
+        self._tracks[state.session_id] = track
+        for event in state.pending_events:
+            self._events.put_nowait(event)
+        try:
+            payload = await self._control(
+                MessageType.RESUME,
+                encode_json(
+                    {
+                        "session_id": state.session_id,
+                        "token": state.token,
+                        "last_event": state.events_received,
+                    }
+                ),
+                MessageType.RESUME,
+            )
+        except BaseException:
+            # Rejected: roll back so ``state`` stays valid for a retry
+            # on another connection.  No replay event can have arrived
+            # (the session was never adopted), so the queue holds at
+            # most the events we just added — reclaim them.
+            self._tracks.pop(state.session_id, None)
+            keep: list = []
+            while True:
+                try:
+                    item = self._events.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if not (
+                    isinstance(item, SessionEvent)
+                    and item.session_id == state.session_id
+                ):
+                    keep.append(item)
+            for item in keep:
+                self._events.put_nowait(item)
+            raise
+        track.record_ack(int(decode_json(payload)["acked_seq"]))
+        try:
+            for seq, frames in list(track.buffer):
+                self._writer.write(
+                    encode_message(
+                        MessageType.FRAME,
+                        encode_frames(state.session_id, frames, seq),
+                    )
+                )
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise WorkerError(f"gateway connection lost: {exc}") from exc
+        return state.session_id
 
     async def gateway_stats(self) -> dict:
         """Fetch :meth:`MonitorGateway.gateway_stats` over the wire."""

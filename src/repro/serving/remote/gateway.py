@@ -33,6 +33,16 @@ Flow control and failure semantics:
   monitor reads as unsafe, never as silently safe.  A shard worker
   crash surfaces the same way *and* is pushed to the owning client as
   an EVENT with ``error`` set.
+- **Session resume** (``resume_grace_s > 0``) — disconnects *park* the
+  session instead (engine state exported through the migration codec,
+  in-flight events folded into a replay history); a client returning
+  within the grace window presents its resume token, replays frames
+  from the acked seq the RESUME reply names, and receives the events
+  it missed before any live one — zero lost frames, no duplicates.
+  Accepted frame batches are acked (v2 ACK) and journaled, which also
+  turns a shard worker crash into a transparent re-open-and-replay
+  instead of a terminal event.  An unresumed park falls back to the
+  fail-safe contract when the window lapses.  See ``docs/remote.md``.
 
 ``gateway_stats()`` aggregates the engine's per-shard
 :meth:`shard_stats` with connection/session/queue-depth counters; the
@@ -44,7 +54,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
+import secrets
 import threading
+from collections import deque
 from collections.abc import AsyncIterator
 
 from ...errors import ConfigurationError, ProtocolError, ReproError, WorkerError
@@ -53,7 +65,12 @@ from ..async_frontend import AsyncShardedMonitor
 from ..autoscaler import MonitorAutoscaler
 from ..service import MonitorService, ServiceStats, SessionEvent
 from ..sharded import ShardedMonitorService
-from ..snapshot import monitor_from_bytes, snapshot_backend
+from ..snapshot import (
+    monitor_from_bytes,
+    session_from_bytes,
+    session_to_bytes,
+    snapshot_backend,
+)
 from .protocol import (
     HEADER_SIZE,
     PROTOCOL_VERSION,
@@ -61,6 +78,7 @@ from .protocol import (
     decode_frames,
     decode_header,
     decode_json,
+    encode_ack,
     encode_events,
     encode_json,
     encode_message,
@@ -167,6 +185,26 @@ class _LocalEngine:
         self._check_failure()
         return await self._call(self.service.close_session, session_id)
 
+    async def export_session(self, session_id: str) -> bytes:
+        self._check_failure()
+        return await self._call(self._export_blocking, session_id)
+
+    def _export_blocking(self, session_id: str) -> bytes:
+        return session_to_bytes(
+            self.service.export_session(session_id, remove=True)
+        )
+
+    async def import_session(
+        self, state: bytes, record_timeline: bool = True
+    ) -> str:
+        self._check_failure()
+        session_id = await self._call(self._import_blocking, state)
+        self._kick.set()  # imported state may carry pending frames
+        return session_id
+
+    def _import_blocking(self, state: bytes) -> str:
+        return self.service.import_session(session_from_bytes(state))
+
     async def events(self) -> AsyncIterator[SessionEvent]:
         while True:
             event = await self._queue.get()
@@ -215,6 +253,14 @@ class _ShardedEngine:
     async def close_session(self, session_id: str):
         return await self.frontend.close_session(session_id)
 
+    async def export_session(self, session_id: str) -> bytes:
+        return await self.frontend.export_session(session_id)
+
+    async def import_session(
+        self, state: bytes, record_timeline: bool = True
+    ) -> str:
+        return await self.frontend.import_session(state, record_timeline)
+
     def events(self) -> AsyncIterator[SessionEvent]:
         return self.frontend.events()
 
@@ -233,15 +279,108 @@ class _ShardedEngine:
 
 
 class _RemoteSession:
-    """Gateway-side bookkeeping for one wire-opened session."""
+    """Gateway-side bookkeeping for one wire-opened session.
 
-    __slots__ = ("conn", "fed", "delivered", "flagged")
+    With resume enabled (``resume_grace_s > 0``) a session additionally
+    carries its durability state: the resume ``token`` handed to the
+    client at OPEN, the ``journal`` of every accepted frame batch (the
+    replay source for transparent worker-crash recovery), and the
+    ``history`` ring of recently delivered events (the replay source
+    for events a disconnected client never read).  ``recovering`` marks
+    a session whose engine-side state died with a worker and is being
+    rebuilt from the journal by a background task — incoming frames are
+    journaled (and acked: the journal is what the ack promises) but not
+    fed until the task catches up.
+    """
 
-    def __init__(self, conn: "_Connection") -> None:
+    __slots__ = (
+        "conn", "fed", "delivered", "flagged", "token", "journal",
+        "history", "record_timeline", "recovering", "parking", "inflight",
+    )
+
+    def __init__(
+        self, conn: "_Connection", record_timeline: bool = False
+    ) -> None:
         self.conn = conn
         self.fed = 0  # frames accepted off the wire
         self.delivered = 0  # events routed back (== frames processed)
         self.flagged = 0  # events with flag=True
+        self.token: str | None = None
+        self.journal: list | None = None  # frame batches, oldest first
+        self.history: deque | None = None  # recently delivered events
+        self.record_timeline = record_timeline
+        #: True while _park_session's export is in flight — the engine
+        #: side is mid-removal, so a RESUME steal must wait for the
+        #: park to land instead of re-binding a session whose engine
+        #: state is about to vanish.
+        self.parking = False
+        self.recovering = False
+        #: Number of FRAME batches currently awaiting their engine feed.
+        #: While > 0, ``fed`` understates what the journal will hold
+        #: once those handlers resume — a RESUME steal reading it now
+        #: would report an acked_seq that makes the client re-send the
+        #: in-flight batch past the duplicate filter.  Steals wait.
+        self.inflight = 0
+
+
+class _ParkedSession:
+    """A disconnected session held for the resume grace window.
+
+    ``state`` is the engine-exported :func:`session_to_bytes` archive
+    (pending frames and window rings included), or ``None`` when the
+    export was impossible — the owning worker was dead or mid-recovery
+    — in which case the ``journal`` alone rebuilds the session (a *cold
+    adopt*: re-open + replay, bit-identical because inference is
+    deterministic).  Events that were in flight through the pump when
+    the client vanished keep landing here (:meth:`absorb`), so the
+    resume replay misses nothing.
+    """
+
+    __slots__ = (
+        "token", "state", "journal", "history",
+        "fed", "delivered", "flagged", "record_timeline",
+        "reason", "expiry", "resuming",
+    )
+
+    def __init__(
+        self,
+        *,
+        token: str,
+        state: bytes | None,
+        journal: list,
+        history: deque,
+        fed: int,
+        delivered: int,
+        flagged: int,
+        record_timeline: bool,
+        reason: str,
+    ) -> None:
+        self.token = token
+        self.state = state
+        self.journal = journal
+        self.history = history
+        self.fed = fed
+        self.delivered = delivered
+        self.flagged = flagged
+        self.record_timeline = record_timeline
+        self.reason = reason
+        self.expiry: asyncio.TimerHandle | None = None
+        self.resuming = False
+
+    def absorb(self, event: SessionEvent) -> None:
+        """Fold an in-flight event into the parked counters/history.
+
+        Terminal crash events are dropped (the journal makes the crash
+        recoverable at resume time) and so are journal-replay
+        duplicates — an event is new only at ``frame_index ==
+        delivered``, events arriving one per frame in frame order.
+        """
+        if event.error is not None or event.frame_index < self.delivered:
+            return
+        self.delivered += 1
+        if event.flag:
+            self.flagged += 1
+        self.history.append(event)
 
 
 class _Connection:
@@ -327,6 +466,18 @@ class MonitorGateway:
         :meth:`resize`) resize is recorded and visible to STATS clients
         — socket sessions ride through resizes transparently, their
         frames migrating with them.
+    resume_grace_s / event_replay_max:
+        ``resume_grace_s > 0`` enables session resume: a disconnected
+        client's sessions are *parked* (engine state exported via the
+        migration codec) for that many seconds instead of fail-safe
+        closed, frame batches are acked (v2 ACK messages) and journaled
+        — so a shard worker crash is recovered transparently by
+        replaying the journal — and a reconnecting client presenting
+        its resume token replays from its last-acked seq.
+        ``event_replay_max`` bounds the per-session ring of delivered
+        events kept for replaying what a vanished client never read.
+        The default ``0.0`` keeps the fail-safe-on-disconnect contract.
+        See ``docs/remote.md`` ("Session resume").
 
     Lifecycle: ``await start()`` → serve → ``await stop()`` (or use as
     an async context manager).  :meth:`serve_in_thread` bridges the
@@ -351,6 +502,8 @@ class MonitorGateway:
         data_plane: str = "shm",
         autoscale_interval_s: float | None = None,
         autoscale_max_shards: int = 8,
+        resume_grace_s: float = 0.0,
+        event_replay_max: int = 4096,
     ) -> None:
         if (monitor is None) == (monitor_bytes is None):
             raise ConfigurationError("pass exactly one of monitor / monitor_bytes")
@@ -398,6 +551,14 @@ class MonitorGateway:
                 )
         self.autoscale_interval_s = autoscale_interval_s
         self.autoscale_max_shards = int(autoscale_max_shards)
+        if resume_grace_s < 0:
+            raise ConfigurationError("resume_grace_s must be >= 0")
+        if event_replay_max < 1:
+            raise ConfigurationError("event_replay_max must be >= 1")
+        self.resume_grace_s = float(resume_grace_s)
+        self.event_replay_max = int(event_replay_max)
+        #: Sessions parked for the resume grace window, by session id.
+        self._parked: dict[str, _ParkedSession] = {}
         self._autoscaler: MonitorAutoscaler | None = None
         #: Applied resizes (manual and autoscaler), oldest first —
         #: summary dicts surfaced to STATS clients by gateway_stats().
@@ -435,6 +596,15 @@ class MonitorGateway:
         self._idle_disconnects = 0
         self._peak_open_sessions = 0
         self._peak_queue_depth = 0
+        self._acks_sent = 0
+        self._parked_total = 0
+        self._resumed_total = 0
+        self._resume_expired_total = 0
+        self._recovered_total = 0
+
+    @property
+    def _resume_enabled(self) -> bool:
+        return self.resume_grace_s > 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -518,9 +688,12 @@ class MonitorGateway:
             self._server.close()
             await self._server.wait_closed()
         for conn in list(self._connections.values()):
-            await self._teardown(conn, "gateway shutting down")
-        if self._bg_tasks:  # overflow teardowns still in flight
+            await self._teardown(conn, "gateway shutting down", allow_park=False)
+        if self._bg_tasks:  # overflow teardowns / recoveries still in flight
             await asyncio.gather(*list(self._bg_tasks), return_exceptions=True)
+        # Parked sessions cannot outlive the gateway: fail them safe now.
+        for session_id in list(self._parked):
+            self._expire_parked(session_id, reason="gateway shutting down")
         await self._shutdown_engine()
 
     async def __aenter__(self) -> "MonitorGateway":
@@ -584,6 +757,9 @@ class MonitorGateway:
         if msg_type is MessageType.CLOSE:
             await self._handle_close(conn, payload)
             return
+        if msg_type is MessageType.RESUME:
+            await self._handle_resume(conn, payload)
+            return
         if msg_type is MessageType.STATS:
             stats = await self.gateway_stats()
             self._enqueue_or_overflow(
@@ -612,21 +788,25 @@ class MonitorGateway:
             with contextlib.suppress(ReproError):
                 await self._engine.close_session(session_id)
             return
-        self._sessions[session_id] = _RemoteSession(conn)
+        session = _RemoteSession(conn, record_timeline)
+        ack: dict = {"session_id": session_id}
+        if self._resume_enabled:
+            session.token = secrets.token_hex(16)
+            session.journal = []
+            session.history = deque(maxlen=self.event_replay_max)
+            ack["resume_token"] = session.token
+        self._sessions[session_id] = session
         conn.sessions.add(session_id)
         self._sessions_opened += 1
         self._peak_open_sessions = max(
             self._peak_open_sessions, len(self._sessions)
         )
         self._enqueue_or_overflow(
-            conn,
-            encode_message(
-                MessageType.OPEN, encode_json({"session_id": session_id})
-            ),
+            conn, encode_message(MessageType.OPEN, encode_json(ack))
         )
 
     async def _handle_frames(self, conn: _Connection, payload: bytes) -> None:
-        session_id, frames = decode_frames(payload)
+        session_id, seq, frames = decode_frames(payload)
         session = self._sessions.get(session_id)
         if session is None or session.conn is not conn:
             reason = self.failed_sessions.get(session_id)
@@ -639,13 +819,62 @@ class MonitorGateway:
             )
             self._send_error(conn, error, session_id)
             return
+        if session.journal is not None:
+            # Resume mode: validate the batch's position in the stream.
+            # ``seq`` counts frames the client sent before this batch;
+            # ``fed`` counts frames we accepted — a gap means frames were
+            # lost in a way the protocol cannot repair.
+            expected = session.fed
+            if seq > expected:
+                raise ProtocolError(
+                    f"FRAME sequence gap for session {session_id!r}: "
+                    f"got seq {seq}, expected {expected}"
+                )
+            if seq < expected:
+                # A resume replay overlapping frames already accepted
+                # before the disconnect: drop the duplicate prefix.
+                overlap = expected - seq
+                if overlap >= frames.shape[0]:
+                    self._send_ack(conn, session_id, session.fed)
+                    return
+                frames = frames[overlap:]
+            session.journal.append(frames)
+            if session.recovering:
+                # The recovery task replays the journal tail; feeding
+                # the engine here would race it.  The journal is what
+                # the ack promises, so acking now is honest.
+                session.fed += frames.shape[0]
+                self._frames_received += frames.shape[0]
+                self._send_ack(conn, session_id, session.fed)
+                return
+        session.inflight += 1
         try:
             await self._engine.feed(session_id, frames)
         except ReproError as exc:
+            if session.journal is not None:
+                if isinstance(exc, WorkerError):
+                    # Worker crash with resume on: the crash's terminal
+                    # event triggers transparent journal recovery, and
+                    # the journaled frames will be replayed — accept.
+                    session.fed += frames.shape[0]
+                    self._frames_received += frames.shape[0]
+                    self._send_ack(conn, session_id, session.fed)
+                    return
+                session.journal.pop()  # client fault (shape, ...): rejected
             self._send_error(conn, exc, session_id)
             return
+        finally:
+            session.inflight -= 1
         session.fed += frames.shape[0]
         self._frames_received += frames.shape[0]
+        if session.journal is not None:
+            self._send_ack(conn, session_id, session.fed)
+
+    def _send_ack(self, conn: _Connection, session_id: str, seq: int) -> None:
+        self._enqueue_or_overflow(
+            conn, encode_message(MessageType.ACK, encode_ack(session_id, seq))
+        )
+        self._acks_sent += 1
 
     async def _handle_close(self, conn: _Connection, payload: bytes) -> None:
         request = decode_json(payload)
@@ -683,6 +912,273 @@ class MonitorGateway:
             conn, encode_message(MessageType.CLOSE, encode_json(summary))
         )
 
+    async def _handle_resume(self, conn: _Connection, payload: bytes) -> None:
+        """Adopt a parked session onto this connection.
+
+        The client proves ownership with the resume token from its OPEN
+        ack and reports ``last_event`` — how many events it received
+        before the disconnect.  The reply carries ``acked_seq`` (frames
+        the gateway durably holds; the client replays everything after
+        it) and is followed by a replay of the events the client missed
+        (delivered after its last read), in order, ahead of any live
+        event — so the resumed stream is gapless and duplicate-free.
+        """
+        request = decode_json(payload)
+        session_id = request.get("session_id")
+        token = request.get("token")
+        last_event = request.get("last_event", 0)
+        if not isinstance(session_id, str) or not isinstance(token, str):
+            raise ProtocolError("RESUME requires session_id and token strings")
+        if not isinstance(last_event, int) or last_event < 0:
+            raise ProtocolError("RESUME last_event must be a non-negative int")
+        parked = self._parked.get(session_id)
+        live = self._sessions.get(session_id)
+        if (
+            parked is None
+            and live is not None
+            and live.token is not None
+            and not live.parking
+            and live.inflight == 0
+        ):
+            # The session is still bound to another connection the
+            # gateway has not yet noticed is dead (a half-open socket,
+            # or an EOF teardown still queued).  The token is the proof
+            # of ownership, so a valid RESUME *steals* the session onto
+            # this connection instead of locking the client out until
+            # the idle timeout parks it.  The engine side is untouched
+            # — only the event route moves.  With a FRAME batch still
+            # awaiting its engine feed (``inflight``), the acked_seq the
+            # steal would report is stale — the client falls back to the
+            # retryable no-parked-session error until the feed lands.
+            self._resume_steal(conn, session_id, live, token, last_event)
+            return
+        if parked is None or parked.resuming:
+            reason = self.failed_sessions.get(session_id)
+            error = (
+                WorkerError(f"session {session_id!r} failed: {reason}")
+                if reason is not None and parked is None
+                else ProtocolError(f"no parked session {session_id!r}")
+            )
+            self._send_error(conn, error, session_id, MessageType.RESUME)
+            return
+        if not secrets.compare_digest(token, parked.token):
+            self._send_error(
+                conn,
+                ProtocolError(f"resume token mismatch for {session_id!r}"),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        if last_event > parked.delivered:
+            self._send_error(
+                conn,
+                ProtocolError(
+                    f"RESUME last_event {last_event} exceeds the "
+                    f"{parked.delivered} events delivered for {session_id!r}"
+                ),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        if parked.delivered - last_event > len(parked.history):
+            # The client is further behind than the replay ring reaches;
+            # resuming would silently skip events — fail safe instead.
+            self._expire_parked(
+                session_id,
+                reason=(
+                    f"resume replay window exceeded: client missed "
+                    f"{parked.delivered - last_event} events, ring holds "
+                    f"{len(parked.history)}"
+                ),
+            )
+            self._send_error(
+                conn,
+                WorkerError(f"session {session_id!r} is beyond replay reach"),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        parked.resuming = True  # keep the map entry visible to the pump
+        if parked.expiry is not None:
+            parked.expiry.cancel()
+            parked.expiry = None
+        try:
+            if parked.state is not None:
+                await self._engine.import_session(
+                    parked.state, parked.record_timeline
+                )
+            else:
+                # Cold adopt: the engine-side state died with a worker.
+                # Rebuild it from frame zero out of the journal — ticks
+                # are deterministic, so the regenerated events are
+                # bit-identical and the already-delivered prefix is
+                # dropped by the replay-duplicate filter.
+                await self._engine.open_session(
+                    session_id, parked.record_timeline
+                )
+                replayed = 0
+                while replayed < len(parked.journal):
+                    await self._engine.feed(
+                        session_id, parked.journal[replayed]
+                    )
+                    replayed += 1
+        except ReproError as exc:
+            self._parked.pop(session_id, None)
+            self._record_failsafe(
+                SessionEvent(
+                    session_id=session_id,
+                    frame_index=parked.delivered,
+                    gesture=0,
+                    score=0.0,
+                    flag=True,
+                    error=f"resume failed: {exc}",
+                )
+            )
+            self._send_error(conn, exc, session_id, MessageType.RESUME)
+            return
+        if conn.torn_down or conn.closed:
+            # The resumer vanished while the adopt was in flight: park
+            # again (fresh export — the engine now owns the session)
+            # rather than leak a session nobody tracks.
+            try:
+                parked.state = await self._engine.export_session(session_id)
+            except ReproError:
+                parked.state = None  # journal still covers a cold adopt
+            parked.resuming = False
+            self._schedule_expiry(session_id, parked)
+            if self._stopped:
+                self._expire_parked(session_id)
+            return
+        self._parked.pop(session_id, None)
+        session = _RemoteSession(conn, parked.record_timeline)
+        session.fed = parked.fed
+        session.delivered = parked.delivered
+        session.flagged = parked.flagged
+        session.token = parked.token
+        session.journal = parked.journal
+        session.history = parked.history
+        self._sessions[session_id] = session
+        conn.sessions.add(session_id)
+        missed = session.delivered - last_event
+        history = list(session.history) if missed else []
+        if missed > len(history):
+            # Events absorbed while the adopt was in flight evicted ring
+            # entries; the client can no longer be caught up gaplessly.
+            self._record_failsafe(
+                SessionEvent(
+                    session_id=session_id,
+                    frame_index=session.delivered,
+                    gesture=0,
+                    score=0.0,
+                    flag=True,
+                    error="resume replay window exceeded during adopt",
+                )
+            )
+            self._send_error(
+                conn,
+                WorkerError(f"session {session_id!r} is beyond replay reach"),
+                session_id,
+                MessageType.RESUME,
+            )
+            self._unregister(session_id)
+            with contextlib.suppress(ReproError):
+                await self._engine.close_session(session_id)
+            return
+        self._resumed_total += 1
+        self._peak_open_sessions = max(
+            self._peak_open_sessions, len(self._sessions)
+        )
+        self._send_resume_reply(conn, session_id, session, missed, history)
+
+    def _resume_steal(
+        self,
+        conn: _Connection,
+        session_id: str,
+        session: _RemoteSession,
+        token: str,
+        last_event: int,
+    ) -> None:
+        """Re-bind a still-registered session to a new connection.
+
+        The engine never hears about it: frames keep flowing into the
+        same engine session; only the event route and the frame source
+        change.  The old connection loses ownership immediately — its
+        later frames are rejected by the `_handle_frames` ownership
+        check and its teardown skips the session (no park, no
+        fail-safe)."""
+        if not secrets.compare_digest(token, session.token):
+            self._send_error(
+                conn,
+                ProtocolError(f"resume token mismatch for {session_id!r}"),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        if last_event > session.delivered:
+            self._send_error(
+                conn,
+                ProtocolError(
+                    f"RESUME last_event {last_event} exceeds the "
+                    f"{session.delivered} events delivered for {session_id!r}"
+                ),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        missed = session.delivered - last_event
+        history = list(session.history) if missed else []
+        if missed > len(history):
+            # Beyond replay reach.  The session stays bound to its old
+            # connection — when that dies for real, the normal park /
+            # expiry lifecycle decides its fate.
+            self._send_error(
+                conn,
+                WorkerError(f"session {session_id!r} is beyond replay reach"),
+                session_id,
+                MessageType.RESUME,
+            )
+            return
+        old = session.conn
+        if old is not conn:
+            old.sessions.discard(session_id)
+            session.conn = conn
+            conn.sessions.add(session_id)
+        self._resumed_total += 1
+        self._send_resume_reply(conn, session_id, session, missed, history)
+
+    def _send_resume_reply(
+        self,
+        conn: _Connection,
+        session_id: str,
+        session: _RemoteSession,
+        missed: int,
+        history: list,
+    ) -> None:
+        """The RESUME success reply, followed by the missed-event replay
+        — ahead of anything live (the pump routes to this session only
+        after the handler returns control to the loop, and the writer
+        drains its queue in FIFO order)."""
+        self._enqueue_or_overflow(
+            conn,
+            encode_message(
+                MessageType.RESUME,
+                encode_json(
+                    {
+                        "session_id": session_id,
+                        "acked_seq": session.fed,
+                        "delivered": session.delivered,
+                        "resume_token": session.token,
+                    }
+                ),
+            ),
+        )
+        for event in history[len(history) - missed :] if missed else []:
+            self._enqueue_or_overflow(
+                conn,
+                encode_message(MessageType.EVENT, encode_events([event])),
+            )
+            self._events_sent += 1
+
     async def _drain_session(self, session_id: str) -> None:
         """Park until every accepted frame of a session has produced its
         event (bounded by ``drain_timeout_s``) — the *drain* half of the
@@ -698,13 +1194,26 @@ class MonitorGateway:
         ):
             await asyncio.sleep(0.002)
 
-    async def _teardown(self, conn: _Connection, reason: str) -> None:
-        """Disconnect a client: drain-and-close its sessions fail-safe."""
+    async def _teardown(
+        self, conn: _Connection, reason: str, allow_park: bool = True
+    ) -> None:
+        """Disconnect a client.
+
+        Default contract: drain-and-close its sessions fail-safe.  With
+        resume enabled (and ``allow_park``), sessions are parked for the
+        grace window instead — no drain, no closure: the exported state
+        carries the pending frames, and in-flight events keep landing in
+        the parked history until a resume or expiry.
+        """
         if conn.torn_down:
             return
         conn.torn_down = True
         conn.closed = True  # stop routing/replies to this connection now
+        park = self._resume_enabled and allow_park and not self._stopped
         for session_id in list(conn.sessions):
+            if park:
+                await self._park_session(conn, session_id, reason)
+                continue
             await self._drain_session(session_id)
             session = self._sessions.get(session_id)
             if session is None or session.conn is not conn:
@@ -753,6 +1262,181 @@ class MonitorGateway:
                 with contextlib.suppress(asyncio.CancelledError):
                     await conn.writer_task
         conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # Session parking (resume grace window)
+    # ------------------------------------------------------------------
+    async def _park_session(
+        self, conn: _Connection, session_id: str, reason: str
+    ) -> None:
+        """Export a disconnected session and hold it for the grace window."""
+        session = self._sessions.get(session_id)
+        if session is None or session.conn is not conn:
+            return  # already ended (e.g. shard crash event)
+        state: bytes | None = None
+        if not session.recovering:
+            session.parking = True
+            # A mid-recovery session's engine state is a partial journal
+            # replay — exporting it would drop the un-replayed tail, so
+            # it parks cold (journal only) and the recovery task, seeing
+            # the session unregistered, releases its half-open engine
+            # side.
+            try:
+                state = await self._engine.export_session(session_id)
+            except ReproError:
+                state = None  # worker dead: the journal covers cold adopt
+            session.parking = False
+            if (
+                self._sessions.get(session_id) is not session
+                or session.conn is not conn
+            ):
+                # Ended — or stolen by a RESUME on a fresh connection —
+                # while the export ran; it is no longer ours to park.
+                return
+        parked = _ParkedSession(
+            token=session.token,
+            state=state,
+            journal=session.journal,
+            history=session.history,
+            fed=session.fed,
+            delivered=session.delivered,
+            flagged=session.flagged,
+            record_timeline=session.record_timeline,
+            reason=reason,
+        )
+        # Insert before unregistering, with no await between: the pump
+        # must never find the session in neither map (events would drop).
+        self._parked[session_id] = parked
+        self._unregister(session_id)
+        self._parked_total += 1
+        self._schedule_expiry(session_id, parked)
+
+    def _schedule_expiry(
+        self, session_id: str, parked: _ParkedSession
+    ) -> None:
+        parked.expiry = asyncio.get_running_loop().call_later(
+            self.resume_grace_s, self._expire_parked, session_id
+        )
+
+    def _expire_parked(self, session_id: str, reason: str | None = None) -> None:
+        """Fail a parked session safe: the grace window lapsed unresumed."""
+        parked = self._parked.pop(session_id, None)
+        if parked is None:
+            return
+        if parked.expiry is not None:
+            parked.expiry.cancel()
+            parked.expiry = None
+        self._resume_expired_total += 1
+        self._record_failsafe(
+            SessionEvent(
+                session_id=session_id,
+                frame_index=parked.delivered,
+                gesture=0,
+                score=0.0,
+                flag=True,
+                error=reason
+                or (
+                    f"resume grace window expired "
+                    f"({self.resume_grace_s}s): {parked.reason}"
+                ),
+            )
+        )
+
+    def _begin_recovery(self, session_id: str, session: _RemoteSession) -> None:
+        """Spawn the transparent worker-crash recovery task."""
+        session.recovering = True
+        task = asyncio.get_running_loop().create_task(
+            self._recover_session(session_id),
+            name=f"gateway-recover-{session_id}",
+        )
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+
+    async def _recover_session(self, session_id: str) -> None:
+        """Rebuild a session whose worker died, from its frame journal.
+
+        Re-opens the id on a live shard (consistent hashing skips the
+        dead one) and replays every journaled batch; events regenerated
+        for already-delivered frames are dropped by the routing filter,
+        so the client sees an uninterrupted, duplicate-free stream.
+        Any mid-recovery failure — the engine still reaping the crash,
+        or a *second* crash taking down the shard the session was just
+        rebuilt on while the replay is in flight — releases whatever
+        half-state exists and restarts the rebuild from scratch (the
+        journal always covers a full one).  Only when the bounded
+        restarts are exhausted does the session fall back to the
+        fail-safe contract.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return  # parked or closed before the task ran
+        try:
+            for attempt in range(8):
+                try:
+                    await self._engine.open_session(
+                        session_id, session.record_timeline
+                    )
+                    replayed = 0
+                    while replayed < len(session.journal):
+                        if self._sessions.get(session_id) is not session:
+                            # Parked or closed underneath us: release
+                            # the half-replayed engine session (a later
+                            # cold adopt replays the full journal from
+                            # scratch).
+                            with contextlib.suppress(ReproError):
+                                await self._engine.close_session(session_id)
+                            return
+                        await self._engine.feed(
+                            session_id, session.journal[replayed]
+                        )
+                        replayed += 1
+                    break
+                except ReproError:
+                    if attempt == 7:
+                        raise
+                    if self._sessions.get(session_id) is not session:
+                        return  # parked or closed while the attempt ran
+                    # The half-open engine session (if any) must go
+                    # before the rebuild: a crashed shard's failure
+                    # record is popped by the re-open, a survivor is
+                    # closed outright.  Either way the next attempt
+                    # starts from a clean slate and a full replay;
+                    # already-delivered frames are de-duplicated by the
+                    # routing filter, so restarts never double-send.
+                    with contextlib.suppress(ReproError):
+                        await self._engine.close_session(session_id)
+                    await asyncio.sleep(0.05 * (attempt + 1))
+        except ReproError as exc:
+            current = self._sessions.get(session_id)
+            if current is session:
+                event = SessionEvent(
+                    session_id=session_id,
+                    frame_index=session.delivered,
+                    gesture=0,
+                    score=0.0,
+                    flag=True,
+                    error=f"unrecoverable worker crash: {exc}",
+                )
+                conn = session.conn
+                if not conn.closed:
+                    self._enqueue_or_overflow(
+                        conn,
+                        encode_message(
+                            MessageType.EVENT, encode_events([event])
+                        ),
+                    )
+                    self._events_sent += 1
+                self._record_failsafe(event)
+                self._unregister(session_id)
+            return
+        if self._sessions.get(session_id) is not session:
+            with contextlib.suppress(ReproError):
+                await self._engine.close_session(session_id)
+            return
+        # No await between the final journal-length check (the while
+        # condition) and this flag clear: nothing can slip in between.
+        session.recovering = False
+        self._recovered_total += 1
 
     # ------------------------------------------------------------------
     # Per-connection tasks
@@ -823,11 +1507,33 @@ class MonitorGateway:
     def _route_event(self, event: SessionEvent) -> None:
         session = self._sessions.get(event.session_id)
         if session is None:
+            parked = self._parked.get(event.session_id)
+            if parked is not None:
+                # In flight when its client vanished: fold into the
+                # parked history so a resume replays it.
+                parked.absorb(event)
+                return
             self._events_dropped += 1
+            return
+        if event.error is not None and session.journal is not None:
+            # Resume mode treats a worker crash as recoverable: rebuild
+            # from the journal instead of failing the session safe.  A
+            # second terminal event while recovery is already in flight
+            # is a stale echo of the same crash.
+            if not session.recovering:
+                self._begin_recovery(event.session_id, session)
+            return
+        if session.journal is not None and event.frame_index < session.delivered:
+            # Journal-replay regeneration after a crash recovery (or
+            # cold adopt): the client already has this event.  Events
+            # arrive one per frame in frame order, so a fresh event
+            # always lands exactly at frame_index == delivered.
             return
         session.delivered += 1
         if event.flag:
             session.flagged += 1
+        if session.history is not None:
+            session.history.append(event)
         conn = session.conn
         if not conn.closed:
             self._enqueue_or_overflow(
@@ -900,6 +1606,11 @@ class MonitorGateway:
     def n_open_sessions(self) -> int:
         """Number of wire-opened sessions currently live."""
         return len(self._sessions)
+
+    @property
+    def n_parked_sessions(self) -> int:
+        """Number of sessions parked awaiting a resume."""
+        return len(self._parked)
 
     async def resize(self, target_k: int) -> dict:
         """Live-resize the serving fleet to ``target_k`` shards.
@@ -978,6 +1689,16 @@ class MonitorGateway:
                 "depths": depths,
                 "max_depth": max(depths, default=0),
                 "peak_depth": self._peak_queue_depth,
+            },
+            "resume": {
+                "enabled": self._resume_enabled,
+                "grace_s": self.resume_grace_s,
+                "parked": len(self._parked),
+                "parked_total": self._parked_total,
+                "resumed_total": self._resumed_total,
+                "expired_total": self._resume_expired_total,
+                "recovered_total": self._recovered_total,
+                "acks_sent": self._acks_sent,
             },
             "frames_received": self._frames_received,
             "events_sent": self._events_sent,

@@ -14,11 +14,13 @@ offset format  field
 ====== ======= ========================================================
 
 all big-endian (``!``).  Payloads are either UTF-8 JSON (control
-messages: OPEN, CLOSE, ERROR, STATS) or packed binary (the hot path:
-FRAME carries little-endian float64 kinematics rows, EVENT carries
-packed :class:`~repro.serving.service.SessionEvent` records), so a
-frame of 38 features costs 8 + 2 + len(sid) + 8 + 304 bytes on the
-wire and decoding is one ``np.frombuffer`` — no per-frame JSON.
+messages: OPEN, CLOSE, ERROR, STATS, RESUME) or packed binary (the hot
+path: FRAME carries little-endian float64 kinematics rows prefixed by
+the batch's starting frame sequence number, EVENT carries packed
+:class:`~repro.serving.service.SessionEvent` records, ACK carries the
+gateway's per-session accepted-frame count), so a frame of 38 features
+costs 8 + 2 + len(sid) + 8 + 8 + 304 bytes on the wire and decoding is
+one ``np.frombuffer`` — no per-frame JSON.
 
 Message types and their direction:
 
@@ -26,8 +28,8 @@ Message types and their direction:
 type        direction      payload
 =========== ============== ==============================================
 OPEN        client→gateway ``{"session_id": str|null, "record_timeline"}``
-OPEN        gateway→client ack: ``{"session_id": str}``
-FRAME       client→gateway :func:`encode_frames` binary (unacked)
+OPEN        gateway→client ack: ``{"session_id": str, "resume_token"}``
+FRAME       client→gateway :func:`encode_frames` binary (seq-numbered)
 CLOSE       client→gateway ``{"session_id": str}``
 CLOSE       gateway→client ack: ``{"session_id", "n_frames", "n_flagged"}``
 EVENT       gateway→client :func:`encode_events` binary batch
@@ -35,7 +37,18 @@ ERROR       gateway→client ``{"error_type", "error", "session_id"|null}``
 HEARTBEAT   both           empty (gateway pings, client echoes)
 STATS       client→gateway empty request
 STATS       gateway→client ``gateway_stats()`` JSON
+ACK         gateway→client :func:`encode_ack` binary — frames accepted
+RESUME      client→gateway ``{"session_id", "token", "last_event"}``
+RESUME      gateway→client ack: ``{"session_id", "acked_seq", "delivered"}``
 =========== ============== ==============================================
+
+Version 2 added the session-resume triplet: a ``!Q`` frame sequence
+number inside every FRAME payload, the ACK message acknowledging the
+frames the gateway has accepted (durably, while resume is enabled), and
+RESUME, by which a reconnecting client presents its resume token and
+replays any frames past the gateway's acked seq.  Version 1 peers are
+rejected by :func:`decode_header` exactly like any other foreign
+version — there is no downgrade path on one port.
 
 Everything here is transport-agnostic — pure ``struct``/``json``/numpy,
 no sockets and no asyncio — so the gateway, both client SDKs and the
@@ -55,9 +68,28 @@ import numpy as np
 from ...errors import ProtocolError
 from ..service import SessionEvent
 
+__all__ = [
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "MessageReader",
+    "MessageType",
+    "PROTOCOL_VERSION",
+    "decode_ack",
+    "decode_events",
+    "decode_frames",
+    "decode_header",
+    "decode_json",
+    "encode_ack",
+    "encode_events",
+    "encode_frames",
+    "encode_json",
+    "encode_message",
+]
+
 #: Bumped on any incompatible header or payload layout change; peers
 #: reject other versions with :class:`~repro.errors.ProtocolError`.
-PROTOCOL_VERSION = 1
+#: Version 2: FRAME payloads carry a sequence number, ACK/RESUME added.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one message's payload (64 MiB) — a corrupt or hostile
 #: length field must not make a peer allocate unbounded memory.
@@ -69,13 +101,14 @@ _HEADER = struct.Struct("!BBHI")
 HEADER_SIZE = _HEADER.size
 
 _SID_LEN = struct.Struct("!H")
+_FRAME_SEQ = struct.Struct("!Q")
 _FRAME_DIMS = struct.Struct("!II")
 _EVENT_COUNT = struct.Struct("!I")
 _EVENT_FIXED = struct.Struct("!qidBH")  # frame_index, gesture, score, flag, err_len
 
 
 class MessageType(enum.IntEnum):
-    """The seven wire message types (one byte each on the wire)."""
+    """The nine wire message types (one byte each on the wire)."""
 
     OPEN = 1
     FRAME = 2
@@ -84,6 +117,8 @@ class MessageType(enum.IntEnum):
     ERROR = 5
     HEARTBEAT = 6
     STATS = 7
+    ACK = 8
+    RESUME = 9
 
 
 def encode_message(msg_type: MessageType, payload: bytes = b"") -> bytes:
@@ -216,13 +251,17 @@ def _unpack_sid(payload: bytes, offset: int, what: str) -> tuple[str, int]:
     return sid, offset + sid_len
 
 
-def encode_frames(session_id: str, frames: np.ndarray) -> bytes:
+def encode_frames(session_id: str, frames: np.ndarray, seq: int = 0) -> bytes:
     """Pack kinematics rows for one session into a FRAME payload.
 
     ``frames`` is coerced to a C-contiguous little-endian float64
     ``(n, n_features)`` matrix (a single ``(n_features,)`` frame is
     promoted), exactly the dtype the serving engine consumes — the
     gateway feeds the decoded buffer straight in, no per-row copies.
+    ``seq`` is the frame sequence number of the batch's **first** row:
+    the count of frames the client sent for this session before it.
+    The gateway uses it to deduplicate resume replays and to detect
+    gaps; a v2 client must number every batch contiguously.
     """
     frames = np.ascontiguousarray(frames, dtype="<f8")
     if frames.ndim == 1:
@@ -231,16 +270,23 @@ def encode_frames(session_id: str, frames: np.ndarray) -> bytes:
         raise ProtocolError(
             f"frames must be (n, n_features), got shape {frames.shape}"
         )
+    if not 0 <= seq <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"frame seq {seq} out of the u64 range")
     return (
         _pack_sid(session_id)
+        + _FRAME_SEQ.pack(seq)
         + _FRAME_DIMS.pack(frames.shape[0], frames.shape[1])
         + frames.tobytes()
     )
 
 
-def decode_frames(payload: bytes) -> tuple[str, np.ndarray]:
-    """Unpack a FRAME payload into ``(session id, (n, n_features) float64)``."""
+def decode_frames(payload: bytes) -> tuple[str, int, np.ndarray]:
+    """Unpack a FRAME payload into ``(sid, seq, (n, n_features) float64)``."""
     sid, offset = _unpack_sid(payload, 0, "FRAME")
+    if len(payload) < offset + _FRAME_SEQ.size:
+        raise ProtocolError("truncated FRAME payload (sequence number)")
+    (seq,) = _FRAME_SEQ.unpack_from(payload, offset)
+    offset += _FRAME_SEQ.size
     if len(payload) < offset + _FRAME_DIMS.size:
         raise ProtocolError("truncated FRAME payload (dimensions)")
     n_rows, n_cols = _FRAME_DIMS.unpack_from(payload, offset)
@@ -255,7 +301,36 @@ def decode_frames(payload: bytes) -> tuple[str, np.ndarray]:
     frames = np.frombuffer(body, dtype="<f8").reshape(n_rows, n_cols)
     # A writable native-endian copy: the engine appends it to the
     # session's pending queue and reads rows out of it over many ticks.
-    return sid, frames.astype(np.float64)
+    return sid, seq, frames.astype(np.float64)
+
+
+def encode_ack(session_id: str, seq: int) -> bytes:
+    """Pack an ACK payload: ``seq`` frames of a session are accepted.
+
+    ``seq`` is a *count*, not an index — after the gateway ingests a
+    batch ending at frame ``k-1`` it acks ``seq=k``.  While resume is
+    enabled on the gateway, an acked frame survives both a client
+    disconnect (parked session state) and a shard worker crash (journal
+    replay), so the client may discard its replay copy of every frame
+    below ``seq``.
+    """
+    if not 0 <= seq <= 0xFFFFFFFFFFFFFFFF:
+        raise ProtocolError(f"ack seq {seq} out of the u64 range")
+    return _pack_sid(session_id) + _FRAME_SEQ.pack(seq)
+
+
+def decode_ack(payload: bytes) -> tuple[str, int]:
+    """Unpack an ACK payload into ``(session id, accepted frame count)``."""
+    sid, offset = _unpack_sid(payload, 0, "ACK")
+    if len(payload) < offset + _FRAME_SEQ.size:
+        raise ProtocolError("truncated ACK payload (sequence number)")
+    (seq,) = _FRAME_SEQ.unpack_from(payload, offset)
+    offset += _FRAME_SEQ.size
+    if offset != len(payload):
+        raise ProtocolError(
+            f"ACK payload has {len(payload) - offset} trailing bytes"
+        )
+    return sid, seq
 
 
 def encode_events(events: list[SessionEvent]) -> bytes:

@@ -72,7 +72,12 @@ from .shm import (
     ShmRing,
     write_frames_blocking,
 )
-from .snapshot import monitor_to_bytes, snapshot_backend, snapshot_n_features
+from .snapshot import (
+    monitor_to_bytes,
+    session_snapshot_id,
+    snapshot_backend,
+    snapshot_n_features,
+)
 from .transport import Reply, Request, raise_remote, recv_message
 from .worker import worker_main
 
@@ -880,6 +885,10 @@ class ShardedMonitorService:
             )
             if handle.frame_ring is not None:
                 handle.routes[order] = session_id
+        # An explicit re-open of a crash-failed id starts a new life for
+        # it (the gateway's crash recovery does exactly this); the stale
+        # failure record must not shadow the new session.
+        self.failed_sessions.pop(session_id, None)
         return session_id
 
     # ------------------------------------------------------------------
@@ -1102,6 +1111,116 @@ class ShardedMonitorService:
             del self._sessions[session_id]
             handle.routes.pop(record.order, None)
         return reply.value
+
+    # ------------------------------------------------------------------
+    # Session export / import (gateway resume + external checkpointing)
+    # ------------------------------------------------------------------
+    def export_session(self, session_id: str) -> bytes:
+        """Remove a live session from the fleet, returning its state.
+
+        The returned bytes are the :func:`session_to_bytes` archive —
+        pending frames and window ring state included — so a later
+        :meth:`import_session` resumes the session bit-identically, on
+        this fleet or another one with the same monitor snapshot.  This
+        is :meth:`_migrate_session`'s export half exposed as a public
+        primitive; the gateway parks disconnected sessions with it.
+
+        Raises :class:`~repro.errors.WorkerError` if the session was
+        lost to a crash or its worker dies mid-export.
+        """
+        self._check_open()
+        record = self._record(session_id)
+        handle = self._shards[record.shard]
+        try:
+            reply = handle.request(
+                Request("migrate_out", session_id=session_id),
+                self.request_timeout_s,
+            )
+            raise_remote(reply)
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise WorkerError(
+                f"session {session_id!r} lost mid-export: {exc}"
+            ) from exc
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            handle.routes.pop(record.order, None)
+        return reply.value
+
+    def resolve_import(self, state: bytes) -> tuple[str, int]:
+        """Validate an exported archive and compute its shard (no IPC).
+
+        The session keeps the id embedded in its snapshot, so placement
+        is by that id's hash — an export/import round trip lands a
+        session exactly where a fresh open of the same id would.  Split
+        from :meth:`import_on_shard` for the same reason as
+        :meth:`resolve_placement`: the asyncio front-end takes the
+        target shard's lock before the blocking pipe call.
+
+        Raises :class:`~repro.errors.ConfigurationError` if the archive
+        is foreign-versioned or the id is already open.
+        """
+        self._check_open()
+        session_id = session_snapshot_id(state)
+        if session_id in self._sessions:
+            raise ConfigurationError(f"session {session_id!r} is already open")
+        return session_id, self._ring.place(session_id)
+
+    def import_on_shard(
+        self, state: bytes, session_id: str, shard: int,
+        record_timeline: bool = True,
+    ) -> str:
+        """Land a resolved import on its shard (the IPC half)."""
+        handle = self._shards.get(shard)
+        if handle is None or not handle.alive:
+            raise WorkerError(f"shard {shard} is not live")
+        if self._shard_occupancy(shard) >= self.max_sessions_per_shard:
+            raise ConfigurationError(
+                f"shard {shard} is full "
+                f"({self.max_sessions_per_shard} slots); cannot import "
+                f"session {session_id!r} onto it"
+            )
+        order = next(self._order)
+        try:
+            reply = handle.request(
+                Request(
+                    "migrate_in",
+                    state=state,
+                    route=order if handle.frame_ring is not None else None,
+                ),
+                self.request_timeout_s,
+            )
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise WorkerError(
+                f"session {session_id!r} lost mid-import: {exc}"
+            ) from exc
+        raise_remote(reply)
+        with self._lock:
+            self._sessions[session_id] = _SessionRecord(
+                shard=shard,
+                order=order,
+                record_timeline=record_timeline,
+            )
+            if handle.frame_ring is not None:
+                handle.routes[order] = session_id
+        # An import that re-opens a previously crash-failed id clears the
+        # failure record — the imported state supersedes it.
+        self.failed_sessions.pop(session_id, None)
+        return session_id
+
+    def import_session(
+        self, state: bytes, record_timeline: bool = True
+    ) -> str:
+        """Re-admit an exported session; returns its (unchanged) id.
+
+        The inverse of :meth:`export_session`: the session resumes on
+        its hash-placed shard with pending frames and window state
+        intact, so subsequent ticks are bit-identical to a never-
+        exported run.
+        """
+        session_id, shard = self.resolve_import(state)
+        return self.import_on_shard(state, session_id, shard, record_timeline)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -345,6 +345,24 @@ def session_to_bytes(state: SessionState) -> bytes:
     return buffer.getvalue()
 
 
+def session_snapshot_id(data: bytes) -> str:
+    """Session id embedded in a :func:`session_to_bytes` archive.
+
+    Reads only the metadata entry — no arrays are materialised — so the
+    sharded router and the gateway's resume path can resolve placement
+    for an imported session without decoding the full window state.
+    Raises :class:`~repro.errors.ConfigurationError` on a foreign
+    version byte, like :func:`session_from_bytes`.
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    if meta.get("version") != SESSION_SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported session snapshot version {meta.get('version')!r}"
+        )
+    return str(meta["session_id"])
+
+
 def session_from_bytes(data: bytes) -> SessionState:
     """Rebuild a :class:`SessionState` from :func:`session_to_bytes` output.
 

@@ -560,6 +560,84 @@ class TestAutoscaler:
 
         asyncio.run(run())
 
+    def test_cooldown_boundary_exactly_at_threshold_applies(self, monitor):
+        """The cooldown gate is a strict ``<``: a step landing exactly at
+        (or a hair past) the cooldown boundary applies, one clearly
+        inside it holds.  Driven by pinning ``_last_applied`` against
+        the loop clock — no sleeps, no flakiness."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend,
+                        consecutive=1,
+                        cooldown_s=3600.0,
+                        max_shards=8,
+                    )
+                    loop = asyncio.get_running_loop()
+                    # Still 0.5 s inside the window: blocked (the step
+                    # itself runs in far less than the margin).
+                    scaler._last_applied = loop.time() - 3600.0 + 0.5
+                    assert await scaler.step(self._hot(2)) is None
+                    assert service.n_shards == 2
+                    # Exactly at the boundary: the elapsed time is >=
+                    # cooldown_s by the time the gate evaluates, so the
+                    # resize goes through.
+                    scaler._last_applied = loop.time() - 3600.0
+                    assert await scaler.step(self._hot(2)) == 4
+                    assert service.n_shards == 4
+
+        asyncio.run(run())
+
+    def test_single_shard_floor_never_breached(self, monitor):
+        """An idle 1-shard fleet must stay at 1 — the policy floor means
+        the actuator never even proposes 0, no matter how long the idle
+        streak runs."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=1, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=1, cooldown_s=0.0
+                    )
+                    idle = {0: ServiceStats(capacity=4)}
+                    for _ in range(5):
+                        assert await scaler.step(idle) is None
+                    assert service.n_shards == 1
+                    assert scaler.resize_events == []
+
+        asyncio.run(run())
+
+    def test_flapping_load_never_applies(self, monitor):
+        """Alternating hot/idle samples disagree on the target every
+        evaluation, so with consecutive=2 the streak never matures and
+        the fleet never moves — the hysteresis exists exactly for this
+        oscillation."""
+
+        async def run():
+            with ShardedMonitorService(
+                monitor, n_shards=2, max_sessions_per_shard=4
+            ) as service:
+                async with AsyncShardedMonitor(service) as frontend:
+                    scaler = MonitorAutoscaler(
+                        frontend, consecutive=2, cooldown_s=0.0, max_shards=8
+                    )
+                    idle = {i: ServiceStats(capacity=4) for i in range(2)}
+                    for _ in range(4):
+                        # Hot proposes 4, idle proposes 1: each sample
+                        # restarts the other's streak at 1 < 2.
+                        assert await scaler.step(self._hot(2)) is None
+                        assert await scaler.step(idle) is None
+                    assert service.n_shards == 2
+                    assert scaler.resize_events == []
+
+        asyncio.run(run())
+
     def test_constructor_validation(self, monitor):
         async def run():
             with ShardedMonitorService(

@@ -31,6 +31,7 @@ from repro.serving import (
     MonitorGateway,
     MonitorService,
     RemoteMonitorClient,
+    ResumeState,
     SessionEvent,
     make_random_walk_trajectory,
     make_synthetic_monitor,
@@ -44,9 +45,11 @@ from repro.serving.remote.protocol import (
     PROTOCOL_VERSION,
     MessageReader,
     MessageType,
+    decode_ack,
     decode_events,
     decode_frames,
     decode_header,
+    encode_ack,
     encode_events,
     encode_frames,
     encode_message,
@@ -108,14 +111,22 @@ class TestProtocol:
 
     def test_frames_round_trip(self):
         frames = np.arange(12, dtype=float).reshape(3, 4) * 0.5
-        sid, decoded = decode_frames(encode_frames("theatre-7", frames))
+        sid, seq, decoded = decode_frames(encode_frames("theatre-7", frames, seq=41))
         assert sid == "theatre-7"
+        assert seq == 41
         assert decoded.dtype == np.float64
         np.testing.assert_array_equal(decoded, frames)
 
     def test_single_frame_promoted(self):
-        sid, decoded = decode_frames(encode_frames("s", np.zeros(5)))
+        sid, seq, decoded = decode_frames(encode_frames("s", np.zeros(5)))
+        assert seq == 0
         assert decoded.shape == (1, 5)
+
+    def test_ack_round_trip(self):
+        sid, seq = decode_ack(encode_ack("theatre-7", 2**40))
+        assert sid == "theatre-7" and seq == 2**40
+        with pytest.raises(ProtocolError):
+            decode_ack(encode_ack("s", 3)[:-2])
 
     def test_events_round_trip(self):
         events = [
@@ -143,7 +154,7 @@ class TestProtocol:
             MessageType.EVENT,
         ]
         assert reader.buffered == 0
-        sid, frames = decode_frames(collected[1][1])
+        sid, seq, frames = decode_frames(collected[1][1])
         assert sid == "s" and frames.shape == (2, 3)
 
     def test_foreign_version_rejected(self):
@@ -520,10 +531,22 @@ class TestFailSafe:
             with RemoteMonitorClient(runner.host, runner.port) as client:
                 sid = client.open_session("steady")
                 # Stay connected well past the idle timeout: every stats
-                # round trip also echoes any pending heartbeats.
-                for _ in range(10):
-                    time.sleep(0.1)
-                    client.gateway_stats()
+                # round trip also echoes any pending heartbeats.  Spin on
+                # observed state (heartbeats exchanged, idle window fully
+                # elapsed) rather than a fixed sleep count so slow CI
+                # machines can't race the deadline.
+                start = time.monotonic()
+                deadline = start + 10.0
+                while time.monotonic() < deadline:
+                    stats = client.gateway_stats()
+                    if (
+                        stats["heartbeats_sent"] > 0
+                        and time.monotonic() - start > 0.6
+                    ):
+                        break
+                    time.sleep(0.02)
+                else:
+                    pytest.fail("gateway never sent a heartbeat")
                 client.feed(sid, np.zeros((2, N_FEATURES)))
                 assert len(client.events_for(sid, 2)) == 2
                 assert client.close_session(sid)["n_frames"] == 2
@@ -779,3 +802,264 @@ class TestProtocolOverTheWire:
                     np.zeros((3, N_FEATURES)), session_id="after"
                 )
                 assert len(events) == 3
+
+
+class TestResume:
+    """Session resume over reconnects (PR 7): park/adopt, seq/ack
+    replay, token auth, grace expiry, and transparent worker-crash
+    recovery — the stream a resuming client assembles must be
+    bit-identical to an uninterrupted local run."""
+
+    def test_detach_resume_is_bit_identical(self, monitor):
+        trajectory = make_random_walk_trajectory(
+            24, n_features=N_FEATURES, seed=71
+        )
+        reference = local_events(monitor, trajectory, session_id="r")
+        with running_gateway(
+            monitor, n_shards=2, max_sessions=8, resume_grace_s=30.0
+        ) as runner:
+            first = RemoteMonitorClient(runner.host, runner.port)
+            sid = first.open_session("r")
+            first.feed(sid, trajectory.frames[:10])
+            events = first.events_for(sid, 10)
+            # Drop the connection without closing the session: the
+            # gateway parks it for the grace window instead of failing
+            # it safe.
+            first.close()
+            state = first.detach_session(sid)
+            assert state.token and state.next_seq == 10
+            assert wait_until(lambda: runner.gateway.n_parked_sessions == 1)
+            with RemoteMonitorClient(runner.host, runner.port) as second:
+                assert second.resume_session(state) == sid
+                second.feed(sid, trajectory.frames[10:])
+                events += second.events_for(sid, 14)
+                summary = second.close_session(sid)
+            assert summary["n_frames"] == 24
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in reference
+            ]
+            assert not runner.gateway.failed_sessions
+            stats = runner.stats()["resume"]
+            assert stats["enabled"] and stats["resumed_total"] == 1
+            assert stats["parked_total"] == 1 and stats["parked"] == 0
+
+    def test_resume_replays_unacked_frames_and_missed_events(self, monitor):
+        """Disconnect with frames possibly unacked and events undelivered:
+        the client replays its buffered tail (the gateway trims the
+        overlap by seq) and the gateway replays the missed events — no
+        gap, no duplicate."""
+        trajectory = make_random_walk_trajectory(
+            16, n_features=N_FEATURES, seed=72
+        )
+        reference = local_events(monitor, trajectory, session_id="u")
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=4, resume_grace_s=30.0
+        ) as runner:
+            first = RemoteMonitorClient(runner.host, runner.port)
+            sid = first.open_session("u")
+            first.feed(sid, trajectory.frames[:9])
+            # Read nothing back: every event is "missed", and the ACK
+            # may or may not have crossed the wire when we vanish.
+            first.close()
+            state = first.detach_session(sid)
+            assert state.acked_seq == 0 and len(state.buffer) == 1
+            assert wait_until(lambda: runner.gateway.n_parked_sessions == 1)
+            with RemoteMonitorClient(runner.host, runner.port) as second:
+                second.resume_session(state)
+                second.feed(sid, trajectory.frames[9:])
+                events = second.events_for(sid, 16)
+                second.close_session(sid)
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in reference
+            ]
+
+    def test_pending_events_carry_over(self, monitor):
+        """Events decoded by the dead connection but never consumed ride
+        the ResumeState and come out of the new client first."""
+        trajectory = make_random_walk_trajectory(
+            8, n_features=N_FEATURES, seed=73
+        )
+        reference = local_events(monitor, trajectory, session_id="p")
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=4, resume_grace_s=30.0
+        ) as runner:
+            first = RemoteMonitorClient(runner.host, runner.port)
+            sid = first.open_session("p")
+            first.feed(sid, trajectory.frames)
+            # Force the events onto this client's buffer, then put them
+            # back unconsumed so detach must carry them.
+            events = first.events_for(sid, 8)
+            first._events.extendleft(reversed(events))
+            first.close()
+            state = first.detach_session(sid)
+            assert len(state.pending_events) == 8
+            assert state.events_received == 8
+            assert wait_until(lambda: runner.gateway.n_parked_sessions == 1)
+            with RemoteMonitorClient(runner.host, runner.port) as second:
+                second.resume_session(state)
+                events = second.events_for(sid, 8)
+                second.close_session(sid)
+            assert [event_key(e) for e in events] == [
+                event_key(e) for e in reference
+            ]
+
+    def test_resume_token_mismatch_rejected(self, monitor):
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=4, resume_grace_s=30.0
+        ) as runner:
+            first = RemoteMonitorClient(runner.host, runner.port)
+            sid = first.open_session("t")
+            first.feed(sid, np.zeros((2, N_FEATURES)))
+            first.events_for(sid, 2)
+            first.close()
+            state = first.detach_session(sid)
+            assert wait_until(lambda: runner.gateway.n_parked_sessions == 1)
+            state.token = "0" * len(state.token)
+            with RemoteMonitorClient(runner.host, runner.port) as second:
+                with pytest.raises(ProtocolError, match="token mismatch"):
+                    second.resume_session(state)
+            # The parked session is untouched — a forger must not be
+            # able to evict it.
+            assert runner.gateway.n_parked_sessions == 1
+
+    def test_resume_unknown_session_rejected(self, monitor):
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=4, resume_grace_s=30.0
+        ) as runner:
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                ghost = ResumeState(
+                    session_id="never-opened",
+                    token="f" * 32,
+                    next_seq=0,
+                    acked_seq=0,
+                    events_received=0,
+                )
+                with pytest.raises(ProtocolError, match="no parked session"):
+                    client.resume_session(ghost)
+
+    def test_grace_expiry_fails_safe(self, monitor):
+        with running_gateway(
+            monitor, n_shards=1, max_sessions=4, resume_grace_s=0.2
+        ) as runner:
+            first = RemoteMonitorClient(runner.host, runner.port)
+            sid = first.open_session("late")
+            first.feed(sid, np.zeros((2, N_FEATURES)))
+            first.events_for(sid, 2)
+            first.close()
+            state = first.detach_session(sid)
+            assert wait_until(lambda: sid in runner.gateway.failed_sessions)
+            assert "grace window expired" in runner.gateway.failed_sessions[sid]
+            assert runner.gateway.n_parked_sessions == 0
+            # Resuming after expiry names the failure.
+            with RemoteMonitorClient(runner.host, runner.port) as second:
+                with pytest.raises(WorkerError, match="failed"):
+                    second.resume_session(state)
+            assert runner.stats()["resume"]["expired_total"] == 1
+
+    def test_resume_disabled_by_default(self, monitor):
+        """resume_grace_s=0 keeps PR 4's fail-safe disconnect contract:
+        no token in the OPEN ack, detach refuses, and a disconnect
+        drains-and-closes as before."""
+        with running_gateway(monitor, n_shards=1, max_sessions=4) as runner:
+            assert not runner.stats()["resume"]["enabled"]
+            client = RemoteMonitorClient(runner.host, runner.port)
+            sid = client.open_session("legacy")
+            with pytest.raises(ProtocolError, match="no resume state"):
+                client.detach_session(sid)
+
+    def test_worker_crash_recovers_transparently(self, monitor):
+        """With resume enabled, a SIGKILLed shard worker no longer kills
+        its sessions: the gateway replays each journal onto a live
+        shard and the client's stream continues, bit-identical."""
+        trajectory = make_random_walk_trajectory(
+            20, n_features=N_FEATURES, seed=74
+        )
+        with running_gateway(
+            monitor, n_shards=2, max_sessions=16, resume_grace_s=30.0
+        ) as runner:
+            gateway = runner.gateway
+            gateway._engine.frontend.poll_interval_s = 0.05
+            service = gateway._engine.service
+            with RemoteMonitorClient(runner.host, runner.port) as client:
+                sids = [client.open_session(f"proc-{i}") for i in range(6)]
+                placement = {sid: service.shard_of(sid) for sid in sids}
+                assert len(set(placement.values())) == 2
+                collected = {sid: [] for sid in sids}
+                for sid in sids:
+                    client.feed(sid, trajectory.frames[:12])
+                for sid in sids:  # let the backlog fully drain first
+                    collected[sid].extend(client.events_for(sid, 12))
+                victim_shard = placement[sids[0]]
+                process = service._shards[victim_shard].process
+                os.kill(process.pid, signal.SIGKILL)
+                process.join(10.0)
+                assert wait_until(
+                    lambda: runner.stats()["resume"]["recovered_total"]
+                    >= sum(
+                        1 for s in sids if placement[s] == victim_shard
+                    )
+                )
+                for sid in sids:
+                    client.feed(sid, trajectory.frames[12:])
+                for sid in sids:
+                    collected[sid].extend(client.events_for(sid, 8))
+                for sid in sids:
+                    assert client.close_session(sid)["n_frames"] == 20
+            assert not gateway.failed_sessions
+            for sid in sids:
+                reference = local_events(monitor, trajectory, session_id=sid)
+                assert [event_key(e) for e in collected[sid]] == [
+                    event_key(e) for e in reference
+                ], sid
+
+    def test_async_detach_resume(self, monitor):
+        trajectory = make_random_walk_trajectory(
+            12, n_features=N_FEATURES, seed=75
+        )
+        reference = local_events(monitor, trajectory, session_id="a")
+
+        async def run():
+            async with MonitorGateway(
+                monitor, n_shards=1, max_sessions=4, resume_grace_s=30.0
+            ) as gateway:
+                first = await AsyncRemoteMonitorClient.connect(
+                    gateway.host, gateway.port
+                )
+                sid = await first.open_session("a")
+                await first.feed(sid, trajectory.frames[:7])
+                events = []
+                for _ in range(7):
+                    events.append(
+                        await asyncio.wait_for(first.next_event(), 10.0)
+                    )
+                await first.aclose()
+                state = first.detach_session(sid)
+                assert state.next_seq == 7
+
+                async def parked():
+                    return gateway.n_parked_sessions == 1
+
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while not await parked():
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.02)
+                second = await AsyncRemoteMonitorClient.connect(
+                    gateway.host, gateway.port
+                )
+                try:
+                    assert await second.resume_session(state) == sid
+                    await second.feed(sid, trajectory.frames[7:])
+                    for _ in range(5):
+                        events.append(
+                            await asyncio.wait_for(second.next_event(), 10.0)
+                        )
+                    summary = await second.close_session(sid)
+                finally:
+                    await second.aclose()
+                assert summary["n_frames"] == 12
+                return events
+
+        events = asyncio.run(run())
+        assert [event_key(e) for e in events] == [
+            event_key(e) for e in reference
+        ]

@@ -15,10 +15,31 @@ import os
 import pickle
 import struct
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import WorkerError
+from repro.errors import ProtocolError, WorkerError
 from repro.serving import make_synthetic_monitor, monitor_to_bytes
+from repro.serving.remote.protocol import (
+    HEADER_SIZE,
+    MAX_PAYLOAD,
+    MessageReader,
+    MessageType,
+    PROTOCOL_VERSION,
+    decode_ack,
+    decode_events,
+    decode_frames,
+    decode_header,
+    decode_json,
+    encode_ack,
+    encode_events,
+    encode_frames,
+    encode_json,
+    encode_message,
+)
+from repro.serving.service import SessionEvent
 from repro.serving.transport import (
     Reply,
     Request,
@@ -148,3 +169,167 @@ class TestErrorReplyRoundTrip:
         assert reply.has_pending
         with pytest.raises(WorkerError, match="boom"):
             raise_remote(reply)
+
+
+# ----------------------------------------------------------------------
+# Property-based fuzzing of the TCP wire protocol (PR 7)
+# ----------------------------------------------------------------------
+# The gateway decodes bytes straight off the public network, so the
+# protocol module carries a stronger contract than the pipe transport
+# above: *any* input either decodes or raises ProtocolError — never a
+# bare struct.error/UnicodeDecodeError/ValueError, never an unbounded
+# allocation from a hostile length field, and round-trips are exact.
+
+_session_ids = st.text(min_size=0, max_size=40)
+
+_u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+_finite_floats = st.floats(allow_nan=False, width=64)
+
+_events = st.builds(
+    SessionEvent,
+    session_id=_session_ids,
+    frame_index=st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    gesture=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    score=_finite_floats,
+    flag=st.booleans(),
+    # The wire collapses a falsy error to "no error" (err_len=0 decodes
+    # to None), so an empty string is not round-trippable by design —
+    # generate None or a non-empty message, as the engine does.
+    error=st.one_of(st.none(), st.text(min_size=1, max_size=120)),
+)
+
+
+def _decode_any(payload: bytes) -> None:
+    """Run every payload decoder; only ProtocolError may escape."""
+    for decoder in (decode_frames, decode_events, decode_ack, decode_json):
+        try:
+            decoder(payload)
+        except ProtocolError:
+            pass
+
+
+class TestProtocolFuzz:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sid=_session_ids,
+        seq=_u64,
+        rows=st.lists(
+            st.lists(_finite_floats, min_size=1, max_size=8),
+            min_size=1,
+            max_size=6,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1),
+    )
+    def test_frames_round_trip_exactly(self, sid, seq, rows):
+        frames = np.array(rows, dtype=np.float64)
+        got_sid, got_seq, got = decode_frames(encode_frames(sid, frames, seq))
+        assert (got_sid, got_seq) == (sid, seq)
+        assert got.dtype == np.float64 and got.shape == frames.shape
+        np.testing.assert_array_equal(got, frames)
+
+    @settings(max_examples=50, deadline=None)
+    @given(events=st.lists(_events, max_size=8))
+    def test_events_round_trip_exactly(self, events):
+        decoded = decode_events(encode_events(events))
+        assert decoded == events
+
+    @settings(max_examples=50, deadline=None)
+    @given(sid=_session_ids, seq=_u64)
+    def test_ack_round_trip_exactly(self, sid, seq):
+        assert decode_ack(encode_ack(sid, seq)) == (sid, seq)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        obj=st.dictionaries(
+            st.text(max_size=20),
+            st.one_of(
+                st.none(), st.booleans(), st.integers(), st.text(max_size=40)
+            ),
+            max_size=6,
+        )
+    )
+    def test_json_round_trip_exactly(self, obj):
+        assert decode_json(encode_json(obj)) == obj
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.binary(max_size=64))
+    def test_arbitrary_bytes_never_crash_a_decoder(self, data):
+        try:
+            decode_header(data.ljust(HEADER_SIZE, b"\x00")[:HEADER_SIZE])
+        except ProtocolError:
+            pass
+        _decode_any(data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        events=st.lists(_events, min_size=1, max_size=4),
+        cut=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_truncated_payloads_raise_protocol_error(self, events, cut):
+        payload = encode_events(events)
+        truncated = payload[: min(cut, len(payload) - 1)]
+        with pytest.raises(ProtocolError):
+            decode_events(truncated)
+        _decode_any(truncated)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        sid=_session_ids,
+        seq=_u64,
+        flip_at=st.integers(min_value=0, max_value=10_000),
+        flip_bits=st.integers(min_value=1, max_value=255),
+    )
+    def test_bit_flipped_messages_decode_or_reject(
+        self, sid, seq, flip_at, flip_bits
+    ):
+        """Corrupting any single byte of a framed ACK either still parses
+        (the flip landed in a don't-care position) or raises
+        ProtocolError — from the header check or the payload decoder —
+        never anything else and never a hang."""
+        message = bytearray(encode_message(MessageType.ACK, encode_ack(sid, seq)))
+        message[flip_at % len(message)] ^= flip_bits
+        reader = MessageReader()
+        reader.feed(bytes(message))
+        try:
+            for _, payload in reader.messages():
+                _decode_any(payload)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hostile_length_fields_are_capped(self, length):
+        """A header may not promise more than MAX_PAYLOAD bytes: the
+        reader rejects it outright instead of buffering toward an
+        attacker-chosen allocation."""
+        header = struct.pack(
+            "!BBHI", PROTOCOL_VERSION, int(MessageType.FRAME), 0, length
+        )
+        if length > MAX_PAYLOAD:
+            with pytest.raises(ProtocolError):
+                decode_header(header)
+        else:
+            msg_type, got = decode_header(header)
+            assert (msg_type, got) == (MessageType.FRAME, length)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sid=_session_ids,
+        seq=_u64,
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    def test_reader_is_prefix_safe(self, sid, seq, chunk):
+        """Any prefix of a valid stream yields only complete messages —
+        a mid-message cut parks the reader at None, never a partial or
+        corrupted pop."""
+        stream = encode_message(MessageType.ACK, encode_ack(sid, seq))
+        for cut in range(len(stream)):
+            reader = MessageReader()
+            for start in range(0, cut, chunk):
+                reader.feed(stream[start : min(start + chunk, cut)])
+            assert reader.next_message() is None
+        reader = MessageReader()
+        reader.feed(stream)
+        msg_type, payload = reader.next_message()
+        assert msg_type is MessageType.ACK
+        assert decode_ack(payload) == (sid, seq)
