@@ -1,0 +1,303 @@
+"""Benchmark: bulk offline scoring vs the looped batched pipeline.
+
+The bulk engine (:mod:`repro.serving.bulk`) is the offline counterpart
+of the serving tick loop: every sliding window of a whole recorded
+procedure materialised as one zero-copy strided view, each pipeline
+stage run once over the full ``(n_windows, window, features)`` batch —
+one GEMM per Dense stage on the compiled backends — and the
+post-processing (per-gesture dispatch, forward-fill, thresholding)
+fully vectorised.
+
+The monitor under test carries the **paper's full-scale gesture stage**
+(stacked LSTM 512+96, 64-unit head — Yasar & Alemzadeh Section III)
+rather than the CPU-instant widths the parity tests use: the
+one-GEMM-per-stage claim is about deployed model sizes, where the
+recurrent projections dominate and BLAS efficiency is the whole story.
+The table compares, over the same set of synthetic procedures:
+
+- ``looped`` — the reference :meth:`SafetyMonitor.process` exactly as
+  the experiments called it before this engine existed (batch-invariant
+  einsum inference, one trajectory at a time);
+- ``bulk`` per inference backend (:mod:`repro.nn.backends`):
+  ``reference`` (bit-identical outputs, same einsum float ops — this
+  row isolates the windowing/post-processing win), ``compiled`` and
+  ``compiled-f32`` (folded-scaler BLAS plans sized to the procedure —
+  these rows buy the one-GEMM-per-stage throughput).
+
+The committed contract (``--check-bulk``, gated in the perf CI job) is
+**compiled bulk >= 10x looped reference throughput**, judged on the
+best compiled plan (``compiled-f32`` in practice; the float64 plan is
+reported alongside and typically lands at 5-7x, bounded by the
+einsum-vs-BLAS gap at double precision).  Plan compilation is a
+one-time cost per (model, backend) pair and is warmed up outside the
+timed region, exactly as a campaign or table run amortises it.  On a
+box with < 2 visible cores the gate REFUSES (exits non-zero) with a
+loud message rather than silently passing — a degraded row measures
+scheduler noise, not the engine; every row records ``cpu_count`` /
+``cpu_affinity`` and carries ``degraded`` so a committed number can
+never hide the machine it came from.
+
+Every run writes a machine-readable ``BENCH_bulk.json`` (``--json``
+overrides the path) so the perf trajectory is tracked across PRs; CI
+uploads it as an artifact.
+
+Run:  PYTHONPATH=src python benchmarks/bench_bulk_scoring.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.nn.backends import BACKEND_NAMES
+from repro.serving import (
+    BulkScorer,
+    make_random_walk_trajectory,
+    make_synthetic_monitor,
+)
+
+N_FEATURES = 38
+
+#: The committed throughput contract: compiled bulk over looped reference.
+BULK_SPEEDUP_CONTRACT = 10.0
+
+
+def visible_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_looped(monitor, trajectories) -> float:
+    """Seconds for the pre-bulk path: one ``process()`` per procedure."""
+    start = time.perf_counter()
+    for trajectory in trajectories:
+        monitor.process(trajectory)
+    return time.perf_counter() - start
+
+
+def run_bulk(monitor, trajectories, backend: str) -> float:
+    """Seconds for a bulk sweep, compiled plans warmed up beforehand."""
+    scorer = BulkScorer(monitor, backend=backend)
+    scorer.score(trajectories[0])  # one-time plan compilation + warm-up
+    start = time.perf_counter()
+    scorer.score_many(trajectories)
+    return time.perf_counter() - start
+
+
+def _machine_fields(row: dict) -> dict:
+    """Attach the CPU budget a row was measured under."""
+    affinity = visible_cores()
+    row.update(
+        cpu_count=os.cpu_count() or 1,
+        cpu_affinity=affinity,
+        degraded=affinity < 2,
+    )
+    return row
+
+
+def benchmark(n_procedures: int, n_frames: int, seed: int = 0) -> dict:
+    """The full comparison table over one set of procedures."""
+    monitor = make_synthetic_monitor(
+        n_features=N_FEATURES,
+        seed=seed,
+        # The paper's deployed architecture: stacked LSTM 512+96 gesture
+        # stage, two-layer conv error classifiers.
+        gesture_lstm_units=(512, 96),
+        gesture_dense_units=64,
+        hidden=(32, 16),
+    )
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=seed + i)
+        for i in range(n_procedures)
+    ]
+    total_frames = n_procedures * n_frames
+
+    looped_s = run_looped(monitor, trajectories)
+    looped_fps = total_frames / looped_s
+    rows = [
+        _machine_fields(
+            {
+                "engine": "looped",
+                "backend": "reference",
+                "procedures": n_procedures,
+                "frames": total_frames,
+                "fps": looped_fps,
+                "speedup_vs_looped": 1.0,
+            }
+        )
+    ]
+    for backend in BACKEND_NAMES:
+        bulk_s = run_bulk(monitor, trajectories, backend)
+        fps = total_frames / bulk_s
+        rows.append(
+            _machine_fields(
+                {
+                    "engine": "bulk",
+                    "backend": backend,
+                    "procedures": n_procedures,
+                    "frames": total_frames,
+                    "fps": fps,
+                    "speedup_vs_looped": fps / looped_fps,
+                }
+            )
+        )
+    return {
+        "procedures": n_procedures,
+        "frames_per_procedure": n_frames,
+        "rows": rows,
+    }
+
+
+def _bulk_row(result: dict, backend: str) -> dict:
+    return next(
+        r
+        for r in result["rows"]
+        if r["engine"] == "bulk" and r["backend"] == backend
+    )
+
+
+def _best_compiled(result: dict) -> dict:
+    """The fastest compiled-plan bulk row (the gate's subject)."""
+    return max(
+        (_bulk_row(result, name) for name in ("compiled", "compiled-f32")),
+        key=lambda r: r["fps"],
+    )
+
+
+def _check_bulk_gate(result: dict) -> int:
+    """The CI gate behind ``--check-bulk``.
+
+    REFUSES on a box with < 2 visible cores — a pass measured while the
+    benchmark time-slices one core with the rest of the runner would be
+    meaningless — and otherwise enforces the committed contract: the
+    best compiled bulk plan >= 10x looped reference throughput.
+    """
+    n_cores = visible_cores()
+    if n_cores < 2:
+        print(
+            f"check-bulk: REFUSED — only {n_cores} CPU core(s) visible and "
+            f"the bulk gate needs >= 2 for a stable measurement. Run this "
+            f"gate on a >= 2-core runner; a pass here would be meaningless.",
+            file=sys.stderr,
+        )
+        return 1
+    best = _best_compiled(result)
+    speedup = best["speedup_vs_looped"]
+    if speedup < BULK_SPEEDUP_CONTRACT:
+        print(
+            f"FAIL: compiled bulk ({best['backend']}) must reach >= "
+            f"{BULK_SPEEDUP_CONTRACT:.0f}x looped reference throughput, "
+            f"got {speedup:.1f}x ({best['fps']:.0f} fps vs looped "
+            f"{result['rows'][0]['fps']:.0f} fps)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short procedures for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None, help="frames per procedure (override)"
+    )
+    parser.add_argument(
+        "--procedures", type=int, default=None, help="number of procedures (override)"
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_bulk.json",
+        help="where to write the machine-readable report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-bulk",
+        action="store_true",
+        help=(
+            "exit non-zero unless the best compiled bulk plan reaches "
+            ">= 10x the looped reference throughput; REFUSES (non-zero) "
+            "on a box with < 2 visible cores instead of silently passing"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.frames is not None and args.frames < 1:
+        parser.error("--frames must be >= 1")
+    if args.procedures is not None and args.procedures < 1:
+        parser.error("--procedures must be >= 1")
+    n_frames = args.frames if args.frames is not None else (400 if args.smoke else 1500)
+    n_procedures = (
+        args.procedures if args.procedures is not None else (2 if args.smoke else 4)
+    )
+
+    print(
+        f"bulk offline scoring — {n_procedures} procedures x {n_frames} "
+        f"frames, {N_FEATURES} features, {visible_cores()} CPU core(s) visible"
+    )
+    result = benchmark(n_procedures, n_frames)
+    print(
+        f"{'engine':>8} {'backend':>14} {'frames':>8} {'fps':>12} "
+        f"{'vs looped':>10}"
+    )
+    for r in result["rows"]:
+        degraded = "  [degraded]" if r["degraded"] else ""
+        print(
+            f"{r['engine']:>8} {r['backend']:>14} {r['frames']:>8} "
+            f"{r['fps']:>12.0f} {r['speedup_vs_looped']:>9.1f}x{degraded}"
+        )
+    best = _best_compiled(result)
+    print(
+        f"\nbest compiled bulk ({best['backend']}) over looped reference: "
+        f"{best['speedup_vs_looped']:.1f}x "
+        f"(contract: >= {BULK_SPEEDUP_CONTRACT:.0f}x)"
+    )
+
+    report = {
+        "meta": {
+            "n_procedures": n_procedures,
+            "n_frames_per_procedure": n_frames,
+            "n_features": N_FEATURES,
+            "smoke": bool(args.smoke),
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": visible_cores(),
+            "backend_names": list(BACKEND_NAMES),
+            "speedup_contract": BULK_SPEEDUP_CONTRACT,
+        },
+        "bulk": result["rows"],
+        "summary": {
+            "looped_fps": result["rows"][0]["fps"],
+            "bulk_reference_speedup": _bulk_row(result, "reference")[
+                "speedup_vs_looped"
+            ],
+            "bulk_compiled_speedup": _bulk_row(result, "compiled")[
+                "speedup_vs_looped"
+            ],
+            "bulk_compiled_f32_speedup": _bulk_row(result, "compiled-f32")[
+                "speedup_vs_looped"
+            ],
+            "bulk_best_compiled_speedup": best["speedup_vs_looped"],
+            "bulk_best_compiled_backend": best["backend"],
+        },
+    }
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+
+    if args.check_bulk:
+        return _check_bulk_gate(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

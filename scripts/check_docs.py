@@ -135,6 +135,7 @@ def check_mermaid(path: Path) -> list[str]:
 #: section.
 DOCUMENTED_MODULES = (
     "repro.serving",
+    "repro.serving.bulk",
     "repro.serving.remote",
     "repro.serving.remote.protocol",
     "repro.serving.shm",

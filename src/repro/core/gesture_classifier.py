@@ -22,7 +22,7 @@ from ..errors import NotFittedError
 from ..gestures.vocabulary import N_GESTURE_CLASSES
 from ..jigsaws.dataset import SurgicalDataset, WindowedData
 from ..kinematics.trajectory import Trajectory
-from ..kinematics.windows import sliding_windows
+from ..kinematics.windows import sliding_windows_view
 
 
 @dataclass
@@ -144,7 +144,9 @@ class GestureClassifier:
         frames = trajectory.frames
         if cfg.feature_indices is not None:
             frames = frames[:, cfg.feature_indices]
-        windows, ends = sliding_windows(frames, cfg.window)
+        # Zero-copy strided view; standardisation below materialises the
+        # scaled batch, so no windowed copy of the raw frames ever exists.
+        windows, ends = sliding_windows_view(frames, cfg.window)
         if ends.size == 0:
             return np.zeros(trajectory.n_frames, dtype=int), 0.0
         x = self.scaler.transform(windows)

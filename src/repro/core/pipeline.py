@@ -22,10 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import MonitorConfig
-from ..errors import NotFittedError
+from ..errors import ConfigurationError, NotFittedError
 from ..gestures.vocabulary import Gesture
 from ..kinematics.trajectory import Trajectory
-from ..kinematics.windows import sliding_windows
+from ..kinematics.windows import sliding_windows_view
 from .error_classifiers import ErrorClassifierLibrary
 from .gesture_classifier import GestureClassifier
 
@@ -44,7 +44,20 @@ class MonitorOutput:
     unsafe_flags:
         Thresholded binary decisions per frame.
     gesture_ms / error_ms:
-        Mean per-window inference latency of each stage.
+        Mean per-window inference latency of each stage.  Under the bulk
+        engine (``process(bulk=True)`` / :mod:`repro.serving.bulk`) each
+        stage runs as one fused batch, so these are **amortised** values
+        (stage wall-clock divided by window count) rather than observed
+        per-window latencies; ``compute_ms`` stays comparable across
+        engines, but latency *distributions* only exist for the looped
+        and streaming paths.
+    metadata:
+        Free-form provenance.  Always carries ``use_true_gestures``;
+        bulk-engine outputs add ``engine="bulk"``, ``backend``,
+        ``n_windows``, ``wall_ms`` (end-to-end wall-clock of the fused
+        pass) and ``bulk_fps`` (trajectory frames per second — the
+        throughput number ``benchmarks/bench_bulk_scoring.py`` and the
+        CI gate track).
     """
 
     gestures: np.ndarray
@@ -80,13 +93,41 @@ class SafetyMonitor:
         self,
         trajectory: Trajectory,
         use_true_gestures: bool = False,
+        *,
+        bulk: bool = False,
+        backend: str | None = None,
     ) -> MonitorOutput:
         """Run the full pipeline over one demonstration (batched).
 
         With ``use_true_gestures`` the context stage is bypassed and the
         annotated gesture labels select the error classifiers — the
         paper's "perfect gesture boundaries" upper bound.
+
+        ``bulk=True`` routes the call through the bulk offline scoring
+        engine (:class:`repro.serving.bulk.BulkScorer`): every window is
+        materialised as a zero-copy strided view and each stage runs as
+        one fused batch through the selected inference ``backend``
+        (default ``"reference"``, which is bit-identical to the looped
+        path — see the parity contract in :mod:`repro.serving.bulk`).
+        Scorers are cached on the monitor per backend name, so repeated
+        bulk calls reuse compiled plans.  ``backend`` is only meaningful
+        with ``bulk=True``; passing it otherwise raises, rather than
+        silently ignoring it.
         """
+        if backend is not None and not bulk:
+            raise ConfigurationError(
+                "backend selection requires bulk=True; the looped path "
+                "always runs the reference float operations"
+            )
+        if bulk:
+            from ..serving.bulk import BulkScorer
+
+            name = backend if backend is not None else "reference"
+            scorers = self.__dict__.setdefault("_bulk_scorers", {})
+            scorer = scorers.get(name)
+            if scorer is None:
+                scorer = scorers[name] = BulkScorer(self, backend=name)
+            return scorer.score(trajectory, use_true_gestures)
         if use_true_gestures:
             if trajectory.gestures is None:
                 raise NotFittedError("perfect-boundary mode needs gesture labels")
@@ -97,7 +138,9 @@ class SafetyMonitor:
 
         cfg = self.config.error_window
         frames = trajectory.frames
-        windows, ends = sliding_windows(frames, cfg)
+        # Zero-copy strided view: the per-gesture gathers below copy only
+        # the windows they score, never the full windowed tensor.
+        windows, ends = sliding_windows_view(frames, cfg)
         n_frames = trajectory.n_frames
         scores = np.zeros(n_frames)
         flags = np.zeros(n_frames, dtype=int)

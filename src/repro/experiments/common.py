@@ -285,10 +285,24 @@ def trajectories_with_outputs(
     monitor: SafetyMonitor,
     dataset: SurgicalDataset,
     use_true_gestures: bool = False,
+    bulk: bool = True,
+    backend: str = "reference",
 ) -> list[tuple[Trajectory, "object"]]:
-    """Run the monitor over every demonstration of a dataset."""
+    """Run the monitor over every demonstration of a dataset.
+
+    Scoring goes through the bulk offline engine by default (one fused
+    batch per pipeline stage per demonstration — see
+    :mod:`repro.serving.bulk`); with the default ``"reference"`` backend
+    the outputs are bit-identical to the looped ``process()``
+    (``bulk=False``), so every table/figure number is unchanged.
+    """
     pairs = []
     for demo in dataset.demonstrations:
-        output = monitor.process(demo.trajectory, use_true_gestures=use_true_gestures)
+        output = monitor.process(
+            demo.trajectory,
+            use_true_gestures=use_true_gestures,
+            bulk=bulk,
+            backend=backend if bulk else None,
+        )
         pairs.append((demo.trajectory, output))
     return pairs

@@ -50,7 +50,7 @@ def run(
         if demo.trajectory.unsafe.any():
             chosen = demo
             break
-    output = monitor.process(chosen.trajectory)
+    output = monitor.process(chosen.trajectory, bulk=True)
     timing = evaluate_timing([(chosen.trajectory, output)])
     jitter = {
         gesture: timing.mean_jitter_ms(gesture) for gesture in timing.jitter

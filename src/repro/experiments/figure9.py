@@ -62,7 +62,7 @@ def run(
         assert trajectory.unsafe is not None
         if len(np.unique(trajectory.unsafe)) < 2:
             continue
-        out_ctx = monitor.process(trajectory)
+        out_ctx = monitor.process(trajectory, bulk=True)
         fpr, tpr, _ = roc_curve(trajectory.unsafe, out_ctx.unsafe_scores)
         context.append(
             RocSummary(

@@ -113,14 +113,16 @@ def run_task(
     monitor = components.monitor()
     rows: list[Table8Row] = []
 
+    # Bulk engine, reference backend: bit-identical to the looped
+    # process(), but one fused batch per stage per demonstration.
     perfect_pairs = [
-        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=True))
+        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=True, bulk=True))
         for d in test.demonstrations
     ]
     rows.append(_aggregate("gesture-specific (perfect boundaries)", task, perfect_pairs, None))
 
     pipeline_pairs = [
-        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=False))
+        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=False, bulk=True))
         for d in test.demonstrations
     ]
     compute = float(np.mean([o.compute_ms for _, o in pipeline_pairs]))

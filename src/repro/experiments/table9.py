@@ -70,12 +70,14 @@ def run_task(
 ) -> list[Table9Row]:
     """Per-gesture breakdown of one task's pipeline run."""
     monitor = components.monitor()
+    # Bulk engine, reference backend: bit-identical to the looped
+    # process(), but one fused batch per stage per demonstration.
     perfect_pairs = [
-        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=True))
+        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=True, bulk=True))
         for d in test.demonstrations
     ]
     pipeline_pairs = [
-        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=False))
+        (d.trajectory, monitor.process(d.trajectory, use_true_gestures=False, bulk=True))
         for d in test.demonstrations
     ]
     perfect_timing = evaluate_timing(perfect_pairs)

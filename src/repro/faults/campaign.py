@@ -15,6 +15,7 @@ and the paper's per-cell injection counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from .types import (
     FaultWindow,
     GrasperAngleFault,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.pipeline import MonitorOutput, SafetyMonitor
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,9 @@ class CellResult:
     dropoff_failures: int = 0
     wrong_positions: int = 0
     never_grasped: int = 0
+    #: Injections the safety monitor flagged (any unsafe frame); stays 0
+    #: unless :func:`run_campaign` was given a ``monitor``.
+    detected: int = 0
 
     @property
     def n_errors(self) -> int:
@@ -131,6 +138,9 @@ class CampaignResult:
     cells: list[CellResult]
     #: Simulation results of every faulty trial, in injection order.
     results: list[SimulationResult] = field(default_factory=list)
+    #: Monitor outputs per injection (in injection order) when the
+    #: campaign ran with a ``monitor``; empty otherwise.
+    monitor_outputs: list[MonitorOutput] = field(default_factory=list)
 
     @property
     def total_injections(self) -> int:
@@ -147,6 +157,11 @@ class CampaignResult:
         """Total drop-off failures."""
         return sum(c.dropoff_failures for c in self.cells)
 
+    @property
+    def total_detected(self) -> int:
+        """Total injections flagged by the monitor (0 without one)."""
+        return sum(c.detected for c in self.cells)
+
 
 def run_campaign(
     grid: tuple[CampaignCell, ...] = TABLE_III_GRID,
@@ -157,6 +172,9 @@ def run_campaign(
     physics: GrasperPhysics | None = None,
     rng: int | np.random.Generator | None = 0,
     keep_results: bool = False,
+    monitor: SafetyMonitor | None = None,
+    monitor_backend: str = "reference",
+    monitor_bulk: bool = True,
 ) -> CampaignResult:
     """Execute a fault-injection campaign.
 
@@ -175,9 +193,34 @@ def run_campaign(
     keep_results:
         Retain every :class:`SimulationResult` (needed when the campaign
         output feeds dataset construction; costs memory).
+    monitor:
+        Optional trained :class:`~repro.core.pipeline.SafetyMonitor`:
+        every faulty trial's kinematics trajectory is scored inline
+        (``CellResult.detected`` counts trials with any unsafe flag;
+        per-trial outputs land in ``CampaignResult.monitor_outputs``).
+        Scoring runs through the bulk offline engine
+        (:mod:`repro.serving.bulk`) by default — one fused batch per
+        stage per trial, sharing compiled plans across the whole
+        campaign; ``monitor_bulk=False`` falls back to the looped
+        ``process()``, which produces identical detections (bit-identical
+        scores under the default ``"reference"`` backend).
     """
     if scale <= 0:
         raise ConfigurationError("scale must be positive")
+    scorer = None
+    if monitor is not None and monitor_bulk:
+        from ..serving.bulk import BulkScorer
+
+        scorer = BulkScorer(monitor, backend=monitor_backend)
+    elif monitor is not None:
+        from ..nn.backends import validate_backend_name
+
+        if validate_backend_name(monitor_backend) != "reference":
+            raise ConfigurationError(
+                "the looped campaign path always scores with the "
+                "reference float operations; compiled backends require "
+                "monitor_bulk=True"
+            )
     gen = as_generator(rng)
     workspace = workspace or Workspace()
     if base_demos is None:
@@ -196,6 +239,7 @@ def run_campaign(
     )
     cells: list[CellResult] = []
     all_results: list[SimulationResult] = []
+    monitor_outputs: list[MonitorOutput] = []
     demo_cursor = 0
     for cell in grid:
         cell_result = CellResult(cell)
@@ -207,10 +251,20 @@ def run_campaign(
             faulty = injector.inject(base, spec)
             result = simulator.run(faulty, record_video=False)
             cell_result.record(outcome_error_category(result.outcome))
+            if monitor is not None:
+                trajectory = result.kinematics_trajectory()
+                if scorer is not None:
+                    output = scorer.score(trajectory)
+                else:
+                    output = monitor.process(trajectory)
+                cell_result.detected += int(output.unsafe_flags.any())
+                monitor_outputs.append(output)
             if keep_results:
                 all_results.append(result)
         cells.append(cell_result)
-    return CampaignResult(cells=cells, results=all_results)
+    return CampaignResult(
+        cells=cells, results=all_results, monitor_outputs=monitor_outputs
+    )
 
 
 def sample_fault_spec(cell: CampaignCell, rng: np.random.Generator) -> FaultSpec:

@@ -72,6 +72,44 @@ def sliding_windows(
     return windows, end_indices
 
 
+def sliding_windows_view(
+    frames: np.ndarray, config: WindowConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-copy variant of :func:`sliding_windows`.
+
+    Returns the same ``(windows, end_indices)`` pair, but ``windows`` is
+    a **read-only strided view** over ``frames``
+    (:func:`np.lib.stride_tricks.sliding_window_view`): materialising
+    every window of an hour-long procedure costs O(1) memory instead of
+    ``window``× the trajectory size.  This is the bulk scoring engine's
+    input path (:mod:`repro.serving.bulk`) and feeds the batched
+    per-window model passes of the offline pipeline.
+
+    The view aliases ``frames``: rows overlap (each frame appears in up
+    to ``window`` windows), so it is marked non-writeable — writing
+    through it would corrupt neighbouring windows.  Consumers that need
+    ownership must copy (standardisation and advanced-indexing gathers
+    already do).  When ``frames`` is not float64 (or not an ndarray) a
+    single float conversion copy is made first; the view then aliases
+    that conversion, still with no per-window duplication.
+    """
+    frames = np.asarray(frames, dtype=float)
+    if frames.ndim != 2:
+        raise ShapeError(f"frames must be 2-D (n_frames, n_features), got {frames.shape}")
+    n = config.n_windows(frames.shape[0])
+    if n == 0:
+        empty = np.empty((0, config.window, frames.shape[1]))
+        return empty, np.empty(0, dtype=int)
+    # (n_frames - window + 1, window, n_features) view, one window per
+    # start frame; striding the first axis applies the configured hop.
+    view = np.lib.stride_tricks.sliding_window_view(
+        frames, config.window, axis=0
+    ).transpose(0, 2, 1)[:: config.stride][:n]
+    view.flags.writeable = False
+    end_indices = np.arange(n) * config.stride + config.window - 1
+    return view, end_indices
+
+
 def window_labels(
     labels: np.ndarray, config: WindowConfig, reduce: str = "last"
 ) -> np.ndarray:

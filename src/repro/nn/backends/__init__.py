@@ -14,11 +14,12 @@ from .base import (
     make_backend,
     validate_backend_name,
 )
-from .compiled import CompiledBackend
+from .compiled import BULK_MAX_BATCH, CompiledBackend
 from .reference import ReferenceBackend
 
 __all__ = [
     "BACKEND_NAMES",
+    "BULK_MAX_BATCH",
     "CompiledBackend",
     "DEFAULT_BACKEND",
     "InferenceBackend",

@@ -73,6 +73,34 @@ class InferenceBackend:
         """Hard predictions: argmax (multi-class) or 0.5 threshold."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Bulk offline scoring (repro.serving.bulk)
+    # ------------------------------------------------------------------
+    def forward_bulk(self, windows: np.ndarray) -> np.ndarray:
+        """Probabilities for an arbitrarily large batch, one fused pass.
+
+        The offline entry point: where :meth:`predict_proba` is sized
+        for the serving tick (scratch capped at ``max_batch``, oversize
+        calls chunked), ``forward_bulk`` is sized for *every window of a
+        whole recorded procedure at once* — one GEMM per Dense stage,
+        LSTM steps batched across all windows.  The base implementation
+        delegates to :meth:`predict_proba` (already a single full-batch
+        pass for the reference backend); compiled backends override it
+        to run a bulk-sized plan instead of ``max_batch`` chunks.
+
+        The same aliasing contract as :meth:`predict_proba` applies:
+        the result may reuse internal scratch and is valid until the
+        next call on this backend.
+        """
+        return self.predict_proba(windows)
+
+    def score_bulk(self, windows: np.ndarray) -> np.ndarray:
+        """Hard predictions for an arbitrarily large batch, one pass.
+
+        The :meth:`predict` counterpart of :meth:`forward_bulk`.
+        """
+        return self.predict(windows)
+
 
 def make_backend(
     name: str,

@@ -55,6 +55,13 @@ from ..model import Sequential
 from ..preprocessing import StandardScaler
 from .base import InferenceBackend
 
+#: Scratch ceiling of a bulk plan, in windows.  A whole recorded
+#: procedure is scored in slabs of at most this many windows — still one
+#: GEMM per stage per slab, but the plan's preallocated buffers stay
+#: bounded (an LSTM stage's time-projection scratch is ``(batch, window,
+#: 4*units)``; at 16384 windows that is tens of MB, not GBs).
+BULK_MAX_BATCH = 16384
+
 #: Pre-activation magnitude beyond which the in-place sigmoid clips.
 #: ``sigmoid(±60)`` already saturates to 0/1 within ~1e-26 in float64
 #: (and well past float32 resolution), so clipping only suppresses
@@ -429,6 +436,12 @@ class CompiledBackend(InferenceBackend):
             )
         self._alloc = _Alloc()
         self._ops: list[_Op] = []
+        # Source pair, kept only to compile bulk twins on demand.  Like
+        # the base plan, a twin snapshots the weights at *its* compile
+        # time; the serving/bulk engines rebuild backends when a model
+        # is retrained (model-identity check), so the two never diverge.
+        self._source = (scaler, model)
+        self._bulk: CompiledBackend | None = None
         self._compile(scaler, model)
 
     # ------------------------------------------------------------------
@@ -606,6 +619,75 @@ class CompiledBackend(InferenceBackend):
         for start in range(0, n, self.max_batch):
             chunk = x[start : start + self.max_batch]
             out[start : start + chunk.shape[0]] = self._predict_batch(
+                chunk, chunk.shape[0]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Bulk offline scoring
+    # ------------------------------------------------------------------
+    def _bulk_plan(self, n: int) -> "CompiledBackend":
+        """A twin plan sized for ``n``-window slabs (grown, cached).
+
+        The serving plan's ``max_batch`` is the session count — far too
+        small for offline scoring, where one trajectory yields thousands
+        of windows and chunking at 64 would splinter the single fused
+        GEMM per stage back into dozens.  The twin is compiled lazily at
+        the first oversize bulk call, grows geometrically (so a sweep
+        over ever-longer procedures compiles O(log n) plans, not one
+        per length) and is capped at :data:`BULK_MAX_BATCH` windows.
+        """
+        needed = min(int(n), BULK_MAX_BATCH)
+        if self._bulk is None or self._bulk.max_batch < needed:
+            capacity = max(self.max_batch, 1)
+            while capacity < needed:
+                capacity *= 2
+            scaler, model = self._source
+            self._bulk = CompiledBackend(
+                scaler,
+                model,
+                max_batch=min(capacity, BULK_MAX_BATCH),
+                dtype=self.dtype,
+            )
+        return self._bulk
+
+    def forward_bulk(self, windows: np.ndarray) -> np.ndarray:
+        """One fused pass over every window — one GEMM per stage.
+
+        Batches up to :data:`BULK_MAX_BATCH` windows run through a
+        single bulk-sized plan execution; longer procedures run in
+        ``BULK_MAX_BATCH`` slabs (still one GEMM per stage per slab).
+        Results alias the bulk plan's scratch when a single slab
+        suffices — valid until the next bulk call on this backend.
+        """
+        x = self._check(windows)
+        n = x.shape[0]
+        if n == 0 or n <= self.max_batch:
+            return self.predict_proba(x)
+        plan = self._bulk_plan(n)
+        if n <= plan.max_batch:
+            return plan._forward(x, n)
+        out = np.empty((n, *self.prob_shape), dtype=self.dtype)
+        for start in range(0, n, plan.max_batch):
+            chunk = x[start : start + plan.max_batch]
+            out[start : start + chunk.shape[0]] = plan._forward(
+                chunk, chunk.shape[0]
+            )
+        return out
+
+    def score_bulk(self, windows: np.ndarray) -> np.ndarray:
+        """Hard predictions over every window via the bulk plan."""
+        x = self._check(windows)
+        n = x.shape[0]
+        if n == 0 or n <= self.max_batch:
+            return self.predict(x)
+        plan = self._bulk_plan(n)
+        if n <= plan.max_batch:
+            return plan._predict_batch(x, n)
+        out = np.empty(n, dtype=np.int64)
+        for start in range(0, n, plan.max_batch):
+            chunk = x[start : start + plan.max_batch]
+            out[start : start + chunk.shape[0]] = plan._predict_batch(
                 chunk, chunk.shape[0]
             )
         return out

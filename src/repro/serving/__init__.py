@@ -28,6 +28,12 @@ and a production deployment monitoring many procedures at once:
 - :mod:`~repro.serving.snapshot` — :func:`monitor_to_bytes` /
   :func:`monitor_from_bytes`, the no-pickled-code monitor archive that
   bootstraps every worker process;
+- :mod:`~repro.serving.bulk` — :class:`BulkScorer` and the
+  :func:`score_procedure` / :func:`score_procedures` conveniences, the
+  *offline* workload: whole recorded procedures scored in one fused
+  batch per pipeline stage (one GEMM per Dense stage) over zero-copy
+  strided window views, bit-identical to the looped
+  ``SafetyMonitor.process`` under the reference backend;
 - :mod:`~repro.serving.synthetic` — instant, deterministic synthetic
   monitors and trajectories for parity tests and throughput benchmarks.
 
@@ -42,6 +48,7 @@ folded zero-allocation plans.  See ``docs/architecture.md``,
 
 from .async_frontend import AsyncShardedMonitor
 from .autoscaler import MonitorAutoscaler
+from .bulk import BulkScorer, score_procedure, score_procedures
 from .remote import (
     AsyncRemoteMonitorClient,
     GatewayRunner,
@@ -69,6 +76,7 @@ from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
 __all__ = [
     "AsyncRemoteMonitorClient",
     "AsyncShardedMonitor",
+    "BulkScorer",
     "GatewayRunner",
     "MonitorAutoscaler",
     "MonitorGateway",
@@ -84,6 +92,8 @@ __all__ = [
     "make_synthetic_monitor",
     "monitor_from_bytes",
     "monitor_to_bytes",
+    "score_procedure",
+    "score_procedures",
     "session_from_bytes",
     "session_to_bytes",
     "snapshot_backend",

@@ -35,6 +35,8 @@ def make_synthetic_monitor(
     threshold: float = 0.5,
     architecture: str = "conv",
     hidden: tuple[int, ...] = (8,),
+    gesture_lstm_units: tuple[int, ...] = (16,),
+    gesture_dense_units: int = 16,
 ) -> SafetyMonitor:
     """Build an untrained-but-functional monitor with seeded weights.
 
@@ -55,14 +57,19 @@ def make_synthetic_monitor(
         Error-stage model family (``"conv"`` or ``"lstm"``) and its
         hidden widths — the property suites sweep these to exercise the
         serving engine across every architecture it can host.
+    gesture_lstm_units / gesture_dense_units:
+        Gesture-stage stacked-LSTM widths and head width.  The defaults
+        stay CPU-instant for parity tests; the bulk-scoring benchmark
+        passes the paper's full-scale ``(512, 96)`` / ``64`` so the
+        measured inference cost matches a deployed monitor.
     """
     gesture_window = gesture_window or WindowConfig(5, 1)
     error_window = error_window or WindowConfig(5, 1)
     rng = np.random.default_rng(seed)
 
     gesture_config = GestureClassifierConfig(
-        lstm_units=(16,),
-        dense_units=16,
+        lstm_units=gesture_lstm_units,
+        dense_units=gesture_dense_units,
         window=gesture_window,
         dropout=0.0,
     )

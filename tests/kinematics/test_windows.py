@@ -9,6 +9,7 @@ from repro.kinematics.windows import (
     StreamingWindow,
     StreamingWindowBatch,
     sliding_windows,
+    sliding_windows_view,
     window_labels,
 )
 
@@ -37,6 +38,64 @@ class TestSlidingWindows:
     def test_rejects_1d(self):
         with pytest.raises(ShapeError):
             sliding_windows(np.arange(10.0), WindowConfig(3, 1))
+
+
+class TestSlidingWindowsView:
+    @pytest.mark.parametrize("window,stride", [(3, 1), (4, 2), (5, 3), (2, 5)])
+    def test_equals_copying_variant(self, window, stride):
+        frames = ramp_frames(17, d=3)
+        config = WindowConfig(window, stride)
+        copied, ends_copied = sliding_windows(frames, config)
+        viewed, ends_viewed = sliding_windows_view(frames, config)
+        np.testing.assert_array_equal(viewed, copied)
+        np.testing.assert_array_equal(ends_viewed, ends_copied)
+
+    def test_is_zero_copy(self):
+        frames = ramp_frames(50)
+        viewed, _ = sliding_windows_view(frames, WindowConfig(5, 1))
+        assert np.shares_memory(viewed, frames)
+        # A strided view owns no window-duplicated data: its base buffer
+        # is exactly the frames buffer, never n_windows * window rows.
+        assert viewed.base is not None
+        copied, _ = sliding_windows(frames, WindowConfig(5, 1))
+        assert not np.shares_memory(copied, frames)
+
+    def test_no_window_sized_allocation(self):
+        import tracemalloc
+
+        frames = ramp_frames(5000, d=8)  # 320 kB; windowed copy ~1.6 MB
+        config = WindowConfig(5, 1)
+        sliding_windows_view(frames, config)  # warm-up
+        tracemalloc.start()
+        windows, _ = sliding_windows_view(frames, config)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # The view allocates O(n_windows) index arrays but never the
+        # (n_windows, window, d) window data itself.
+        assert peak < windows.nbytes // 10
+
+    def test_view_is_read_only(self):
+        viewed, _ = sliding_windows_view(ramp_frames(10), WindowConfig(3, 1))
+        assert not viewed.flags.writeable
+        with pytest.raises(ValueError):
+            viewed[0, 0, 0] = 1.0
+
+    def test_non_float_input_converts_once(self):
+        frames = np.arange(20).reshape(10, 2)  # int64
+        viewed, ends = sliding_windows_view(frames, WindowConfig(3, 1))
+        copied, _ = sliding_windows(frames, WindowConfig(3, 1))
+        assert viewed.dtype == float
+        assert not np.shares_memory(viewed, frames)  # the conversion copy
+        np.testing.assert_array_equal(viewed, copied)
+
+    def test_too_short_sequence(self):
+        viewed, ends = sliding_windows_view(ramp_frames(3), WindowConfig(5, 1))
+        assert viewed.shape == (0, 5, 2)
+        assert ends.size == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            sliding_windows_view(np.arange(10.0), WindowConfig(3, 1))
 
 
 class TestWindowLabels:

@@ -276,3 +276,56 @@ class TestScratchReuse:
         assert np.array_equal(
             ref.predict(x), model.predict(scaler.transform(x))
         )
+
+
+class TestBulkMethods:
+    """forward_bulk/score_bulk: same answers, one fused plan execution."""
+
+    def test_reference_delegates_to_predict(self):
+        scaler, model = lstm_multiclass()
+        ref = ReferenceBackend(scaler, model)
+        x = np.random.default_rng(3).standard_normal((9, 6, 5))
+        assert np.array_equal(ref.forward_bulk(x), ref.predict_proba(x))
+        assert np.array_equal(ref.score_bulk(x), ref.predict(x))
+
+    @pytest.mark.parametrize("case", ["conv-same", "stacked-lstm"])
+    def test_compiled_bulk_matches_chunked(self, case):
+        """An oversize batch through the grown bulk plan equals the
+        max_batch-chunked serving path bit for bit (same float ops,
+        batch-invariant op set)."""
+        scaler, model = TestCompiledParity.CASES[case]()
+        T, F = model.layers[0].input_shape
+        comp = CompiledBackend(scaler, model, max_batch=4)
+        x = np.random.default_rng(4).standard_normal((37, T, F))
+        assert np.array_equal(comp.forward_bulk(x), comp.predict_proba(x))
+        assert np.array_equal(comp.score_bulk(x), comp.predict(x))
+
+    def test_bulk_plan_grows_geometrically_and_is_reused(self):
+        scaler, model = conv_binary()
+        comp = CompiledBackend(scaler, model, max_batch=4)
+        x = np.random.default_rng(5).standard_normal((37, 5, 7))
+        comp.forward_bulk(x)
+        plan = comp._bulk
+        assert plan is not None
+        assert plan.max_batch == 64  # 4 doubled up past 37
+        comp.score_bulk(x)  # same size: plan reused, not recompiled
+        assert comp._bulk is plan
+        comp.forward_bulk(
+            np.random.default_rng(6).standard_normal((100, 5, 7))
+        )
+        assert comp._bulk is not plan  # grown
+        assert comp._bulk.max_batch == 128
+
+    def test_small_batches_use_serving_plan(self):
+        scaler, model = conv_binary()
+        comp = CompiledBackend(scaler, model, max_batch=8)
+        x = np.random.default_rng(7).standard_normal((5, 5, 7))
+        out = comp.forward_bulk(x)
+        assert comp._bulk is None  # within max_batch: no twin compiled
+        assert np.array_equal(out, comp.predict_proba(x))
+
+    def test_empty_batch(self):
+        scaler, model = conv_binary()
+        comp = CompiledBackend(scaler, model, max_batch=4)
+        assert comp.forward_bulk(np.empty((0, 5, 7))).shape[0] == 0
+        assert comp.score_bulk(np.empty((0, 5, 7))).shape == (0,)
