@@ -135,10 +135,13 @@ def check_mermaid(path: Path) -> list[str]:
 #: section.
 DOCUMENTED_MODULES = (
     "repro.serving",
+    "repro.serving.analytics",
     "repro.serving.bulk",
+    "repro.serving.eventstore",
     "repro.serving.remote",
     "repro.serving.remote.protocol",
     "repro.serving.shm",
+    "repro.serving.telemetry",
     "repro.nn.backends",
 )
 

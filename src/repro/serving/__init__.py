@@ -34,6 +34,18 @@ and a production deployment monitoring many procedures at once:
   batch per pipeline stage (one GEMM per Dense stage) over zero-copy
   strided window views, bit-identical to the looped
   ``SafetyMonitor.process`` under the reference backend;
+- :mod:`~repro.serving.eventstore` — :class:`EventStoreWriter` /
+  :class:`EventStoreReader`, the durable observability plane: an
+  append-only, schema-versioned, segmented on-disk event log every
+  serving layer can tee its :class:`SessionEvent` stream into through
+  a non-blocking bounded ring (a full ring is a counted drop, never a
+  stalled tick), replayable bit-identically after the fact;
+- :mod:`~repro.serving.telemetry` — :class:`TelemetryRegistry`, the
+  counters/histograms registry threaded service → sharded router →
+  gateway and surfaced in the STATS wire reply;
+- :mod:`~repro.serving.analytics` — offline queries over a stored log
+  (error rates by gesture/session/shard, alert-latency percentiles,
+  fail-safe summaries) plus JSON/CSV export;
 - :mod:`~repro.serving.synthetic` — instant, deterministic synthetic
   monitors and trajectories for parity tests and throughput benchmarks.
 
@@ -49,6 +61,7 @@ folded zero-allocation plans.  See ``docs/architecture.md``,
 from .async_frontend import AsyncShardedMonitor
 from .autoscaler import MonitorAutoscaler
 from .bulk import BulkScorer, score_procedure, score_procedures
+from .eventstore import EventStoreReader, EventStoreWriter, StoredRecord
 from .remote import (
     AsyncRemoteMonitorClient,
     GatewayRunner,
@@ -72,12 +85,17 @@ from .snapshot import (
     snapshot_backend,
 )
 from .synthetic import make_random_walk_trajectory, make_synthetic_monitor
+from .telemetry import Counter, Histogram, TelemetryRegistry
 
 __all__ = [
     "AsyncRemoteMonitorClient",
     "AsyncShardedMonitor",
     "BulkScorer",
+    "Counter",
+    "EventStoreReader",
+    "EventStoreWriter",
     "GatewayRunner",
+    "Histogram",
     "MonitorAutoscaler",
     "MonitorGateway",
     "MonitorService",
@@ -88,6 +106,8 @@ __all__ = [
     "SessionResult",
     "SessionState",
     "ShardedMonitorService",
+    "StoredRecord",
+    "TelemetryRegistry",
     "make_random_walk_trajectory",
     "make_synthetic_monitor",
     "monitor_from_bytes",

@@ -1,0 +1,209 @@
+"""Fleet analytics over the durable event store.
+
+The paper's evaluation artifacts — per-gesture error rates, per-
+procedure timelines, detection-latency distributions — computed from
+*live traffic* instead of offline replays: every function here runs
+over an :class:`~repro.serving.eventstore.EventStoreReader` (the
+replayable on-disk log the serving layers tee into) and returns plain
+JSON-shaped dicts, plus CSV/JSON export helpers for downstream
+clinical systems.
+
+Conventions: one stored event per monitored frame; ``flag`` marks the
+thresholded unsafe decision, so an *error rate* is flagged/total over
+the grouping key; events with ``error`` set are fail-safe terminals
+(worker crashes, ingest failures) and are excluded from error-rate
+denominators — a monitoring outage is an availability incident, not an
+unsafe-gesture observation.  Alert latency is the stored per-event
+``latency_us`` (frame ingest → event emission), present when the
+emitting service measured it (``> 0``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .eventstore import EventStoreReader
+
+__all__ = [
+    "alert_latency_summary",
+    "error_rates_by_gesture",
+    "error_rates_by_session",
+    "error_rates_by_shard",
+    "export_events_csv",
+    "export_report_json",
+    "failsafe_summary",
+    "fleet_report",
+]
+
+#: Percentiles reported by :func:`alert_latency_summary`.
+LATENCY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _rate_table(reader: "EventStoreReader", key_fn) -> dict:
+    """``{key: {events, flagged, rate}}`` over non-terminal events."""
+    table: dict = {}
+    for record in reader.iter_records():
+        if record.kind != "event":
+            continue
+        event = record.event
+        assert event is not None
+        if event.error is not None:
+            continue
+        row = table.setdefault(key_fn(record), {"events": 0, "flagged": 0})
+        row["events"] += 1
+        row["flagged"] += int(event.flag)
+    for row in table.values():
+        row["rate"] = row["flagged"] / row["events"] if row["events"] else 0.0
+    # Keys within one table are homogeneous (all gesture ints, or all
+    # session-id strings), so a plain sort gives numeric order for
+    # gestures instead of the lexicographic "0, 1, 11, 2" trap.
+    return dict(sorted(table.items()))
+
+
+def error_rates_by_gesture(reader: "EventStoreReader") -> dict:
+    """Unsafe-flag rate per gesture label: ``{gesture: {events, flagged, rate}}``."""
+    return _rate_table(reader, lambda record: int(record.event.gesture))
+
+
+def error_rates_by_session(reader: "EventStoreReader") -> dict:
+    """Unsafe-flag rate per procedure (session id)."""
+    return _rate_table(reader, lambda record: record.event.session_id)
+
+
+def error_rates_by_shard(reader: "EventStoreReader") -> dict:
+    """Unsafe-flag rate per emitting shard (``-1`` = unsharded layer)."""
+    return _rate_table(reader, lambda record: int(record.shard))
+
+
+def alert_latency_summary(reader: "EventStoreReader") -> dict:
+    """Frame-ingest→event-emission latency distribution, exact percentiles.
+
+    Uses the raw stored samples (``latency_us > 0``) rather than the
+    telemetry registry's bucketed estimates, so offline analysis gets
+    exact p50/p90/p99.
+    """
+    samples = np.array(
+        [
+            record.event.latency_us
+            for record in reader.iter_records()
+            if record.kind == "event" and record.event.latency_us > 0.0
+        ]
+    )
+    if samples.size == 0:
+        return {"count": 0, "mean_us": 0.0} | {
+            f"p{int(q)}_us": 0.0 for q in LATENCY_PERCENTILES
+        }
+    summary = {"count": int(samples.size), "mean_us": float(samples.mean())}
+    for q in LATENCY_PERCENTILES:
+        summary[f"p{int(q)}_us"] = float(np.percentile(samples, q))
+    return summary
+
+
+def failsafe_summary(reader: "EventStoreReader") -> dict:
+    """Fail-safe/crash accounting: terminal events and affected sessions."""
+    events = 0
+    sessions: dict[str, str] = {}
+    for record in reader.iter_records():
+        if record.kind != "event":
+            continue
+        event = record.event
+        assert event is not None
+        if event.error is not None:
+            events += 1
+            sessions.setdefault(event.session_id, event.error)
+    return {
+        "events": events,
+        "sessions": len(sessions),
+        "by_session": dict(sorted(sessions.items())),
+    }
+
+
+def fleet_report(reader: "EventStoreReader") -> dict:
+    """The full aggregate report over one store, JSON-shaped.
+
+    Combines totals, per-gesture / per-session / per-shard error
+    rates, the alert-latency distribution, fail-safe counts, and the
+    recorded fleet markers (resizes) — everything a downstream system
+    needs from one campaign in one document.
+    """
+    total = flagged = 0
+    markers = []
+    for record in reader.iter_records():
+        if record.kind == "marker":
+            markers.append(record.marker)
+        elif record.event is not None and record.event.error is None:
+            total += 1
+            flagged += int(record.event.flag)
+    return {
+        "events": total,
+        "flagged": flagged,
+        "flag_rate": flagged / total if total else 0.0,
+        "sessions": len(reader.session_ids()),
+        "by_gesture": error_rates_by_gesture(reader),
+        "by_session": error_rates_by_session(reader),
+        "by_shard": error_rates_by_shard(reader),
+        "alert_latency": alert_latency_summary(reader),
+        "failsafe": failsafe_summary(reader),
+        "markers": markers,
+    }
+
+
+def export_report_json(reader: "EventStoreReader", path: str | os.PathLike) -> dict:
+    """Write :func:`fleet_report` to ``path`` as JSON; returns the report."""
+    report = fleet_report(reader)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+#: Column order of :func:`export_events_csv` rows.
+CSV_COLUMNS = (
+    "seq",
+    "shard",
+    "session_id",
+    "frame_index",
+    "gesture",
+    "score",
+    "flag",
+    "error",
+    "latency_us",
+)
+
+
+def export_events_csv(reader: "EventStoreReader", path: str | os.PathLike) -> int:
+    """Write every stored event as one CSV row; returns the row count.
+
+    ``score`` is rendered with ``repr`` (shortest round-tripping
+    float), so a CSV consumer parsing back to float64 recovers the
+    exact stored bits.
+    """
+    rows = 0
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_COLUMNS)
+        for record in reader.iter_records():
+            if record.kind != "event":
+                continue
+            event = record.event
+            assert event is not None
+            writer.writerow(
+                [
+                    record.seq,
+                    record.shard,
+                    event.session_id,
+                    event.frame_index,
+                    event.gesture,
+                    repr(event.score),
+                    int(event.flag),
+                    "" if event.error is None else event.error,
+                    repr(event.latency_us),
+                ]
+            )
+            rows += 1
+    return rows

@@ -369,6 +369,30 @@ class AsyncShardedMonitor:
                 continue
         return out
 
+    async def telemetry(self) -> dict:
+        """Fleet-wide telemetry snapshot without disturbing the tickers.
+
+        The async twin of
+        :meth:`ShardedMonitorService.telemetry_snapshot`: each live
+        shard's registry is fetched under its own pipe lock (one shard
+        at a time, like :meth:`shard_stats`), then merged with the
+        router's retired-shard baseline and incident counters.
+        """
+        from .telemetry import TelemetryRegistry
+
+        merged = TelemetryRegistry()
+        merged.merge(self._service.router_telemetry_snapshot())
+        for index in list(self._service.shard_indices):
+            try:
+                merged.merge(
+                    await self._run_on_shard(
+                        index, self._service.telemetry_of, index
+                    )
+                )
+            except WorkerError:
+                continue
+        return merged.snapshot()
+
     async def events(self) -> AsyncIterator[SessionEvent]:
         """Merged event stream across all shards.
 

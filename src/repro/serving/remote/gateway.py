@@ -56,8 +56,10 @@ import contextlib
 import itertools
 import secrets
 import threading
+import time
 from collections import deque
 from collections.abc import AsyncIterator
+from typing import TYPE_CHECKING
 
 from ...errors import ConfigurationError, ProtocolError, ReproError, WorkerError
 from ...nn.backends import DEFAULT_BACKEND, validate_backend_name
@@ -65,6 +67,7 @@ from ..async_frontend import AsyncShardedMonitor
 from ..autoscaler import MonitorAutoscaler
 from ..service import MonitorService, ServiceStats, SessionEvent
 from ..sharded import ShardedMonitorService
+from ..telemetry import TelemetryRegistry
 from ..snapshot import (
     monitor_from_bytes,
     session_from_bytes,
@@ -83,6 +86,9 @@ from .protocol import (
     encode_json,
     encode_message,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..eventstore import EventStoreWriter
 
 #: Sentinel ending an engine's event stream / a connection's writer task.
 _CLOSED = object()
@@ -215,6 +221,9 @@ class _LocalEngine:
     async def shard_stats(self) -> dict[int, ServiceStats]:
         return {0: self.service.stats}
 
+    async def telemetry(self) -> dict:
+        return await self._call(self.service.telemetry.snapshot)
+
     async def resize(self, target_k: int) -> dict:
         raise ConfigurationError(
             "the embedded single-service engine cannot resize; start the "
@@ -266,6 +275,9 @@ class _ShardedEngine:
 
     async def shard_stats(self) -> dict[int, ServiceStats]:
         return await self.frontend.shard_stats()
+
+    async def telemetry(self) -> dict:
+        return await self.frontend.telemetry()
 
     async def resize(self, target_k: int) -> dict:
         return await self.frontend.resize(target_k)
@@ -367,20 +379,23 @@ class _ParkedSession:
         self.expiry: asyncio.TimerHandle | None = None
         self.resuming = False
 
-    def absorb(self, event: SessionEvent) -> None:
+    def absorb(self, event: SessionEvent) -> bool:
         """Fold an in-flight event into the parked counters/history.
 
         Terminal crash events are dropped (the journal makes the crash
         recoverable at resume time) and so are journal-replay
         duplicates — an event is new only at ``frame_index ==
         delivered``, events arriving one per frame in frame order.
+        Returns whether the event was accepted (the caller tees
+        accepted events into the durable log exactly once).
         """
         if event.error is not None or event.frame_index < self.delivered:
-            return
+            return False
         self.delivered += 1
         if event.flag:
             self.flagged += 1
         self.history.append(event)
+        return True
 
 
 class _Connection:
@@ -478,6 +493,18 @@ class MonitorGateway:
         events kept for replaying what a vanished client never read.
         The default ``0.0`` keeps the fail-safe-on-disconnect contract.
         See ``docs/remote.md`` ("Session resume").
+    event_store:
+        Optional :class:`~repro.serving.eventstore.EventStoreWriter`
+        the gateway tees its client-visible event stream into: every
+        delivered event, every event absorbed into a parked session's
+        replay history, every terminal fail-safe event, plus a marker
+        per applied resize.  The tee happens at the gateway (the engine
+        is built *without* a store), so the on-disk log replays the
+        exact exactly-once stream clients saw — duplicates filtered,
+        crash regenerations deduplicated.  The caller owns the writer's
+        lifecycle (``close()`` it after ``stop()``); a full ring is a
+        counted drop in the writer's stats, never a stalled gateway.
+        See ``docs/observability.md``.
 
     Lifecycle: ``await start()`` → serve → ``await stop()`` (or use as
     an async context manager).  :meth:`serve_in_thread` bridges the
@@ -504,6 +531,7 @@ class MonitorGateway:
         autoscale_max_shards: int = 8,
         resume_grace_s: float = 0.0,
         event_replay_max: int = 4096,
+        event_store: "EventStoreWriter | None" = None,
     ) -> None:
         if (monitor is None) == (monitor_bytes is None):
             raise ConfigurationError("pass exactly one of monitor / monitor_bytes")
@@ -557,6 +585,7 @@ class MonitorGateway:
             raise ConfigurationError("event_replay_max must be >= 1")
         self.resume_grace_s = float(resume_grace_s)
         self.event_replay_max = int(event_replay_max)
+        self.event_store = event_store
         #: Sessions parked for the resume grace window, by session id.
         self._parked: dict[str, _ParkedSession] = {}
         self._autoscaler: MonitorAutoscaler | None = None
@@ -576,6 +605,9 @@ class MonitorGateway:
         self._sessions: dict[str, _RemoteSession] = {}
         self._started = False
         self._stopped = False
+        #: Monotonic construction instant backing :attr:`uptime_s` —
+        #: lifetime counters in gateway_stats() are rates against this.
+        self._started_at = time.monotonic()
 
         #: Terminal fail-safe events recorded at the gateway: client
         #: disconnects, idle timeouts, queue overflows, shard crashes,
@@ -1510,8 +1542,11 @@ class MonitorGateway:
             parked = self._parked.get(event.session_id)
             if parked is not None:
                 # In flight when its client vanished: fold into the
-                # parked history so a resume replays it.
-                parked.absorb(event)
+                # parked history so a resume replays it.  Accepted
+                # events will reach the client at resume time, so they
+                # belong in the durable log now.
+                if parked.absorb(event):
+                    self._log_event(event)
                 return
             self._events_dropped += 1
             return
@@ -1534,6 +1569,11 @@ class MonitorGateway:
             session.flagged += 1
         if session.history is not None:
             session.history.append(event)
+        if event.error is None:
+            # Past the duplicate filter: this event is part of the
+            # client-visible stream exactly once.  Terminal events tee
+            # in _record_failsafe below instead (one tee per event).
+            self._log_event(event)
         conn = session.conn
         if not conn.closed:
             self._enqueue_or_overflow(
@@ -1593,6 +1633,12 @@ class MonitorGateway:
     def _record_failsafe(self, event: SessionEvent) -> None:
         self.failsafe_events.append(event)
         self.failed_sessions[event.session_id] = event.error or "unknown"
+        self._log_event(event)
+
+    def _log_event(self, event: SessionEvent) -> None:
+        """Tee one client-visible event into the durable log, if any."""
+        if self.event_store is not None:
+            self.event_store.append(event)
 
     def _unregister(self, session_id: str) -> None:
         session = self._sessions.pop(session_id, None)
@@ -1602,6 +1648,16 @@ class MonitorGateway:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        """Monotonic seconds since this gateway was constructed.
+
+        Never resets — resizes, autoscaler actions and reconnect storms
+        leave it (and the cumulative event counters it contextualises)
+        strictly increasing.
+        """
+        return time.monotonic() - self._started_at
+
     @property
     def n_open_sessions(self) -> int:
         """Number of wire-opened sessions currently live."""
@@ -1633,6 +1689,8 @@ class MonitorGateway:
         """Record an applied resize (manual or autoscaler-triggered)."""
         self.resize_events.append(event)
         self.n_shards = int(event.get("to", self.n_shards))
+        if self.event_store is not None:
+            self.event_store.append_marker("resize", dict(event))
 
     async def shard_stats(self) -> dict[int, ServiceStats]:
         """The embedded engine's per-shard :class:`ServiceStats`.
@@ -1659,10 +1717,38 @@ class MonitorGateway:
         """
         shard_stats = await self._engine.shard_stats() if self._engine else {}
         depths = [c.queue.qsize() for c in self._connections.values()]
+        # Fold the engine registries (per-shard, resize-proof) together
+        # with the gateway's own lifetime counters into one snapshot —
+        # the fleet telemetry plane as one JSON document.
+        registry = TelemetryRegistry()
+        if self._engine is not None:
+            registry.merge(await self._engine.telemetry())
+        registry.counter("gateway_events_sent").inc(self._events_sent)
+        registry.counter("gateway_events_failsafe").inc(
+            len(self.failsafe_events)
+        )
+        registry.counter("gateway_frames_received").inc(self._frames_received)
+        store_stats = (
+            self.event_store.stats() if self.event_store is not None else None
+        )
         return {
             "protocol_version": PROTOCOL_VERSION,
             "n_shards": self.n_shards,
             "backend": self.backend,
+            "uptime_s": self.uptime_s,
+            # Cumulative event accounting: emitted to clients, recorded
+            # fail-safe, and dropped by the durable log's bounded ring
+            # (0 without a store — the tee never blocks, only counts).
+            "events": {
+                "emitted": self._events_sent,
+                "failsafe": len(self.failsafe_events),
+                "dropped": self._events_dropped,
+                "dropped_log": (
+                    store_stats["dropped"] if store_stats is not None else 0
+                ),
+            },
+            "store": store_stats,
+            "telemetry": registry.snapshot(),
             # Resize history (manual and autoscaler): how clients learn
             # the fleet changed shape underneath their sessions — and
             # that nothing happened to those sessions.

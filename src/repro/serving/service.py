@@ -43,9 +43,11 @@ from ..nn.backends import (
     make_backend,
     validate_backend_name,
 )
+from .telemetry import TelemetryRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> serving)
     from ..core.pipeline import SafetyMonitor
+    from .eventstore import EventStoreWriter
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,13 @@ class SessionEvent:
     worker crash; such events carry ``flag=True`` — a failed monitor is
     reported unsafe, never silently safe (fail-safe contract, see
     ``docs/serving.md``).
+
+    ``latency_us`` is observability metadata — frame ingest (``feed``)
+    to event emission, in microseconds, ``0.0`` when the emitting layer
+    did not measure it — and is deliberately **excluded from equality**
+    (``compare=False``): two runs of the same frames are bit-identical
+    on every monitored field regardless of wall-clock, which is what
+    the parity and chaos suites assert.
     """
 
     session_id: str
@@ -70,6 +79,7 @@ class SessionEvent:
     score: float
     flag: bool
     error: str | None = None
+    latency_us: float = field(default=0.0, compare=False, repr=False)
 
 
 @dataclass
@@ -142,22 +152,33 @@ class ServiceStats:
     preallocated ring ndarray, so :meth:`record` is one scalar store and
     the reductions (:meth:`percentile_ms`, :meth:`mean_ms`) slice the
     ring in place instead of re-materialising the history per query.
-    ``n_ticks`` and ``frames_processed`` count the full service
-    lifetime, past the retained window.
+    ``n_ticks``, ``frames_processed`` and ``events_emitted`` count the
+    full service lifetime, past the retained window, and
+    :attr:`uptime_s` is monotonic wall-clock since construction —
+    rebased (not reset) when the stats object crosses a worker pipe.
     """
 
     capacity: int = TICK_HISTORY
     n_ticks: int = 0
     frames_processed: int = 0
+    events_emitted: int = 0
     _ring: np.ndarray = field(init=False, repr=False, compare=False)
     _cursor: int = field(default=0, init=False, repr=False)
     _filled: int = field(default=0, init=False, repr=False)
+    _started: float = field(
+        default_factory=time.monotonic, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ConfigurationError("stats capacity must be >= 1")
         self.capacity = int(self.capacity)
         self._ring = np.zeros(self.capacity)
+
+    @property
+    def uptime_s(self) -> float:
+        """Monotonic seconds since this stats object started counting."""
+        return time.monotonic() - self._started
 
     def record(self, tick_ms: float, n_frames: int) -> None:
         """Account one executed tick."""
@@ -167,6 +188,7 @@ class ServiceStats:
             self._filled += 1
         self.n_ticks += 1
         self.frames_processed += n_frames
+        self.events_emitted += n_frames
 
     @property
     def tick_ms(self) -> np.ndarray:
@@ -209,6 +231,8 @@ class ServiceStats:
             "capacity": self.capacity,
             "n_ticks": self.n_ticks,
             "frames_processed": self.frames_processed,
+            "events_emitted": self.events_emitted,
+            "uptime_s": self.uptime_s,
             "tick_ms": self.tick_ms,
         }
 
@@ -216,6 +240,10 @@ class ServiceStats:
         self.capacity = state["capacity"]
         self.n_ticks = state["n_ticks"]
         self.frames_processed = state["frames_processed"]
+        self.events_emitted = state.get("events_emitted", 0)
+        # Rebase the start so uptime keeps advancing on the receiving
+        # side of a pipe instead of restarting from zero.
+        self._started = time.monotonic() - state.get("uptime_s", 0.0)
         self._ring = np.zeros(self.capacity)
         self._cursor = 0
         self._filled = 0
@@ -241,6 +269,8 @@ class _Session:
         "id",
         "slot",
         "pending",
+        "feed_ts",
+        "last_feed_ts",
         "offset",
         "frames_done",
         "record_timeline",
@@ -252,6 +282,12 @@ class _Session:
         self.id = session_id
         self.slot = slot
         self.pending: deque[np.ndarray] = deque()
+        # One ingest timestamp per pending chunk (monotonic, taken at
+        # feed()); pop_frame_into latches the head chunk's timestamp so
+        # the tick loop can report frame-ingest→event-emission latency
+        # with one perf_counter call per tick, not per frame.
+        self.feed_ts: deque[float] = deque()
+        self.last_feed_ts = 0.0
         self.offset = 0  # row cursor into the head chunk
         self.frames_done = 0
         self.record_timeline = record_timeline
@@ -273,10 +309,12 @@ class _Session:
         scratch with one row copy per advanced session.
         """
         head = self.pending[0]
+        self.last_feed_ts = self.feed_ts[0]
         out[...] = head[self.offset]
         self.offset += 1
         if self.offset >= head.shape[0]:
             self.pending.popleft()
+            self.feed_ts.popleft()
             self.offset = 0
 
 
@@ -298,6 +336,12 @@ class MonitorService:
         reference) or ``"compiled-f32"`` (additionally float32
         execution).  One backend instance is built per trained model at
         construction, with scratch sized to ``max_sessions``.
+    event_store:
+        Optional :class:`~repro.serving.eventstore.EventStoreWriter`
+        every tick tees its events into (fire-and-forget: the writer's
+        bounded ring absorbs or drop-counts, never blocks the tick).
+        Leave ``None`` when a higher layer — sharded router or gateway
+        — owns the tee, so each event is persisted exactly once.
 
     Lifecycle
     ---------
@@ -314,6 +358,7 @@ class MonitorService:
         monitor: "SafetyMonitor",
         max_sessions: int = 64,
         backend: str = DEFAULT_BACKEND,
+        event_store: "EventStoreWriter | None" = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError("max_sessions must be >= 1")
@@ -321,6 +366,8 @@ class MonitorService:
         self.max_sessions = int(max_sessions)
         self.backend = validate_backend_name(backend)
         self.stats = ServiceStats()
+        self.event_store = event_store
+        self.telemetry = TelemetryRegistry()
         self._sessions: dict[str, _Session] = {}
         self._free_slots: list[int] = list(range(max_sessions - 1, -1, -1))
         self._next_id = 0
@@ -518,6 +565,7 @@ class MonitorService:
                 f"got frames with {frames.shape[1]}"
             )
         session.pending.append(frames)
+        session.feed_ts.append(time.perf_counter())
 
     def close_session(self, session_id: str) -> SessionResult:
         """Free the session's slot and return its full timeline.
@@ -650,6 +698,10 @@ class MonitorService:
         pending = np.asarray(state.pending, dtype=float)
         if pending.shape[0]:
             session.pending.append(pending)
+            # Migrated frames are re-stamped at import: latency counts
+            # time in *this* service, not transit (states don't carry
+            # cross-process monotonic clocks).
+            session.feed_ts.append(time.perf_counter())
         self._sessions[state.session_id] = session
         self._current_gesture[slot] = int(state.current_gesture)
         self._current_score[slot] = float(state.current_score)
@@ -733,23 +785,39 @@ class MonitorService:
 
         threshold = self.monitor.threshold
         events = []
+        now = time.perf_counter()
+        n_flagged = 0
+        latency_hist = self.telemetry.histogram("alert_latency_us")
         for session in active:
             gesture = int(self._current_gesture[session.slot])
             score = float(self._current_score[session.slot])
             if session.record_timeline:
                 session.gestures.append(gesture)
                 session.scores.append(score)
+            flag = score >= threshold
+            n_flagged += flag
+            latency_us = (
+                (now - session.last_feed_ts) * 1e6 if session.last_feed_ts else 0.0
+            )
+            if latency_us > 0.0:
+                latency_hist.observe(latency_us)
             events.append(
                 SessionEvent(
                     session_id=session.id,
                     frame_index=session.frames_done,
                     gesture=gesture,
                     score=score,
-                    flag=score >= threshold,
+                    flag=flag,
+                    latency_us=latency_us,
                 )
             )
             session.frames_done += 1
         self.stats.record(1000.0 * (time.perf_counter() - start), len(active))
+        self.telemetry.counter("events_emitted").inc(len(events))
+        if n_flagged:
+            self.telemetry.counter("events_flagged").inc(int(n_flagged))
+        if self.event_store is not None:
+            self.event_store.append_batch(events)
         return events
 
     def drain(self, collect: bool = True) -> list[SessionEvent]:

@@ -58,7 +58,9 @@ import logging
 import math
 import multiprocessing as mp
 import threading
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -66,6 +68,10 @@ from ..core.pipeline import SafetyMonitor
 from ..errors import ConfigurationError, DatasetError, ShapeError, WorkerError
 from ..nn.backends import DEFAULT_BACKEND, validate_backend_name
 from .service import ServiceStats, SessionEvent, SessionResult
+from .telemetry import TelemetryRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .eventstore import EventStoreWriter
 from .shm import (
     DEFAULT_EVENT_RING_BYTES,
     DEFAULT_FRAME_RING_BYTES,
@@ -353,6 +359,15 @@ class ShardedMonitorService:
         :data:`~repro.serving.shm.DEFAULT_FRAME_RING_BYTES`.  Sizing
         bounds the un-ingested backlog a shard will buffer before
         ``feed()`` blocks.
+    event_store:
+        Optional :class:`~repro.serving.eventstore.EventStoreWriter`
+        the router tees every delivered event into — live tick/drain
+        events (tagged with their shard index), fail-safe crash and
+        ingest-failure terminals, and a ``"resize"`` marker per
+        :meth:`resize` — each exactly once, at the point it enters the
+        merged stream.  Leave ``None`` when a gateway in front owns
+        the tee.  Note ``drain(collect=False)`` discards live events
+        inside the workers, so nothing reaches the tee for them.
 
     The façade mirrors the :class:`MonitorService` lifecycle —
     ``open_session`` / ``feed`` / ``tick`` / ``drain`` /
@@ -379,6 +394,7 @@ class ShardedMonitorService:
         data_plane: str = "shm",
         frame_ring_bytes: int = DEFAULT_FRAME_RING_BYTES,
         event_ring_bytes: int = DEFAULT_EVENT_RING_BYTES,
+        event_store: "EventStoreWriter | None" = None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("n_shards must be >= 1")
@@ -428,6 +444,17 @@ class ShardedMonitorService:
         self._shards: dict[int, _ShardHandle] = {}
         self._sessions: dict[str, _SessionRecord] = {}
         self.failed_sessions: dict[str, str] = {}
+        self.event_store = event_store
+        #: Router-side instruments: cumulative event accounting that no
+        #: resize or crash can reset (the per-shard ServiceStats die
+        #: with their workers; these live with the router).
+        self.telemetry = TelemetryRegistry()
+        #: Counter/latency baseline folded in from retired shards
+        #: (graceful ``remove_shard``), so :meth:`stats` is monotonic
+        #: across resizes instead of forgetting retired workers.
+        self._retired_stats = ServiceStats()
+        self._retired_telemetry = TelemetryRegistry()
+        self._started = time.monotonic()
         self._undelivered: list[tuple[int, SessionEvent]] = []
         self._order = itertools.count()
         self._next_id = 0
@@ -512,6 +539,15 @@ class ShardedMonitorService:
                             error=reason,
                         ),
                     )
+                )
+        if out:
+            # Fail-safe terminals are accounted (and persisted) at
+            # creation, not at delivery — the _undelivered queue may
+            # deliver them later, but they must never tee twice.
+            self.telemetry.counter("failsafe_events").inc(len(out))
+            if self.event_store is not None:
+                self.event_store.append_batch(
+                    [event for _, event in out], shard=handle.index
                 )
         try:
             handle.conn.close()
@@ -632,19 +668,18 @@ class ShardedMonitorService:
                 if session_id in self._sessions:
                     limbo = self._sessions.pop(session_id)
                     self.failed_sessions[session_id] = reason
-                    self._undelivered.append(
-                        (
-                            limbo.order,
-                            SessionEvent(
-                                session_id=session_id,
-                                frame_index=limbo.events_seen,
-                                gesture=0,
-                                score=0.0,
-                                flag=True,
-                                error=reason,
-                            ),
-                        )
+                    limbo_event = SessionEvent(
+                        session_id=session_id,
+                        frame_index=limbo.events_seen,
+                        gesture=0,
+                        score=0.0,
+                        flag=True,
+                        error=reason,
                     )
+                    self._undelivered.append((limbo.order, limbo_event))
+                    self.telemetry.counter("failsafe_events").inc()
+                    if self.event_store is not None:
+                        self.event_store.append(limbo_event, shard=target_index)
             raise WorkerError(
                 f"session {session_id!r} lost mid-migration: {exc}"
             ) from exc
@@ -708,9 +743,33 @@ class ShardedMonitorService:
                 else:
                     moved[session_id] = target
             if handle.alive:
+                self._retire_shard_counters(handle)
                 handle.stop()
         del self._shards[index]
         return moved
+
+    def _retire_shard_counters(self, handle: _ShardHandle) -> None:
+        """Fold a retiring shard's lifetime counters into the baseline.
+
+        Without this, every graceful scale-down silently *shrank* the
+        aggregate :meth:`stats` and telemetry — the retired worker's
+        ``n_ticks``/``frames_processed``/``events_emitted`` vanished
+        with its pipe.  Fetched best-effort: a shard that dies during
+        its own retirement interview simply contributes nothing.
+        """
+        try:
+            final = self.stats_of(handle.index)
+        except WorkerError:
+            return
+        base = self._retired_stats
+        base.n_ticks += final.n_ticks
+        base.frames_processed += final.frames_processed
+        base.events_emitted += final.events_emitted
+        base.extend_ms(final.tick_ms)
+        try:
+            self._retired_telemetry.merge(self.telemetry_of(handle.index))
+        except WorkerError:
+            return
 
     def add_shard(self) -> int:
         """Spawn one new worker and rebalance the minimal hash slice.
@@ -780,13 +839,17 @@ class ShardedMonitorService:
                 for s, r in self._sessions.items()
                 if placement.get(s, r.shard) != r.shard
             )
-        return {
+        summary = {
             "from": before,
             "to": self.n_shards,
             "added": added,
             "removed": removed,
             "migrated": migrated,
         }
+        self.telemetry.counter("resizes").inc()
+        if self.event_store is not None:
+            self.event_store.append_marker("resize", summary)
+        return summary
 
     def close(self) -> None:
         """Stop every worker process (graceful ``stop``, then terminate).
@@ -1287,14 +1350,78 @@ class ShardedMonitorService:
 
         Shards tick concurrently, so summed ``n_ticks`` counts worker
         ticks, not wall-clock rounds; percentiles describe the per-shard
-        tick latency distribution.
+        tick latency distribution.  Counters include every shard this
+        fleet ever retired (see :meth:`_retire_shard_counters`), so the
+        aggregate is monotonic across resizes, and ``uptime_s`` is the
+        fleet's own lifetime, not the youngest worker's.
         """
         merged = ServiceStats()
+        merged.n_ticks = self._retired_stats.n_ticks
+        merged.frames_processed = self._retired_stats.frames_processed
+        merged.events_emitted = self._retired_stats.events_emitted
+        merged.extend_ms(self._retired_stats.tick_ms)
+        merged._started = self._started
         for stats in self.shard_stats().values():
             merged.n_ticks += stats.n_ticks
             merged.frames_processed += stats.frames_processed
+            merged.events_emitted += stats.events_emitted
             merged.extend_ms(stats.tick_ms)
         return merged
+
+    @property
+    def uptime_s(self) -> float:
+        """Monotonic seconds since this fleet was constructed."""
+        return time.monotonic() - self._started
+
+    def telemetry_of(self, index: int) -> dict:
+        """One live shard's telemetry snapshot (one IPC exchange).
+
+        The per-shard primitive behind :meth:`telemetry_snapshot`, split
+        out like :meth:`stats_of` so lock-per-shard callers (the asyncio
+        front-end, the gateway) can poll one worker at a time.
+        """
+        handle = self._shards.get(index)
+        if handle is None or not handle.alive:
+            raise WorkerError(f"shard {index} is not live")
+        try:
+            reply = handle.request(Request("telemetry"), self.request_timeout_s)
+            raise_remote(reply)
+        except WorkerError as exc:
+            self._queue_crash(handle, str(exc))
+            raise
+        return reply.value
+
+    def router_telemetry_snapshot(self) -> dict:
+        """The no-IPC half of :meth:`telemetry_snapshot`.
+
+        Retired shards' registries plus the router's own incident
+        counters — everything that does not require talking to a
+        worker, split out so lock-per-shard callers (the asyncio
+        front-end) can combine it with per-shard polls.
+        """
+        merged = TelemetryRegistry()
+        merged.merge(self._retired_telemetry.snapshot())
+        merged.merge(self.telemetry.snapshot())
+        return merged.snapshot()
+
+    def telemetry_snapshot(self) -> dict:
+        """Fleet-wide telemetry: every live shard + retired + router.
+
+        Merges each worker's registry (event counts, alert-latency
+        histograms), the registries of shards retired by resizes, and
+        the router's own incident counters (``failsafe_events``,
+        ``events_delivered``, ``resizes``) into one
+        :meth:`~repro.serving.telemetry.TelemetryRegistry.snapshot`
+        dict.  Cumulative across resizes by construction.
+        """
+        merged = TelemetryRegistry()
+        merged.merge(self.router_telemetry_snapshot())
+        for handle in self._live_shards():
+            try:
+                merged.merge(self.telemetry_of(handle.index))
+            except WorkerError:
+                continue  # crash queued by telemetry_of; skip the dead shard
+        return merged.snapshot()
 
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
@@ -1316,13 +1443,20 @@ class ShardedMonitorService:
         self, events: list[SessionEvent]
     ) -> list[tuple[int, SessionEvent]]:
         pairs = []
+        store = self.event_store
         for event in events:
             record = self._sessions.get(event.session_id)
             if record is None:  # closed concurrently; still deliver
                 pairs.append((-1, event))
+                if store is not None:
+                    store.append(event, shard=-1)
                 continue
             record.events_seen += 1
             pairs.append((record.order, event))
+            if store is not None:
+                store.append(event, shard=record.shard)
+        if events:
+            self.telemetry.counter("events_delivered").inc(len(events))
         return pairs
 
     def _queue_crash(self, handle: _ShardHandle, reason: str) -> None:
@@ -1384,6 +1518,7 @@ class ShardedMonitorService:
                     gesture=int(row["gesture"]),
                     score=float(row["score"]),
                     flag=bool(int(row["flags"]) & 1),
+                    latency_us=float(row["latency_us"]),
                 )
             )
         return events
@@ -1416,17 +1551,18 @@ class ShardedMonitorService:
                     if record is None:
                         continue
                     self.failed_sessions[session_id] = reason
-                    pairs.append(
-                        (
-                            record.order,
-                            SessionEvent(
-                                session_id=session_id,
-                                frame_index=record.events_seen,
-                                gesture=0,
-                                score=0.0,
-                                flag=True,
-                                error=reason,
-                            ),
-                        )
+                    failure_event = SessionEvent(
+                        session_id=session_id,
+                        frame_index=record.events_seen,
+                        gesture=0,
+                        score=0.0,
+                        flag=True,
+                        error=reason,
                     )
+                    pairs.append((record.order, failure_event))
+                    self.telemetry.counter("failsafe_events").inc()
+                    if self.event_store is not None:
+                        self.event_store.append(
+                            failure_event, shard=handle.index
+                        )
         return pairs

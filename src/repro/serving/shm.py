@@ -79,6 +79,8 @@ REC_EVENTS = 2
 #: on the event ring.  ``route`` is the router-assigned integer session
 #: route id; ``flags`` bit 0 is the unsafe flag.  ``score`` is the raw
 #: float64, so events round-trip bit-exactly (the parity contract).
+#: ``latency_us`` is the worker-measured frame-ingest→event-emission
+#: latency (observability metadata, excluded from event equality).
 EVENT_DTYPE = np.dtype(
     [
         ("route", "<u8"),
@@ -86,6 +88,7 @@ EVENT_DTYPE = np.dtype(
         ("gesture", "<i8"),
         ("score", "<f8"),
         ("flags", "<u8"),
+        ("latency_us", "<f8"),
     ]
 )
 

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.errors import ProtocolError, ReproError, WorkerError
 from repro.serving import (
+    EventStoreReader,
+    EventStoreWriter,
     MonitorGateway,
     MonitorService,
     RemoteMonitorClient,
@@ -54,6 +56,13 @@ class ChaosConfig:
     resume_grace_s: float = 120.0
     resize_range: tuple[int, int] = (2, 5)
     final_drain_timeout_s: float = 180.0
+    #: Directory for a durable event log the gateway tees into
+    #: (:class:`~repro.serving.EventStoreWriter`), or ``None`` to run
+    #: without one.  With a store the campaign additionally asserts the
+    #: on-disk log replays **bit-identical** to the per-session event
+    #: streams the clients collected, and that every applied resize
+    #: left a marker.
+    event_store_dir: str | os.PathLike | None = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ChaosConfig":
@@ -84,6 +93,12 @@ class ChaosReport:
     mismatches: dict = dataclasses.field(default_factory=dict)
     failed_sessions: dict = dataclasses.field(default_factory=dict)
     gateway_stats: dict = dataclasses.field(default_factory=dict)
+    #: Per-session divergence between the on-disk log's replay and the
+    #: client-collected stream (populated only with a store attached).
+    store_mismatches: dict = dataclasses.field(default_factory=dict)
+    #: ``resize`` markers found in the log vs resizes applied.
+    store_resize_markers: int = 0
+    store_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def total_injections(self) -> int:
@@ -333,6 +348,9 @@ class ChaosCampaign:
         }
         self.reference = reference_streams(self.monitor, trajectories)
 
+        store = None
+        if config.event_store_dir is not None:
+            store = EventStoreWriter(config.event_store_dir, fsync="never")
         gateway = MonitorGateway(
             self.monitor,
             n_shards=config.n_shards,
@@ -342,6 +360,7 @@ class ChaosCampaign:
             heartbeat_interval_s=5.0,
             idle_timeout_s=300.0,
             send_queue_max=8192,
+            event_store=store,
         )
         with gateway.serve_in_thread() as runner:
             for i, (sid, frames) in enumerate(trajectories.items()):
@@ -364,7 +383,35 @@ class ChaosCampaign:
             self._reconcile(runner)
             self.report.gateway_stats = runner.stats()
             self.report.failed_sessions = dict(gateway.failed_sessions)
+        if store is not None:
+            store.close()
+            self.report.store_stats = store.stats()
+            self._check_store_parity(config.event_store_dir)
         return self.report
+
+    def _check_store_parity(self, root):
+        """Diff the durable log's replay against what clients saw.
+
+        The tee sits past the gateway's duplicate filter, so the log is
+        the exactly-once client-visible stream: per session, replaying
+        it must be bit-identical (same key tuple per event, same order)
+        to the events the campaign collected off the wire — across any
+        number of disconnects, crash recoveries and migrations.
+        """
+        reader = EventStoreReader(root)
+        logged: dict[str, list] = {sid: [] for sid in self.sessions}
+        for event in reader.replay():
+            logged.setdefault(event.session_id, []).append(event)
+        for sid, session in self.sessions.items():
+            got = [event_key(e) for e in logged.get(sid, [])]
+            want = [event_key(e) for e in session.events]
+            if got != want:
+                self.report.store_mismatches[sid] = _first_divergence(
+                    got, want
+                )
+        self.report.store_resize_markers = sum(
+            1 for m in reader.iter_markers() if m.get("type") == "resize"
+        )
 
     def _step(self, runner):
         """One weighted-random action.  Feeding dominates so injections

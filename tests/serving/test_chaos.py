@@ -39,23 +39,48 @@ def _assert_clean(report):
     resume = report.gateway_stats["resume"]
     assert resume["expired_total"] == 0, f"{context} resume={resume}"
     assert resume["parked"] == 0, f"{context} resume={resume}"
+    if report.config.event_store_dir is not None:
+        _assert_store_parity(report, context)
 
 
-def test_chaos_campaign_smoke(monitor):
+def _assert_store_parity(report, context):
+    """The durable-log half of the gate: the on-disk event log replays
+    bit-identical to what clients saw, nothing was dropped by the
+    writer's bounded ring, and every applied resize left a marker."""
+    assert not report.store_mismatches, (
+        f"{context} store diverged={report.store_mismatches}"
+    )
+    assert report.store_stats.get("dropped", -1) == 0, (
+        f"{context} store={report.store_stats}"
+    )
+    assert report.store_resize_markers == report.injections["resize"], (
+        f"{context} markers={report.store_resize_markers} "
+        f"store={report.store_stats}"
+    )
+
+
+def test_chaos_campaign_smoke(monitor, tmp_path):
     """A small fast campaign — the harness itself must hold up before
     the full gate is worth running."""
     report = run_campaign(
         monitor,
-        ChaosConfig(seed=11, n_sessions=8, n_injections=25, n_clients=3),
+        ChaosConfig(
+            seed=11,
+            n_sessions=8,
+            n_injections=25,
+            n_clients=3,
+            event_store_dir=tmp_path / "log",
+        ),
     )
     _assert_clean(report)
     assert report.injections["disconnect"] > 0, report.describe()
 
 
-def test_chaos_campaign_full(monitor):
+def test_chaos_campaign_full(monitor, tmp_path):
     """The acceptance gate: >= 200 random injections under 64-session
-    load, zero lost frames, bit-identical event streams."""
-    config = ChaosConfig.from_env()
+    load, zero lost frames, bit-identical event streams — on the wire
+    and replayed from the durable on-disk log alike."""
+    config = ChaosConfig.from_env(event_store_dir=tmp_path / "log")
     print(f"chaos campaign: seed={config.seed} "
           f"sessions={config.n_sessions} injections={config.n_injections}")
     report = run_campaign(monitor, config)
