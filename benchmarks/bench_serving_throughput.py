@@ -32,6 +32,16 @@ and ``cpu_affinity`` and carries ``degraded: true`` whenever fewer
 cores than shards were available — and ``--check-sharded`` refuses
 outright (exits non-zero) below 4 cores rather than silently passing.
 
+``--balance-only`` runs the load-aware rebalancing scenario: 64
+sessions whose ids are mined to pile ~5/8 of the fleet onto one of four
+shards, ticked until the hot shard's p99 shows the skew, then rebalanced
+live by the balancer policy (:func:`~repro.serving.plan_sheds` +
+:meth:`~repro.serving.ShardedMonitorService.shed`) and drained.
+``--check-balance`` gates the tentpole contract — post-balance max-shard
+p99 within 1.5x the fleet median, zero fail-safe closures, event
+streams bit-identical to an unbalanced single-service run — and, like
+``--check-sharded``, REFUSES below 4 visible cores.
+
 Every run also writes a machine-readable ``BENCH_serving.json``
 (``--json`` overrides the path) so the perf trajectory is tracked
 across PRs; CI uploads it as an artifact.
@@ -56,6 +66,7 @@ from repro.serving import (
     make_random_walk_trajectory,
     make_synthetic_monitor,
     monitor_to_bytes,
+    plan_sheds,
 )
 
 N_FEATURES = 38
@@ -214,6 +225,251 @@ def benchmark_resize(
         "failsafe_closures": failsafe_closures,
         "fps": total_frames / elapsed,
     }
+
+
+def _mine_skewed_ids(service, quotas: dict[int, int]) -> list[str]:
+    """Session ids whose consistent-hash placement fills ``quotas``.
+
+    ``resolve_placement`` is a pure ring lookup (no worker round trip),
+    so piling a deliberate hot spot onto one shard is just rejection
+    sampling over candidate ids.
+    """
+    remaining = dict(quotas)
+    ids: list[str] = []
+    candidate = 0
+    while any(v > 0 for v in remaining.values()):
+        sid = f"balance-{candidate:05d}"
+        candidate += 1
+        _, shard = service.resolve_placement(sid)
+        if remaining.get(shard, 0) > 0:
+            remaining[shard] -= 1
+            ids.append(sid)
+    return ids
+
+
+def benchmark_balance(
+    monitor, monitor_bytes: bytes, n_sessions: int, n_frames: int
+) -> dict:
+    """Skewed load rebalanced live: the ``--check-balance`` scenario.
+
+    Opens ``n_sessions`` sessions on a 4-shard fleet with ids *mined* so
+    ~5/8 of them hash onto one shard, ticks a quarter of the stream to
+    let the hot shard's p99 build up, then runs the balancer policy
+    (:func:`~repro.serving.plan_sheds`) to convergence — shedding
+    sessions off the hot shard through the live-migration path — and
+    drains the rest.  The gate is the tentpole's promise: after
+    balancing, the max-shard p99 (measured over post-balance ticks only)
+    sits within 1.5x the fleet median, nothing failed safe, and every
+    per-session event stream is bit-identical to an uninterrupted
+    single-service run of the same trajectories.
+    """
+    n_shards = 4
+    hot_quota = (n_sessions * 5) // 8
+    per_cold = (n_sessions - hot_quota) // (n_shards - 1)
+    trajectories = [
+        make_random_walk_trajectory(n_frames, n_features=N_FEATURES, seed=i)
+        for i in range(n_sessions)
+    ]
+    total_frames = n_sessions * n_frames
+    events = []
+    with ShardedMonitorService(
+        monitor_bytes=monitor_bytes,
+        n_shards=n_shards,
+        max_sessions_per_shard=n_sessions,
+    ) as service:
+        quotas = {i: per_cold for i in range(1, n_shards)}
+        quotas[0] = n_sessions - per_cold * (n_shards - 1)
+        session_ids = _mine_skewed_ids(service, quotas)
+        hot_shard = max(quotas, key=quotas.get)
+        start = time.perf_counter()
+        for sid, trajectory in zip(session_ids, trajectories):
+            service.open_session(sid)
+            service.feed(sid, trajectory.frames)
+        warmup = max(1, n_frames // 4)
+        for _ in range(warmup):
+            events.extend(service.tick())
+        # The balancer policy to convergence: plan, shed, re-plan.  The
+        # occupancy-gap guard in plan_sheds guarantees termination; the
+        # iteration cap is belt and braces.
+        sheds = []
+        for _ in range(32):
+            # Trigger below the gate's 1.5x contract (and with no noise
+            # floor): the bench must rebalance even where per-shard
+            # latency skew is muted, e.g. shards time-slicing few cores.
+            plan = plan_sheds(
+                service.shard_stats(),
+                service.shard_occupancy(),
+                skew_ratio=1.2,
+                max_moves=8,
+                min_p99_ms=0.0,
+            )
+            if plan is None:
+                break
+            victims = service.sessions_on(plan.hot)[: plan.n_sessions]
+            moved = service.shed(victims, plan.cold)
+            if not moved:
+                break
+            sheds.append({"from": plan.hot, "to": plan.cold, "n": len(moved)})
+        ticks_after = 0
+        for _ in range(n_frames - warmup):
+            events.extend(service.tick())
+            ticks_after += 1
+        events.extend(service.drain())
+        elapsed = time.perf_counter() - start
+        occupancy = service.shard_occupancy()
+        failsafe_closures = len(service.failed_sessions)
+        # Post-balance latency only: the tail of each shard's tick ring
+        # covers at most the ticks since the last shed.
+        p99_by_shard = {}
+        for index, stats in service.shard_stats().items():
+            tick_ms = stats.tick_ms
+            tail = tick_ms[-min(ticks_after, tick_ms.size) :]
+            p99_by_shard[index] = (
+                float(np.percentile(tail, 99)) if tail.size else 0.0
+            )
+    reference = MonitorService(
+        monitor, max_sessions=n_sessions, backend="reference"
+    )
+    for sid, trajectory in zip(session_ids, trajectories):
+        reference.open_session(sid)
+        reference.feed(sid, trajectory.frames)
+    streams_identical = _per_session_streams(events) == _per_session_streams(
+        reference.drain()
+    )
+    p99s = sorted(p99_by_shard.values())
+    p99_median = float(np.median(p99s)) if p99s else 0.0
+    p99_max = p99s[-1] if p99s else 0.0
+    affinity = visible_cores()
+    return {
+        "scenario": f"skewed {quotas[hot_shard]}/{n_sessions} on one shard",
+        "shards": n_shards,
+        "sessions": n_sessions,
+        "frames": total_frames,
+        "fps": total_frames / elapsed,
+        "sheds": sheds,
+        "sessions_moved": sum(s["n"] for s in sheds),
+        "occupancy_final": {str(k): v for k, v in sorted(occupancy.items())},
+        "p99_by_shard_ms": {
+            str(k): v for k, v in sorted(p99_by_shard.items())
+        },
+        "p99_max_ms": p99_max,
+        "p99_median_ms": p99_median,
+        "p99_ratio": (p99_max / p99_median) if p99_median else 0.0,
+        "events_delivered": len(events),
+        "events_complete": len(events) == total_frames,
+        "failsafe_closures": failsafe_closures,
+        "streams_identical": streams_identical,
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
+        "degraded": affinity < n_shards,
+    }
+
+
+def _per_session_streams(events) -> dict:
+    """Per-session event-key sequences (the bit-identity comparand)."""
+    streams: dict[str, list] = {}
+    for e in events:
+        streams.setdefault(e.session_id, []).append(
+            (e.frame_index, e.gesture, e.score, e.flag, e.error)
+        )
+    return streams
+
+
+def _print_balance_row(row: dict) -> None:
+    print(
+        f"\nload-aware rebalancing — {row['sessions']} sessions on "
+        f"{row['shards']} shards, {row['scenario']}, "
+        f"{row['cpu_affinity']} CPU core(s) visible"
+    )
+    print(
+        f"  sheds: {row['sheds']} ({row['sessions_moved']} sessions moved), "
+        f"final occupancy: {row['occupancy_final']}"
+    )
+    print(
+        f"  post-balance tick p99 by shard: {row['p99_by_shard_ms']} "
+        f"(max {row['p99_max_ms']:.3f}ms / median {row['p99_median_ms']:.3f}ms "
+        f"= {row['p99_ratio']:.2f}x)"
+    )
+    print(
+        f"  events: {row['events_delivered']}/{row['frames']} "
+        f"(complete: {row['events_complete']}), fail-safe closures: "
+        f"{row['failsafe_closures']}, bit-identical streams: "
+        f"{row['streams_identical']}, aggregate {row['fps']:.0f} fps"
+    )
+
+
+def _check_balance_gate(row: dict) -> int:
+    """The --check-balance gate.
+
+    Like ``--check-sharded``, it REFUSES below 4 visible cores: a skew
+    measurement where four shards time-slice one CPU says nothing about
+    load, so a "pass" there would be meaningless.
+    """
+    n_cores = visible_cores()
+    if n_cores < 4:
+        print(
+            f"check-balance: REFUSED — only {n_cores} CPU core(s) visible "
+            f"and the balance gate needs >= 4 for a meaningful per-shard "
+            f"latency skew measurement.  Run this gate on a >= 4-core "
+            f"runner.",
+            file=sys.stderr,
+        )
+        return 1
+    status = 0
+    if row["sessions_moved"] == 0:
+        print(
+            "FAIL: the balancer moved nothing off a deliberately skewed "
+            "fleet",
+            file=sys.stderr,
+        )
+        status = 1
+    if row["p99_ratio"] > 1.5:
+        print(
+            f"FAIL: post-balance max-shard p99 is {row['p99_ratio']:.2f}x "
+            f"the fleet median (contract: <= 1.5x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if row["failsafe_closures"] or not row["events_complete"]:
+        print(
+            f"FAIL: rebalancing lost sessions or events "
+            f"({row['failsafe_closures']} fail-safe closures, "
+            f"{row['events_delivered']}/{row['frames']} events)",
+            file=sys.stderr,
+        )
+        status = 1
+    if not row["streams_identical"]:
+        print(
+            "FAIL: event streams diverged from the unbalanced "
+            "single-service run",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+def _report_balance(row: dict, args, n_frames: int) -> int:
+    """--balance-only output: print the row, merge it into the report."""
+    _print_balance_row(row)
+    report = {}
+    if os.path.exists(args.json):
+        try:
+            with open(args.json) as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            report = {}
+    report.setdefault("meta", {}).update(
+        {"balance_n_frames_per_session": n_frames}
+    )
+    report["balance"] = row
+    report.setdefault("summary", {})["balance_p99_ratio"] = row["p99_ratio"]
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+    if args.check_balance:
+        return _check_balance_gate(row)
+    return 0
 
 
 def _print_resize_row(row: dict, n_cores: int) -> None:
@@ -455,6 +711,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-balance",
+        action="store_true",
+        help=(
+            "exit non-zero unless a deliberately skewed 64-session load "
+            "ends balanced: post-shed max-shard tick p99 within 1.5x the "
+            "fleet median, zero fail-safe closures, event streams "
+            "bit-identical to an unbalanced single-service run; REFUSES "
+            "(non-zero) on a box with < 4 visible cores instead of "
+            "silently passing"
+        ),
+    )
+    parser.add_argument(
+        "--balance-only",
+        action="store_true",
+        help=(
+            "run only the skewed-load rebalancing scenario (its own CI "
+            "step); the row is merged into an existing --json report "
+            "when one is present"
+        ),
+    )
+    parser.add_argument(
         "--resize-only",
         action="store_true",
         help=(
@@ -487,6 +764,13 @@ def main(argv: list[str] | None = None) -> int:
         monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
         sharded_rows = _run_sharded_rows(monitor_to_bytes(monitor), n_frames)
         return _report_sharded(sharded_rows, args)
+
+    if args.balance_only:
+        monitor = make_synthetic_monitor(n_features=N_FEATURES, seed=0)
+        balance_row = benchmark_balance(
+            monitor, monitor_to_bytes(monitor), 64, n_frames
+        )
+        return _report_balance(balance_row, args, n_frames)
 
     print(f"serving throughput — {n_frames} frames/session, {N_FEATURES} features")
     print(

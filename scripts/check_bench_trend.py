@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Perf-trend gate: diff fresh benchmark reports against committed baselines.
+
+The perf CI job regenerates ``BENCH_serving.json`` / ``BENCH_bulk.json``
+on every run, but until now only *absolute* contracts were gated (e.g.
+"4 shards must reach 2x").  A slow 20% drift sits comfortably inside
+those contracts while eating the headroom that made them pass.  This
+gate closes that hole: for every throughput leaf (any ``fps`` /
+``*_fps`` field) present in both the committed baseline and the fresh
+report, it computes ``fresh / baseline`` and
+
+- **warns** when a row regressed by at least ``--warn`` (default 10%),
+- **fails** (exit 1) when a row regressed by at least ``--fail``
+  (default 25%).
+
+Improvements and rows that exist on only one side (new scenarios,
+renamed rows) are reported but never gated — the gate must not punish
+adding coverage.  Rows are matched by a stable identity label built
+from the fields that name a scenario (``engine`` / ``backend`` /
+``shards`` / ``sessions`` / ``scenario`` / ``resize_path``), not by
+list position, so inserting a row does not misalign the rest.
+
+Like ``--check-sharded`` and ``--check-balance`` in the serving bench,
+the gate REFUSES (exit non-zero, loud message) below ``--min-cores``
+visible cores instead of silently passing: a throughput ratio measured
+on an under-provisioned runner against a baseline from a bigger box is
+noise, and a silent pass there is how regressions slip through.
+
+Usage (the perf job snapshots the committed files before re-running):
+
+    python scripts/check_bench_trend.py \\
+        --pair /tmp/baseline_serving.json:BENCH_serving.json \\
+        --pair /tmp/baseline_bulk.json:BENCH_bulk.json
+
+A GitHub-flavoured markdown table is appended to ``$GITHUB_STEP_SUMMARY``
+when that variable is set (override with ``--summary``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+#: Fields that identify a benchmark row independent of list position.
+IDENTITY_KEYS = (
+    "engine",
+    "backend",
+    "shards",
+    "sessions",
+    "scenario",
+    "resize_path",
+)
+
+
+def visible_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
+def collect_fps(node, prefix: str = "") -> dict[str, float]:
+    """Every ``fps`` / ``*_fps`` leaf in a report, keyed by a stable path.
+
+    Dicts contribute their key name to the path; list entries contribute
+    an identity label built from :data:`IDENTITY_KEYS` when the row
+    carries any (falling back to the index), so rows keep their labels
+    when neighbours are added or reordered.
+    """
+    leaves: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            if (key == "fps" or key.endswith("_fps")) and isinstance(
+                value, (int, float)
+            ):
+                leaves[f"{prefix}.{key}" if prefix else key] = float(value)
+            else:
+                sub = f"{prefix}.{key}" if prefix else key
+                leaves.update(collect_fps(value, sub))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = str(i)
+            if isinstance(value, dict):
+                parts = [
+                    f"{k}={value[k]}" for k in IDENTITY_KEYS if k in value
+                ]
+                if parts:
+                    label = ",".join(parts)
+            leaves.update(collect_fps(value, f"{prefix}[{label}]"))
+    return leaves
+
+
+@dataclasses.dataclass
+class TrendRow:
+    """One compared throughput leaf."""
+
+    label: str
+    baseline: float
+    fresh: float
+    status: str  # "ok" | "warn" | "fail" | "baseline-only" | "fresh-only"
+
+    @property
+    def ratio(self) -> float:
+        return self.fresh / self.baseline if self.baseline else float("inf")
+
+
+def compare_reports(
+    baseline: dict,
+    fresh: dict,
+    *,
+    warn: float = 0.10,
+    fail: float = 0.25,
+) -> list[TrendRow]:
+    """Diff two parsed reports; one :class:`TrendRow` per fps leaf."""
+    base_leaves = collect_fps(baseline)
+    fresh_leaves = collect_fps(fresh)
+    rows: list[TrendRow] = []
+    for label in sorted(set(base_leaves) | set(fresh_leaves)):
+        if label not in fresh_leaves:
+            rows.append(
+                TrendRow(label, base_leaves[label], 0.0, "baseline-only")
+            )
+            continue
+        if label not in base_leaves:
+            rows.append(TrendRow(label, 0.0, fresh_leaves[label], "fresh-only"))
+            continue
+        base, new = base_leaves[label], fresh_leaves[label]
+        regression = 1.0 - (new / base) if base else 0.0
+        if regression >= fail:
+            status = "fail"
+        elif regression >= warn:
+            status = "warn"
+        else:
+            status = "ok"
+        rows.append(TrendRow(label, base, new, status))
+    return rows
+
+
+def render_markdown(pairs: list[tuple[str, list[TrendRow]]]) -> str:
+    """The step-summary table: one section per compared report pair."""
+    icons = {
+        "ok": "✅",
+        "warn": "⚠️ warn",
+        "fail": "❌ fail",
+        "baseline-only": "➖ gone",
+        "fresh-only": "➕ new",
+    }
+    lines = ["## Benchmark trend vs committed baseline", ""]
+    for name, rows in pairs:
+        lines += [f"### {name}", ""]
+        lines += [
+            "| row | baseline fps | fresh fps | ratio | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for row in rows:
+            ratio = (
+                f"{row.ratio:.2f}x"
+                if row.status in ("ok", "warn", "fail")
+                else "—"
+            )
+            lines.append(
+                f"| `{row.label}` | {row.baseline:.0f} | {row.fresh:.0f} "
+                f"| {ratio} | {icons[row.status]} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pair",
+        action="append",
+        required=True,
+        metavar="BASELINE:FRESH",
+        help="baseline and fresh report paths, colon-separated; repeatable",
+    )
+    parser.add_argument(
+        "--warn",
+        type=float,
+        default=0.10,
+        help="warn on regressions >= this fraction (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fail",
+        type=float,
+        default=0.25,
+        help="fail on regressions >= this fraction (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=4,
+        help=(
+            "REFUSE (exit non-zero) below this many visible cores rather "
+            "than comparing noise (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--summary",
+        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        help="markdown summary file to append to (default: "
+        "$GITHUB_STEP_SUMMARY when set)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.warn <= args.fail:
+        parser.error("need 0 <= --warn <= --fail")
+
+    n_cores = visible_cores()
+    if n_cores < args.min_cores:
+        print(
+            f"check-bench-trend: REFUSED — only {n_cores} CPU core(s) "
+            f"visible and the trend gate needs >= {args.min_cores} for a "
+            f"throughput comparison that means anything.  Run this gate "
+            f"on a >= {args.min_cores}-core runner.",
+            file=sys.stderr,
+        )
+        return 1
+
+    status = 0
+    sections: list[tuple[str, list[TrendRow]]] = []
+    for pair in args.pair:
+        baseline_path, _, fresh_path = pair.partition(":")
+        if not fresh_path:
+            parser.error(f"--pair needs BASELINE:FRESH, got {pair!r}")
+        rows = compare_reports(
+            _load(baseline_path),
+            _load(fresh_path),
+            warn=args.warn,
+            fail=args.fail,
+        )
+        sections.append((os.path.basename(fresh_path), rows))
+        for row in rows:
+            if row.status == "fail":
+                print(
+                    f"FAIL: {fresh_path}: {row.label} regressed "
+                    f"{(1 - row.ratio) * 100:.0f}% "
+                    f"({row.baseline:.0f} -> {row.fresh:.0f} fps)",
+                    file=sys.stderr,
+                )
+                status = 1
+            elif row.status == "warn":
+                print(
+                    f"warn: {fresh_path}: {row.label} regressed "
+                    f"{(1 - row.ratio) * 100:.0f}% "
+                    f"({row.baseline:.0f} -> {row.fresh:.0f} fps)"
+                )
+        n_fail = sum(r.status == "fail" for r in rows)
+        n_warn = sum(r.status == "warn" for r in rows)
+        print(
+            f"{fresh_path}: {len(rows)} rows vs {baseline_path} — "
+            f"{n_fail} fail, {n_warn} warn"
+        )
+
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(render_markdown(sections) + "\n")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

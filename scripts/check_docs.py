@@ -136,6 +136,7 @@ def check_mermaid(path: Path) -> list[str]:
 DOCUMENTED_MODULES = (
     "repro.serving",
     "repro.serving.analytics",
+    "repro.serving.balancer",
     "repro.serving.bulk",
     "repro.serving.eventstore",
     "repro.serving.remote",

@@ -299,6 +299,14 @@ class AsyncShardedMonitor:
         """Number of live shards in the underlying service."""
         return self._service.n_shards
 
+    @property
+    def service(self) -> "ShardedMonitorService":
+        """The wrapped :class:`ShardedMonitorService` (configuration
+        introspection — e.g. the balancer reads
+        ``max_sessions_per_shard`` for its capacity clamp).  Drive the
+        fleet through this front-end's coroutines, not directly."""
+        return self._service
+
     async def resize(self, target_k: int) -> dict:
         """Live-resize the fleet without dropping a session or a frame.
 
@@ -347,6 +355,42 @@ class AsyncShardedMonitor:
             for kick in self._kick.values():
                 kick.set()
         return result
+
+    async def shed(self, session_ids: list[str], to_shard: int) -> dict[str, int]:
+        """Migrate named sessions onto ``to_shard`` and pin them there.
+
+        The balancer's actuator
+        (:meth:`~repro.serving.balancer.MonitorBalancer.step` calls this
+        with the sessions its plan selected).  Like :meth:`resize` it
+        holds **every** shard's pipe lock around the blocking
+        :meth:`ShardedMonitorService.shed` call — each migration is a
+        two-pipe exchange whose source varies per session — then flushes
+        crash-queued fail-safe events and kicks the tickers so migrated
+        backlogs resume immediately on their new shard.  Returns the
+        service's ``{session_id: previous shard}`` map.
+        """
+        indices = sorted(set(self._locks) | set(self._service.shard_indices))
+        async with contextlib.AsyncExitStack() as stack:
+            for index in indices:
+                await stack.enter_async_context(
+                    self._locks.setdefault(index, asyncio.Lock())
+                )
+            moved = await asyncio.get_running_loop().run_in_executor(
+                None, self._service.shed, list(session_ids), to_shard
+            )
+        for event in self._service.take_undelivered_events():
+            self._queue.put_nowait(event)
+        for kick in self._kick.values():
+            kick.set()
+        return moved
+
+    def shard_occupancy(self) -> dict[int, int]:
+        """Open-session count per live shard (no IPC, no lock needed)."""
+        return self._service.shard_occupancy()
+
+    def sessions_on(self, index: int) -> list[str]:
+        """Open session ids routed to one shard (no IPC, no lock needed)."""
+        return self._service.sessions_on(index)
 
     async def shard_stats(self) -> dict[int, "ServiceStats"]:
         """Per-shard :class:`ServiceStats` without disturbing the tickers.

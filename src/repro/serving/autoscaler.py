@@ -21,6 +21,13 @@ Every applied resize is recorded in :attr:`MonitorAutoscaler.resize_events`
 (and reported through ``on_resize``, which is how the remote gateway
 makes resizes visible to STATS clients — see
 :meth:`repro.serving.remote.MonitorGateway.gateway_stats`).
+
+The autoscaler is the *capacity* level of a two-level controller; the
+*skew* level — :class:`~repro.serving.balancer.MonitorBalancer`, which
+sheds sessions off hot shards — attaches through
+:attr:`MonitorAutoscaler.balancer` so the two never actuate against
+each other (shed in flight defers a pending resize; an applied resize
+resets the balancer's hysteresis).
 """
 
 from __future__ import annotations
@@ -99,6 +106,15 @@ class MonitorAutoscaler:
         self.high_watermark = float(high_watermark)
         self.low_watermark = float(low_watermark)
         self._on_resize = on_resize
+        #: The skew half of the two-level controller, when one is
+        #: attached (set by whoever wires the fleet together — see
+        #: ``MonitorGateway.start``).  A shed in flight defers a
+        #: pending resize, and every applied resize resets the
+        #: balancer's hysteresis via
+        #: :meth:`~repro.serving.balancer.MonitorBalancer.notify_resize`
+        #: — the coupling that keeps resize-for-capacity and
+        #: shed-for-skew from fighting over the same stale window.
+        self.balancer = None
         #: Applied resizes, oldest first (summary dicts).
         self.resize_events: list[dict] = []
         self._streak_target: int | None = None
@@ -156,12 +172,20 @@ class MonitorAutoscaler:
             and now - self._last_applied < self.cooldown_s
         ):
             return None
+        if self.balancer is not None and self.balancer.shed_in_progress:
+            # A shed is mid-migration: applying a resize now would
+            # re-place sessions the balancer is moving this instant.
+            # Defer — the streak survives, so the resize applies on the
+            # next evaluation once the shed has landed.
+            return None
         summary = await self._frontend.resize(target)
         self._last_applied = asyncio.get_running_loop().time()
         self._streak_target = None
         self._streak = 0
         event = dict(summary, trigger="autoscaler")
         self.resize_events.append(event)
+        if self.balancer is not None:
+            self.balancer.notify_resize(event)
         if self._on_resize is not None:
             self._on_resize(event)
         return target

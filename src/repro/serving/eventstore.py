@@ -252,7 +252,15 @@ class EventStoreWriter:
         return accepted
 
     def append_marker(self, kind: str, data: dict | None = None) -> bool:
-        """Buffer a fleet marker (e.g. ``"resize"``) with a JSON body."""
+        """Buffer a fleet marker with a JSON body.
+
+        The durable record of fleet-shape decisions, interleaved with
+        the event stream in append order: ``"resize"`` markers from the
+        capacity level (manual resizes and the autoscaler) and
+        ``"shed"`` placement-change markers from the skew level (manual
+        sheds and the balancer) — so a replay can attribute any latency
+        shift to the topology change that caused it.
+        """
         marker = {"type": kind, **(data or {})}
         with self._lock:
             if self._closed or len(self._buf) >= self.ring_capacity:

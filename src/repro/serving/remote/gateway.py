@@ -65,6 +65,7 @@ from ...errors import ConfigurationError, ProtocolError, ReproError, WorkerError
 from ...nn.backends import DEFAULT_BACKEND, validate_backend_name
 from ..async_frontend import AsyncShardedMonitor
 from ..autoscaler import MonitorAutoscaler
+from ..balancer import MonitorBalancer
 from ..service import MonitorService, ServiceStats, SessionEvent
 from ..sharded import ShardedMonitorService
 from ..telemetry import TelemetryRegistry
@@ -230,6 +231,13 @@ class _LocalEngine:
             "gateway with n_shards >= 2 for an elastic fleet"
         )
 
+    async def shed(self, session_ids: list[str], to_shard: int) -> dict[str, int]:
+        raise ConfigurationError(
+            "the embedded single-service engine has no shards to shed "
+            "between; start the gateway with n_shards >= 2 for a "
+            "load-balanced fleet"
+        )
+
     async def aclose(self) -> None:
         self._closed = True
         self._kick.set()
@@ -281,6 +289,9 @@ class _ShardedEngine:
 
     async def resize(self, target_k: int) -> dict:
         return await self.frontend.resize(target_k)
+
+    async def shed(self, session_ids: list[str], to_shard: int) -> dict[str, int]:
+        return await self.frontend.shed(session_ids, to_shard)
 
     async def aclose(self) -> None:
         await self.frontend.aclose()
@@ -481,6 +492,20 @@ class MonitorGateway:
         :meth:`resize`) resize is recorded and visible to STATS clients
         — socket sessions ride through resizes transparently, their
         frames migrating with them.
+    balance_interval_s / balance_max_moves:
+        When ``balance_interval_s`` is set (requires ``n_shards >= 2``),
+        the gateway runs a
+        :class:`~repro.serving.balancer.MonitorBalancer` over its fleet
+        at that cadence — the *skew* level of the two-level controller:
+        sessions are continuously shed off hot shards (at most
+        ``balance_max_moves`` per cycle) through the same live-migration
+        path resize uses, so socket sessions ride through sheds
+        transparently too.  When both loops run they are cross-linked:
+        a shed in flight defers a pending resize, and every applied
+        resize resets the balancer's hysteresis.  Applied sheds (and
+        manual :meth:`shed` calls) are recorded in :attr:`shed_events`,
+        surfaced in STATS under ``"placement"``, and tee a ``"shed"``
+        marker into the event store next to the resize markers.
     resume_grace_s / event_replay_max:
         ``resume_grace_s > 0`` enables session resume: a disconnected
         client's sessions are *parked* (engine state exported via the
@@ -529,6 +554,8 @@ class MonitorGateway:
         data_plane: str = "shm",
         autoscale_interval_s: float | None = None,
         autoscale_max_shards: int = 8,
+        balance_interval_s: float | None = None,
+        balance_max_moves: int = 8,
         resume_grace_s: float = 0.0,
         event_replay_max: int = 4096,
         event_store: "EventStoreWriter | None" = None,
@@ -579,6 +606,17 @@ class MonitorGateway:
                 )
         self.autoscale_interval_s = autoscale_interval_s
         self.autoscale_max_shards = int(autoscale_max_shards)
+        if balance_interval_s is not None:
+            if balance_interval_s <= 0:
+                raise ConfigurationError("balance_interval_s must be > 0")
+            if n_shards < 2:
+                raise ConfigurationError(
+                    "load balancing requires a sharded fleet (n_shards >= 2)"
+                )
+        if balance_max_moves < 1:
+            raise ConfigurationError("balance_max_moves must be >= 1")
+        self.balance_interval_s = balance_interval_s
+        self.balance_max_moves = int(balance_max_moves)
         if resume_grace_s < 0:
             raise ConfigurationError("resume_grace_s must be >= 0")
         if event_replay_max < 1:
@@ -589,9 +627,14 @@ class MonitorGateway:
         #: Sessions parked for the resume grace window, by session id.
         self._parked: dict[str, _ParkedSession] = {}
         self._autoscaler: MonitorAutoscaler | None = None
+        self._balancer: MonitorBalancer | None = None
         #: Applied resizes (manual and autoscaler), oldest first —
         #: summary dicts surfaced to STATS clients by gateway_stats().
         self.resize_events: list[dict] = []
+        #: Applied sheds (manual and balancer), oldest first — the
+        #: placement-change records surfaced to STATS clients and teed
+        #: into the event store as ``"shed"`` markers.
+        self.shed_events: list[dict] = []
 
         self._engine = None
         self._server: asyncio.Server | None = None
@@ -660,6 +703,21 @@ class MonitorGateway:
                     on_resize=self._note_resize,
                 )
                 await self._autoscaler.start()
+            if self.balance_interval_s is not None and isinstance(
+                self._engine, _ShardedEngine
+            ):
+                self._balancer = MonitorBalancer(
+                    self._engine.frontend,
+                    interval_s=self.balance_interval_s,
+                    max_moves=self.balance_max_moves,
+                    on_shed=self._note_shed,
+                )
+                if self._autoscaler is not None:
+                    # Cross-link the two controller levels: shed in
+                    # flight defers a pending resize; an applied resize
+                    # resets the balancer's hysteresis.
+                    self._autoscaler.balancer = self._balancer
+                await self._balancer.start()
             self._pump_task = asyncio.create_task(
                 self._event_pump(), name="gateway-event-pump"
             )
@@ -676,6 +734,9 @@ class MonitorGateway:
 
     async def _shutdown_engine(self) -> None:
         """End the engine's tasks and terminate any worker processes."""
+        if self._balancer is not None:
+            await self._balancer.stop()
+            self._balancer = None
         if self._autoscaler is not None:
             await self._autoscaler.stop()
             self._autoscaler = None
@@ -1689,8 +1750,48 @@ class MonitorGateway:
         """Record an applied resize (manual or autoscaler-triggered)."""
         self.resize_events.append(event)
         self.n_shards = int(event.get("to", self.n_shards))
+        if self._balancer is not None and event.get("trigger") != "autoscaler":
+            # The autoscaler resets the balancer itself before calling
+            # on_resize; a *manual* resize must reset it here, or the
+            # balancer would act on a hot-streak built against the old
+            # topology.
+            self._balancer.notify_resize(event)
         if self.event_store is not None:
             self.event_store.append_marker("resize", dict(event))
+
+    async def shed(self, session_ids: list[str], to_shard: int) -> dict[str, int]:
+        """Live-migrate named sessions onto one shard and pin them there.
+
+        The manual twin of the balancer's continuous loop (and what a
+        chaos campaign injects): sessions ride through exactly as they
+        do under resize — pending frames migrate, no event is lost, no
+        fail-safe closure — and the placement overlay keeps routing
+        them to ``to_shard`` afterwards.  Sessions that closed or
+        failed meanwhile are skipped; the returned
+        ``{session_id: previous shard}`` map names what actually moved.
+        Applied sheds are recorded in :attr:`shed_events` and visible
+        to every STATS client.  Only available on a sharded gateway
+        (``n_shards >= 2`` at construction).
+        """
+        if self._engine is None:
+            raise ConfigurationError("gateway is not started")
+        moved = await self._engine.shed(list(session_ids), to_shard)
+        if moved:
+            self._note_shed(
+                {
+                    "to": to_shard,
+                    "sessions": sorted(moved),
+                    "n": len(moved),
+                    "trigger": "manual",
+                }
+            )
+        return moved
+
+    def _note_shed(self, event: dict) -> None:
+        """Record an applied shed (manual or balancer-triggered)."""
+        self.shed_events.append(event)
+        if self.event_store is not None:
+            self.event_store.append_marker("shed", dict(event))
 
     async def shard_stats(self) -> dict[int, ServiceStats]:
         """The embedded engine's per-shard :class:`ServiceStats`.
@@ -1756,6 +1857,15 @@ class MonitorGateway:
                 "count": len(self.resize_events),
                 "autoscaling": self.autoscale_interval_s is not None,
                 "events": self.resize_events[-16:],
+            },
+            # Placement history (manual sheds and the balancer): the
+            # skew level of the two-level controller — which sessions
+            # were moved off a hot shard, where they landed, and the
+            # p99 evidence the decision was made on.
+            "placement": {
+                "count": len(self.shed_events),
+                "balancing": self.balance_interval_s is not None,
+                "events": self.shed_events[-16:],
             },
             "connections": {
                 "open": len(self._connections),

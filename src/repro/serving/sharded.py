@@ -441,6 +441,11 @@ class ShardedMonitorService:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = mp.get_context(start_method)
         self._ring = _HashRing(replicas=hash_replicas)
+        #: Placement overlay: sessions shed off a hot shard are pinned
+        #: to their landing shard here, overriding the (load-blind)
+        #: consistent-hash ring for every later placement decision.
+        #: See :meth:`_place` / :meth:`shed`.
+        self._overlay: dict[str, int] = {}
         self._shards: dict[int, _ShardHandle] = {}
         self._sessions: dict[str, _SessionRecord] = {}
         self.failed_sessions: dict[str, str] = {}
@@ -526,6 +531,7 @@ class ShardedMonitorService:
                 s for s, r in self._sessions.items() if r.shard == handle.index
             ]:
                 record = self._sessions.pop(session_id)
+                self._overlay.pop(session_id, None)
                 self.failed_sessions[session_id] = reason
                 out.append(
                     (
@@ -602,6 +608,110 @@ class ShardedMonitorService:
         with self._lock:
             return sum(1 for r in self._sessions.values() if r.shard == index)
 
+    def shard_occupancy(self) -> dict[int, int]:
+        """Open-session count per live shard (no IPC).
+
+        The occupancy half of the balancer's input: paired with
+        :meth:`shard_stats` it is what
+        :func:`~repro.serving.balancer.plan_sheds` consumes.
+        """
+        with self._lock:
+            occupancy = {handle.index: 0 for handle in self._live_shards()}
+            for record in self._sessions.values():
+                if record.shard in occupancy:
+                    occupancy[record.shard] += 1
+        return occupancy
+
+    def sessions_on(self, index: int) -> list[str]:
+        """Open session ids routed to one shard, in opening order (no IPC)."""
+        with self._lock:
+            pairs = [
+                (r.order, s)
+                for s, r in self._sessions.items()
+                if r.shard == index
+            ]
+        return [session_id for _, session_id in sorted(pairs)]
+
+    def _place(self, session_id: str) -> int:
+        """Consistent-hash placement with the shed overlay applied.
+
+        Sessions shed off a hot shard (:meth:`shed`) are pinned to their
+        landing shard, so every later placement decision — park/resume
+        re-import (:meth:`resolve_import`), re-open of the same id
+        (:meth:`resolve_placement`), and the minimal-slice rebalance of
+        :meth:`add_shard` — follows the migration instead of snapping
+        back to the load-blind ring.  A pin whose target is gone
+        (crashed or removed) is dropped and the session falls back to
+        plain ring placement.
+        """
+        pinned = self._overlay.get(session_id)
+        if pinned is not None:
+            handle = self._shards.get(pinned)
+            if handle is not None and handle.alive:
+                return pinned
+            self._overlay.pop(session_id, None)
+        return self._ring.place(session_id)
+
+    def shed(self, session_ids: list[str], to_shard: int) -> dict[str, int]:
+        """Migrate named sessions onto an explicit shard and pin them.
+
+        The load-aware placement actuator
+        (:class:`~repro.serving.balancer.MonitorBalancer` calls this
+        through the asyncio front-end): each session is live-migrated
+        via the export→import path — pending frames and window state
+        intact, so ticks after the shed are bit-identical to an
+        unbalanced run — and pinned to ``to_shard`` in the placement
+        overlay so future :meth:`feed` routing, park/resume round trips
+        and ``add_shard`` rebalances all follow the move.
+
+        Designed to race safely with a continuously evolving fleet:
+        sessions closed or failed since the plan was computed are
+        skipped, a full target stops the batch (``ConfigurationError``
+        would hit every remaining session too), and worker crashes
+        fail their sessions safe through the usual paths.  Returns
+        ``{session_id: previous shard}`` for the sessions actually
+        moved.
+
+        Raises :class:`~repro.errors.WorkerError` only for a dead or
+        unknown ``to_shard`` — a plan aimed at a shard that no longer
+        exists is a caller bug, not a race to absorb.
+        """
+        self._check_open()
+        target = self._shards.get(to_shard)
+        if target is None or not target.alive:
+            raise WorkerError(f"shard {to_shard} is not live")
+        moved: dict[str, int] = {}
+        for session_id in list(session_ids):
+            with self._lock:
+                record = self._sessions.get(session_id)
+            if record is None:
+                continue  # closed or failed since the plan was computed
+            source = record.shard
+            if source == to_shard:
+                with self._lock:
+                    self._overlay[session_id] = to_shard
+                continue
+            try:
+                self._migrate_session(session_id, to_shard)
+            except ConfigurationError:
+                break  # target is full: no later migration can land either
+            except WorkerError:
+                if not target.alive:
+                    break  # target died; the crash path failed the session
+                continue  # source died; its sessions already failed safe
+            with self._lock:
+                self._overlay[session_id] = to_shard
+            moved[session_id] = source
+        if moved:
+            self.telemetry.counter("sheds").inc()
+            self.telemetry.counter("sessions_shed").inc(len(moved))
+            if self.event_store is not None:
+                self.event_store.append_marker(
+                    "shed",
+                    {"to": to_shard, "moved": dict(sorted(moved.items()))},
+                )
+        return moved
+
     def _migrate_session(self, session_id: str, target_index: int) -> None:
         """Move one live session between shards: export → import.
 
@@ -667,6 +777,7 @@ class ShardedMonitorService:
             with self._lock:
                 if session_id in self._sessions:
                     limbo = self._sessions.pop(session_id)
+                    self._overlay.pop(session_id, None)
                     self.failed_sessions[session_id] = reason
                     limbo_event = SessionEvent(
                         session_id=session_id,
@@ -722,11 +833,19 @@ class ShardedMonitorService:
                 )
             self._ring.remove(index)
             with self._lock:
+                # A shed target being retired releases its pins: the
+                # sessions fall back to ring placement below — fail-safe
+                # for the balancer, no session is ever stranded on a pin
+                # to a shard that no longer exists.
+                for session_id in [
+                    s for s, pin in self._overlay.items() if pin == index
+                ]:
+                    del self._overlay[session_id]
                 on_shard = [
                     s for s, r in self._sessions.items() if r.shard == index
                 ]
             for session_id in on_shard:
-                target = self._ring.place(session_id)
+                target = self._place(session_id)
                 try:
                     self._migrate_session(session_id, target)
                 except WorkerError:
@@ -792,7 +911,7 @@ class ShardedMonitorService:
             with self._lock:
                 if self._sessions.get(session_id) is not record:
                     continue  # failed or closed since the snapshot
-            target = self._ring.place(session_id)
+            target = self._place(session_id)
             if target == record.shard:
                 continue
             try:
@@ -913,7 +1032,7 @@ class ShardedMonitorService:
                 self._next_id += 1
         elif session_id in self._sessions:
             raise ConfigurationError(f"session {session_id!r} is already open")
-        return session_id, self._ring.place(session_id)
+        return session_id, self._place(session_id)
 
     def open_on_shard(
         self, session_id: str, shard: int, record_timeline: bool = True
@@ -1172,6 +1291,7 @@ class ShardedMonitorService:
         raise_remote(reply)
         with self._lock:
             del self._sessions[session_id]
+            self._overlay.pop(session_id, None)
             handle.routes.pop(record.order, None)
         return reply.value
 
@@ -1227,7 +1347,10 @@ class ShardedMonitorService:
         session_id = session_snapshot_id(state)
         if session_id in self._sessions:
             raise ConfigurationError(f"session {session_id!r} is already open")
-        return session_id, self._ring.place(session_id)
+        # _place, not the raw ring: a shed session that was parked for
+        # resume re-imports onto its pinned shard, keeping the
+        # balancer's placement stable across disconnect/reconnect.
+        return session_id, self._place(session_id)
 
     def import_on_shard(
         self, state: bytes, session_id: str, shard: int,
@@ -1550,6 +1673,7 @@ class ShardedMonitorService:
                     record = self._sessions.pop(session_id, None)
                     if record is None:
                         continue
+                    self._overlay.pop(session_id, None)
                     self.failed_sessions[session_id] = reason
                     failure_event = SessionEvent(
                         session_id=session_id,

@@ -2,8 +2,10 @@
 
 Drives a fleet of sessions over a real TCP gateway while a seeded RNG
 injects faults — abrupt client disconnects followed by resumes on fresh
-connections, SIGKILLed shard workers, and mid-stream fleet resizes —
-then asserts the two invariants the resume protocol promises:
+connections, SIGKILLed shard workers, mid-stream fleet resizes, and
+balancer-style session sheds (live migrations through the placement
+overlay) — then asserts the two invariants the resume protocol
+promises:
 
 - **zero lost frames**: every session's closing summary accounts for
   every frame the campaign fed, across any number of disconnects,
@@ -60,15 +62,23 @@ class ChaosConfig:
     #: (:class:`~repro.serving.EventStoreWriter`), or ``None`` to run
     #: without one.  With a store the campaign additionally asserts the
     #: on-disk log replays **bit-identical** to the per-session event
-    #: streams the clients collected, and that every applied resize
-    #: left a marker.
+    #: streams the clients collected, and that every applied resize and
+    #: shed left a marker.
     event_store_dir: str | os.PathLike | None = None
+    #: Directory for a reproduction bundle, or ``None``.  When set, the
+    #: campaign writes a ``seed.txt`` naming the exact env overrides to
+    #: replay it *before* any injection lands, and (unless
+    #: ``event_store_dir`` says otherwise) keeps the durable log's
+    #: segments underneath it — the nightly CI matrix uploads this
+    #: directory as the on-failure artifact.
+    artifact_dir: str | os.PathLike | None = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ChaosConfig":
         """Build a config honouring CHAOS_SEED / CHAOS_SESSIONS /
-        CHAOS_INJECTIONS environment overrides (the CI chaos job sets
-        CHAOS_SEED per run so failures name a reproducible seed)."""
+        CHAOS_INJECTIONS / CHAOS_ARTIFACT_DIR environment overrides
+        (the CI chaos jobs set CHAOS_SEED per run so failures name a
+        reproducible seed)."""
         env = {
             "seed": os.environ.get("CHAOS_SEED"),
             "n_sessions": os.environ.get("CHAOS_SESSIONS"),
@@ -77,6 +87,9 @@ class ChaosConfig:
         for key, raw in env.items():
             if raw is not None:
                 overrides.setdefault(key, int(raw))
+        artifact_dir = os.environ.get("CHAOS_ARTIFACT_DIR")
+        if artifact_dir:
+            overrides.setdefault("artifact_dir", artifact_dir)
         return cls(**overrides)
 
 
@@ -98,6 +111,8 @@ class ChaosReport:
     store_mismatches: dict = dataclasses.field(default_factory=dict)
     #: ``resize`` markers found in the log vs resizes applied.
     store_resize_markers: int = 0
+    #: ``shed`` markers found in the log vs sheds that moved sessions.
+    store_shed_markers: int = 0
     store_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
@@ -184,7 +199,13 @@ class ChaosCampaign:
         self.rng = np.random.default_rng(config.seed)
         self.report = ChaosReport(
             config=config,
-            injections={"disconnect": 0, "resume": 0, "kill": 0, "resize": 0},
+            injections={
+                "disconnect": 0,
+                "resume": 0,
+                "kill": 0,
+                "resize": 0,
+                "shed": 0,
+            },
         )
         self.sessions: dict[str, _SessionState] = {}
         self.clients: list[RemoteMonitorClient] = []
@@ -333,9 +354,62 @@ class ChaosCampaign:
             return  # e.g. resize to the current K mid-recovery; not an injection
         self.report.injections["resize"] += 1
 
+    def _act_shed(self, runner):
+        """Live-migrate one attached session onto a random live shard —
+        the balancer's actuation path, fired mid-stream so the placement
+        overlay must keep routing follow-up frames to the moved session
+        while disconnects, kills and resizes land around it."""
+        gateway = runner.gateway
+        service = getattr(gateway._engine, "service", None)
+        if service is None or not hasattr(service, "_shards"):
+            return
+        try:
+            alive = [
+                index
+                for index, handle in list(service._shards.items())
+                if handle.process.is_alive()
+            ]
+        except RuntimeError:  # racing a resize on the loop thread
+            return
+        if len(alive) < 2:
+            return  # nowhere to move anything
+        attached = [
+            s.sid for s in self.sessions.values() if s.client is not None
+        ]
+        if not attached:
+            return
+        sid = attached[self.rng.integers(len(attached))]
+        target = int(alive[self.rng.integers(len(alive))])
+        try:
+            moved = runner.run(gateway.shed([sid], target), timeout_s=60.0)
+        except ReproError:
+            return  # target died or filled mid-call; not an injection
+        if moved:
+            # Only a shed that actually migrated counts: the session may
+            # already live on the target, or may have been parked by a
+            # racing disconnect before the call landed.
+            self.report.injections["shed"] += 1
+
     # -- campaign ------------------------------------------------------
     def run(self) -> ChaosReport:
         config = self.config
+        if config.artifact_dir is not None:
+            # Reproduction bundle: the seed line lands on disk before a
+            # single injection fires, so even a hung or crashed campaign
+            # leaves enough to replay it; the durable log's segments
+            # live underneath the same root unless told otherwise.
+            root = os.fspath(config.artifact_dir)
+            os.makedirs(root, exist_ok=True)
+            if config.event_store_dir is None:
+                config.event_store_dir = os.path.join(root, "eventstore")
+            with open(
+                os.path.join(root, "seed.txt"), "w", encoding="utf-8"
+            ) as fh:
+                fh.write(
+                    f"CHAOS_SEED={config.seed} "
+                    f"CHAOS_SESSIONS={config.n_sessions} "
+                    f"CHAOS_INJECTIONS={config.n_injections}\n"
+                )
         trajectories = {
             f"chaos-{i:03d}": make_random_walk_trajectory(
                 int(
@@ -409,8 +483,12 @@ class ChaosCampaign:
                 self.report.store_mismatches[sid] = _first_divergence(
                     got, want
                 )
+        markers = list(reader.iter_markers())
         self.report.store_resize_markers = sum(
-            1 for m in reader.iter_markers() if m.get("type") == "resize"
+            1 for m in markers if m.get("type") == "resize"
+        )
+        self.report.store_shed_markers = sum(
+            1 for m in markers if m.get("type") == "shed"
         )
 
     def _step(self, runner):
@@ -436,6 +514,8 @@ class ChaosCampaign:
             weights.append(0.3)
             actions.append("resize")
             weights.append(0.5)
+            actions.append("shed")
+            weights.append(0.5)
         total = sum(weights)
         choice = self.rng.choice(actions, p=[w / total for w in weights])
         if choice == "feed":
@@ -450,6 +530,8 @@ class ChaosCampaign:
             self._act_kill(runner)
         elif choice == "resize":
             self._act_resize(runner)
+        elif choice == "shed":
+            self._act_shed(runner)
 
     def _reconcile(self, runner):
         """Collect every outstanding event, close every session, and

@@ -3,10 +3,11 @@ resume machinery loses nothing.
 
 Each campaign drives a fleet of sessions over a live TCP gateway while
 ``tests/chaos_harness.py`` randomly kills client connections (followed
-by detach/resume on fresh connections), SIGKILLs shard workers, and
-resizes the fleet mid-stream — then asserts **zero lost frames** and
-**bit-identical per-session event streams** against an uninterrupted
-single :class:`~repro.serving.MonitorService` run.
+by detach/resume on fresh connections), SIGKILLs shard workers,
+resizes the fleet mid-stream, and sheds live sessions between shards
+through the balancer's migration path — then asserts **zero lost
+frames** and **bit-identical per-session event streams** against an
+uninterrupted single :class:`~repro.serving.MonitorService` run.
 
 Marked ``chaos`` and excluded from the default tier-1 run (see
 ``pyproject.toml``); CI runs it in a dedicated job via ``-m chaos``.
@@ -46,7 +47,8 @@ def _assert_clean(report):
 def _assert_store_parity(report, context):
     """The durable-log half of the gate: the on-disk event log replays
     bit-identical to what clients saw, nothing was dropped by the
-    writer's bounded ring, and every applied resize left a marker."""
+    writer's bounded ring, and every applied resize and shed left a
+    marker."""
     assert not report.store_mismatches, (
         f"{context} store diverged={report.store_mismatches}"
     )
@@ -55,6 +57,10 @@ def _assert_store_parity(report, context):
     )
     assert report.store_resize_markers == report.injections["resize"], (
         f"{context} markers={report.store_resize_markers} "
+        f"store={report.store_stats}"
+    )
+    assert report.store_shed_markers == report.injections["shed"], (
+        f"{context} shed markers={report.store_shed_markers} "
         f"store={report.store_stats}"
     )
 
@@ -80,7 +86,13 @@ def test_chaos_campaign_full(monitor, tmp_path):
     """The acceptance gate: >= 200 random injections under 64-session
     load, zero lost frames, bit-identical event streams — on the wire
     and replayed from the durable on-disk log alike."""
-    config = ChaosConfig.from_env(event_store_dir=tmp_path / "log")
+    config = ChaosConfig.from_env()
+    if config.artifact_dir is None:
+        # No reproduction bundle requested: keep the durable log in the
+        # test's tmp dir.  With CHAOS_ARTIFACT_DIR set (nightly CI) the
+        # harness parks the log under the bundle so a failure uploads
+        # its segments alongside seed.txt.
+        config.event_store_dir = tmp_path / "log"
     print(f"chaos campaign: seed={config.seed} "
           f"sessions={config.n_sessions} injections={config.n_injections}")
     report = run_campaign(monitor, config)
@@ -90,3 +102,4 @@ def test_chaos_campaign_full(monitor, tmp_path):
     assert report.injections["resume"] >= 10, report.describe()
     assert report.injections["kill"] >= 1, report.describe()
     assert report.injections["resize"] >= 1, report.describe()
+    assert report.injections["shed"] >= 1, report.describe()

@@ -1,0 +1,161 @@
+"""Unit tests for the perf-trend gate (``scripts/check_bench_trend.py``).
+
+The gate diffs fresh benchmark JSON against committed baselines and
+must fail on a synthetic >= 25% throughput regression, warn at >= 10%,
+and ignore improvements and rows present on only one side.  Exercised
+against fixture reports shaped like ``BENCH_serving.json`` /
+``BENCH_bulk.json``, via both the importable compare functions and the
+CLI entry point.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+from check_bench_trend import (  # noqa: E402 - path set up above
+    collect_fps,
+    compare_reports,
+    main,
+    render_markdown,
+)
+
+
+def _baseline_report() -> dict:
+    """A miniature BENCH_serving-shaped report."""
+    return {
+        "meta": {"cpu_count": 4},
+        "service": [
+            {"sessions": 1, "seq_fps": 500.0, "srv_fps": 800.0},
+            {"sessions": 64, "seq_fps": 480.0, "srv_fps": 5000.0},
+        ],
+        "sharded": [
+            {"shards": 1, "sessions": 64, "fps": 2000.0},
+            {"shards": 4, "sessions": 64, "fps": 4400.0},
+        ],
+        "balance": {"scenario": "skewed 40/64 on one shard", "fps": 4800.0},
+        "summary": {"sharded_speedup_4": 2.2},
+    }
+
+
+class TestCollectFps:
+    def test_leaves_keyed_by_identity_not_position(self):
+        leaves = collect_fps(_baseline_report())
+        assert leaves["sharded[shards=4,sessions=64].fps"] == 4400.0
+        assert leaves["service[sessions=64].srv_fps"] == 5000.0
+        assert "summary.sharded_speedup_4" not in leaves  # not an fps leaf
+
+    def test_inserting_a_row_does_not_shift_labels(self):
+        report = _baseline_report()
+        before = collect_fps(report)
+        report["sharded"].insert(
+            1, {"shards": 2, "sessions": 64, "fps": 3000.0}
+        )
+        after = collect_fps(report)
+        assert before["sharded[shards=4,sessions=64].fps"] == (
+            after["sharded[shards=4,sessions=64].fps"]
+        )
+
+    def test_rows_without_identity_fall_back_to_index(self):
+        leaves = collect_fps({"rows": [{"fps": 10.0}, {"fps": 20.0}]})
+        assert leaves == {"rows[0].fps": 10.0, "rows[1].fps": 20.0}
+
+
+class TestCompareReports:
+    def test_big_regression_fails(self):
+        fresh = _baseline_report()
+        fresh["sharded"][1]["fps"] = 3000.0  # -32% vs 4400
+        rows = compare_reports(_baseline_report(), fresh)
+        by_label = {r.label: r for r in rows}
+        assert by_label["sharded[shards=4,sessions=64].fps"].status == "fail"
+
+    def test_mid_regression_warns(self):
+        fresh = _baseline_report()
+        fresh["balance"]["fps"] = 4080.0  # -15% vs 4800
+        rows = compare_reports(_baseline_report(), fresh)
+        by_label = {r.label: r for r in rows}
+        assert by_label["balance.fps"].status == "warn"
+
+    def test_improvement_and_small_drift_are_ok(self):
+        fresh = _baseline_report()
+        fresh["sharded"][0]["fps"] = 2500.0  # improvement
+        fresh["service"][0]["srv_fps"] = 760.0  # -5%
+        statuses = {r.label: r.status for r in compare_reports(
+            _baseline_report(), fresh
+        )}
+        assert statuses["sharded[shards=1,sessions=64].fps"] == "ok"
+        assert statuses["service[sessions=1].srv_fps"] == "ok"
+
+    def test_new_and_removed_rows_never_gate(self):
+        fresh = _baseline_report()
+        del fresh["balance"]
+        fresh["bulk"] = [{"engine": "bulk", "backend": "reference", "fps": 9.0}]
+        rows = compare_reports(_baseline_report(), fresh)
+        statuses = {r.label: r.status for r in rows}
+        assert statuses["balance.fps"] == "baseline-only"
+        assert statuses["bulk[engine=bulk,backend=reference].fps"] == (
+            "fresh-only"
+        )
+        assert "fail" not in statuses.values()
+
+    def test_custom_thresholds(self):
+        fresh = _baseline_report()
+        fresh["balance"]["fps"] = 4400.0  # -8.3%
+        rows = compare_reports(_baseline_report(), fresh, warn=0.05, fail=0.5)
+        by_label = {r.label: r for r in rows}
+        assert by_label["balance.fps"].status == "warn"
+
+
+class TestMarkdownSummary:
+    def test_table_names_every_row(self):
+        fresh = _baseline_report()
+        fresh["sharded"][1]["fps"] = 3000.0
+        rows = compare_reports(_baseline_report(), fresh)
+        text = render_markdown([("BENCH_serving.json", rows)])
+        assert "### BENCH_serving.json" in text
+        assert "`sharded[shards=4,sessions=64].fps`" in text
+        assert "❌ fail" in text
+
+
+class TestCli:
+    def _write_pair(self, tmp_path, fresh) -> list[str]:
+        baseline_path = tmp_path / "baseline.json"
+        fresh_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(_baseline_report()))
+        fresh_path.write_text(json.dumps(fresh))
+        return [f"--pair={baseline_path}:{fresh_path}", "--min-cores=1"]
+
+    def test_synthetic_25pct_regression_exits_nonzero(self, tmp_path):
+        fresh = _baseline_report()
+        fresh["sharded"][1]["fps"] = 4400.0 * 0.74
+        assert main(self._write_pair(tmp_path, fresh)) == 1
+
+    def test_15pct_regression_warns_but_passes(self, tmp_path, capsys):
+        fresh = _baseline_report()
+        fresh["balance"]["fps"] = 4800.0 * 0.85
+        assert main(self._write_pair(tmp_path, fresh)) == 0
+        assert "warn:" in capsys.readouterr().out
+
+    def test_identical_reports_pass(self, tmp_path):
+        assert main(self._write_pair(tmp_path, _baseline_report())) == 0
+
+    def test_refuses_on_undersized_runner(self, tmp_path, capsys):
+        argv = self._write_pair(tmp_path, _baseline_report())
+        argv[-1] = "--min-cores=4096"
+        assert main(argv) == 1
+        assert "REFUSED" in capsys.readouterr().err
+
+    def test_writes_step_summary(self, tmp_path):
+        fresh = _baseline_report()
+        fresh["sharded"][1]["fps"] = 3000.0
+        summary = tmp_path / "summary.md"
+        argv = self._write_pair(tmp_path, fresh) + [f"--summary={summary}"]
+        assert main(argv) == 1
+        assert "Benchmark trend" in summary.read_text()
+
+    def test_malformed_pair_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--pair=only-one-path", "--min-cores=1"])
